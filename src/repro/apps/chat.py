@@ -1,0 +1,115 @@
+"""The chat box (paper §5.1): "an edit area for composing messages and a
+scrollable area for displaying a list of received messages."
+
+The chat log is one shared object whose byte-stream state is a sequence of
+length-prefixed encoded messages — a perfect fit for Corona's
+``bcastUpdate`` append semantics: each posted message is one incremental
+update, the object's materialized state is the full history, and
+``LATEST_N`` state transfer gives a newly joining user exactly the last n
+messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.core.client import DeliveryEvent, GroupView
+from repro.wire.codec import Reader, Writer
+from repro.wire.messages import TransferPolicy, TransferSpec, UpdateKind
+
+__all__ = ["ChatMessage", "encode_message", "decode_log", "ChatRoom", "CHAT_OBJECT"]
+
+#: Object id of the chat log within the group's shared state.
+CHAT_OBJECT = "chat-log"
+
+
+@dataclass(frozen=True)
+class ChatMessage:
+    """One chat posting."""
+
+    author: str
+    text: str
+    sent_at: float
+
+
+def encode_message(message: ChatMessage) -> bytes:
+    """Encode one message as a self-delimiting byte chunk."""
+    writer = Writer()
+    writer.write_str(message.author)
+    writer.write_str(message.text)
+    writer.write_double(message.sent_at)
+    return writer.getvalue()
+
+
+def decode_log(data: bytes) -> Iterator[ChatMessage]:
+    """Decode a concatenation of encoded messages (the object state)."""
+    reader = Reader(data)
+    while not reader.at_end():
+        author = reader.read_str()
+        text = reader.read_str()
+        sent_at = reader.read_double()
+        yield ChatMessage(author, text, sent_at)
+
+
+class ChatRoom:
+    """Async chat client over a :class:`~repro.runtime.CoronaClient`.
+
+    ``join`` transfers only the most recent *backlog* messages, matching
+    how the real tool used the incremental state-transfer policy.
+    """
+
+    def __init__(self, client, group: str) -> None:
+        self._client = client
+        self.group = group
+        self._on_message: list[Callable[[ChatMessage], None]] = []
+        client.on_event("delivery", self._deliver)
+
+    async def create(self, persistent: bool = True) -> None:
+        """Create the chat room's group."""
+        await self._client.create_group(self.group, persistent=persistent)
+
+    async def join(self, backlog: int = 50) -> list[ChatMessage]:
+        """Join and return up to *backlog* recent messages."""
+        view: GroupView = await self._client.join_group(
+            self.group,
+            transfer=TransferSpec(policy=TransferPolicy.LATEST_N, last_n=backlog),
+            notify_membership=True,
+        )
+        return self.history(view)
+
+    async def send(self, text: str) -> None:
+        """Post a message to the room."""
+        message = ChatMessage(
+            author=self._client.client_id,
+            text=text,
+            sent_at=await _now(self._client),
+        )
+        await self._client.bcast_update(self.group, CHAT_OBJECT, encode_message(message))
+
+    def history(self, view: GroupView | None = None) -> list[ChatMessage]:
+        """Every message currently in the local replica."""
+        view = view if view is not None else self._client.view(self.group)
+        if CHAT_OBJECT not in view.state:
+            return []
+        return list(decode_log(view.state.get(CHAT_OBJECT).materialized()))
+
+    def on_message(self, callback: Callable[[ChatMessage], None]) -> None:
+        """Register a callback for newly delivered messages."""
+        self._on_message.append(callback)
+
+    def _deliver(self, event: DeliveryEvent) -> None:
+        if event.group != self.group or event.record.object_id != CHAT_OBJECT:
+            return
+        if event.record.kind is not UpdateKind.UPDATE:
+            return
+        for message in decode_log(event.record.data):
+            for callback in self._on_message:
+                callback(message)
+
+
+async def _now(client) -> float:
+    # Chat timestamps use the *service* clock so every member sees one
+    # timeline — this is the sender-inclusive timestamping use case the
+    # paper describes; we approximate with a ping when sending.
+    return await client.ping()

@@ -1,0 +1,107 @@
+"""Instrument data viewers (paper §5.1): "configurable windows for
+displaying different kinds of instrument data."
+
+Each instrument is one shared object; a new reading replaces the object's
+state (``bcastState`` — viewers want the latest value, not history).
+Joining viewers can subscribe to a subset of instruments via the
+``SELECTED`` state-transfer policy, exactly the per-object customization
+of paper §3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.client import DeliveryEvent
+from repro.wire.codec import Reader, Writer
+from repro.wire.messages import TransferPolicy, TransferSpec, UpdateKind
+
+__all__ = ["Reading", "encode_reading", "decode_reading", "InstrumentFeed", "InstrumentViewer"]
+
+
+@dataclass(frozen=True)
+class Reading:
+    """One instrument sample."""
+
+    instrument: str
+    value: float
+    unit: str
+    taken_at: float
+
+
+def encode_reading(reading: Reading) -> bytes:
+    writer = Writer()
+    writer.write_str(reading.instrument)
+    writer.write_double(reading.value)
+    writer.write_str(reading.unit)
+    writer.write_double(reading.taken_at)
+    return writer.getvalue()
+
+
+def decode_reading(data: bytes) -> Reading:
+    reader = Reader(data)
+    return Reading(
+        instrument=reader.read_str(),
+        value=reader.read_double(),
+        unit=reader.read_str(),
+        taken_at=reader.read_double(),
+    )
+
+
+class InstrumentFeed:
+    """Publisher side: an instrument pushing readings into a group."""
+
+    def __init__(self, client, group: str) -> None:
+        self._client = client
+        self.group = group
+
+    async def create(self) -> None:
+        await self._client.create_group(self.group, persistent=True)
+        await self._client.join_group(
+            self.group, transfer=TransferSpec(policy=TransferPolicy.NONE)
+        )
+
+    async def publish(self, reading: Reading) -> None:
+        """Push a reading; it *replaces* the instrument's current value."""
+        await self._client.bcast_state(
+            self.group, reading.instrument, encode_reading(reading)
+        )
+
+
+class InstrumentViewer:
+    """Viewer side: displays the current value of chosen instruments."""
+
+    def __init__(self, client, group: str) -> None:
+        self._client = client
+        self.group = group
+        self._on_reading: list[Callable[[Reading], None]] = []
+        client.on_event("delivery", self._deliver)
+
+    async def join(self, instruments: tuple[str, ...] | None = None) -> dict[str, Reading]:
+        """Join; with *instruments* given, transfer only those objects."""
+        if instruments is None:
+            spec = TransferSpec(policy=TransferPolicy.FULL)
+        else:
+            spec = TransferSpec(policy=TransferPolicy.SELECTED, object_ids=instruments)
+        view = await self._client.join_group(self.group, transfer=spec)
+        return {
+            object_id: decode_reading(view.state.get(object_id).materialized())
+            for object_id in view.state.object_ids()
+            if view.state.get(object_id).materialized()
+        }
+
+    def current(self, instrument: str) -> Reading:
+        """Latest value of *instrument* from the local replica."""
+        view = self._client.view(self.group)
+        return decode_reading(view.state.get(instrument).materialized())
+
+    def on_reading(self, callback: Callable[[Reading], None]) -> None:
+        self._on_reading.append(callback)
+
+    def _deliver(self, event: DeliveryEvent) -> None:
+        if event.group != self.group or event.record.kind is not UpdateKind.STATE:
+            return
+        reading = decode_reading(event.record.data)
+        for callback in self._on_reading:
+            callback(reading)

@@ -1,0 +1,145 @@
+"""Reliable data dissemination (paper Figure 1 and §1).
+
+Publishers submit data items to a persistent topic group.  Two kinds of
+subscribers consume them:
+
+* **permanent subscribers** stay connected and receive every item pushed
+  (the push model);
+* **asynchronous subscribers** "connect occasionally and transfer in
+  asynchronous mode data previously existing in the system" (the pull
+  model) — implemented with a ``SINCE_SEQNO`` join against the topic's
+  persistent state, so the service, not the publisher, serves the backlog.
+
+The topic state is one shared object per topic whose byte stream is the
+concatenation of length-prefixed items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.core.client import DeliveryEvent
+from repro.wire.codec import Reader, Writer
+from repro.wire.messages import TransferPolicy, TransferSpec, UpdateKind
+
+__all__ = ["Item", "Publisher", "Subscriber", "AsyncSubscriber", "TOPIC_OBJECT"]
+
+#: Object id of the item stream within a topic group.
+TOPIC_OBJECT = "items"
+
+
+@dataclass(frozen=True)
+class Item:
+    """One published data item."""
+
+    publisher: str
+    key: str
+    payload: bytes
+
+
+def _encode(item: Item) -> bytes:
+    writer = Writer()
+    writer.write_str(item.publisher)
+    writer.write_str(item.key)
+    writer.write_bytes(item.payload)
+    return writer.getvalue()
+
+
+def _decode_stream(data: bytes) -> Iterator[Item]:
+    reader = Reader(data)
+    while not reader.at_end():
+        yield Item(reader.read_str(), reader.read_str(), reader.read_bytes())
+
+
+class Publisher:
+    """Pushes items into a topic; the service logs them durably."""
+
+    def __init__(self, client, topic: str) -> None:
+        self._client = client
+        self.topic = topic
+
+    async def create_topic(self) -> None:
+        """Create the persistent topic group (idempotence is the app's
+        concern; an existing topic raises GroupExistsError)."""
+        await self._client.create_group(self.topic, persistent=True)
+
+    async def attach(self) -> None:
+        """Join the topic for publishing (no state transfer needed)."""
+        await self._client.join_group(
+            self.topic, transfer=TransferSpec(policy=TransferPolicy.NONE)
+        )
+
+    async def publish(self, key: str, payload: bytes) -> None:
+        """Append one item to the topic."""
+        item = Item(self._client.client_id, key, payload)
+        await self._client.bcast_update(self.topic, TOPIC_OBJECT, _encode(item))
+
+
+class Subscriber:
+    """Permanent subscriber: receives every item as it is published."""
+
+    def __init__(self, client, topic: str) -> None:
+        self._client = client
+        self.topic = topic
+        self._on_item: list[Callable[[Item], None]] = []
+        client.on_event("delivery", self._deliver)
+
+    async def subscribe(self, backlog: bool = True) -> list[Item]:
+        """Join the topic; with *backlog* the full history is returned."""
+        policy = TransferPolicy.FULL if backlog else TransferPolicy.NONE
+        view = await self._client.join_group(
+            self.topic, transfer=TransferSpec(policy=policy)
+        )
+        if not backlog or TOPIC_OBJECT not in view.state:
+            return []
+        return list(_decode_stream(view.state.get(TOPIC_OBJECT).materialized()))
+
+    def on_item(self, callback: Callable[[Item], None]) -> None:
+        self._on_item.append(callback)
+
+    def _deliver(self, event: DeliveryEvent) -> None:
+        if event.group != self.topic or event.record.object_id != TOPIC_OBJECT:
+            return
+        if event.record.kind is not UpdateKind.UPDATE:
+            return
+        for item in _decode_stream(event.record.data):
+            for callback in self._on_item:
+                callback(item)
+
+
+class AsyncSubscriber:
+    """Pull-model subscriber: connects occasionally and fetches what it
+    missed, then leaves.  The cursor (last seen seqno) persists across
+    polls, so each poll transfers only the new suffix."""
+
+    def __init__(self, client, topic: str) -> None:
+        self._client = client
+        self.topic = topic
+        self._cursor = -1
+
+    @property
+    def cursor(self) -> int:
+        """Last sequence number this subscriber has consumed."""
+        return self._cursor
+
+    async def poll(self) -> list[Item]:
+        """Fetch items published since the last poll."""
+        view = await self._client.join_group(
+            self.topic,
+            transfer=TransferSpec(
+                policy=TransferPolicy.SINCE_SEQNO, since_seqno=self._cursor
+            ),
+        )
+        items: list[Item] = []
+        if TOPIC_OBJECT in view.state:
+            obj = view.state.get(TOPIC_OBJECT)
+            if self._cursor < 0:
+                # first poll may have degraded to a FULL transfer
+                items.extend(_decode_stream(obj.materialized()))
+            else:
+                for _seqno, chunk in obj.increments:
+                    items.extend(_decode_stream(chunk))
+        self._cursor = view.next_seqno - 1
+        await self._client.leave_group(self.topic)
+        return items

@@ -1,0 +1,148 @@
+"""The draw tool (paper §5.1): "similar both to a shared notebook and a
+whiteboard [...] a canvas for drawing, taking notes, and importing images."
+
+The canvas is one shared object.  Strokes are incremental updates
+(``bcastUpdate``); clearing the canvas or importing an image replaces the
+whole state (``bcastState``).  Per-object locks serialize conflicting
+edits, exercising Corona's synchronization service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.core.client import DeliveryEvent
+from repro.wire.codec import Reader, Writer
+from repro.wire.messages import UpdateKind
+
+__all__ = ["Stroke", "encode_stroke", "decode_canvas", "Whiteboard", "CANVAS_OBJECT"]
+
+#: Object id of the canvas within the group's shared state.
+CANVAS_OBJECT = "canvas"
+
+_KIND_STROKE = 1
+_KIND_IMAGE = 2
+
+
+@dataclass(frozen=True)
+class Stroke:
+    """One drawn stroke: a polyline with a tool and a color."""
+
+    author: str
+    color: str
+    width: int
+    points: tuple[tuple[int, int], ...]
+
+
+def encode_stroke(stroke: Stroke) -> bytes:
+    """Encode a stroke as a self-delimiting chunk of canvas state."""
+    writer = Writer()
+    writer.write_uvarint(_KIND_STROKE)
+    writer.write_str(stroke.author)
+    writer.write_str(stroke.color)
+    writer.write_uvarint(stroke.width)
+    writer.write_uvarint(len(stroke.points))
+    for x, y in stroke.points:
+        writer.write_varint(x)
+        writer.write_varint(y)
+    return writer.getvalue()
+
+
+def encode_image(name: str, pixels: bytes) -> bytes:
+    """Encode an imported image as a chunk of canvas state."""
+    writer = Writer()
+    writer.write_uvarint(_KIND_IMAGE)
+    writer.write_str(name)
+    writer.write_bytes(pixels)
+    return writer.getvalue()
+
+
+def decode_canvas(data: bytes) -> Iterator[Stroke | tuple[str, bytes]]:
+    """Decode the canvas state into strokes and ``(name, pixels)`` images."""
+    reader = Reader(data)
+    while not reader.at_end():
+        kind = reader.read_uvarint()
+        if kind == _KIND_STROKE:
+            author = reader.read_str()
+            color = reader.read_str()
+            width = reader.read_uvarint()
+            count = reader.read_uvarint()
+            points = tuple(
+                (reader.read_varint(), reader.read_varint()) for _ in range(count)
+            )
+            yield Stroke(author, color, width, points)
+        elif kind == _KIND_IMAGE:
+            yield (reader.read_str(), reader.read_bytes())
+        else:
+            raise ValueError(f"unknown canvas chunk kind {kind}")
+
+
+class Whiteboard:
+    """Async draw-tool client over a :class:`~repro.runtime.CoronaClient`."""
+
+    def __init__(self, client, group: str) -> None:
+        self._client = client
+        self.group = group
+        self._on_stroke: list[Callable[[Stroke], None]] = []
+        self._on_clear: list[Callable[[], None]] = []
+        client.on_event("delivery", self._deliver)
+
+    async def create(self, persistent: bool = True) -> None:
+        await self._client.create_group(self.group, persistent=persistent)
+
+    async def join(self) -> list:
+        """Join with a full state transfer and return the canvas items."""
+        await self._client.join_group(self.group, notify_membership=True)
+        return self.canvas()
+
+    async def draw(self, stroke: Stroke, exclusive: bool = False) -> None:
+        """Add a stroke; with ``exclusive=True`` the canvas lock is held
+        around the update (serialized drawing)."""
+        if exclusive:
+            await self._client.acquire_lock(self.group, CANVAS_OBJECT)
+            try:
+                await self._client.bcast_update(
+                    self.group, CANVAS_OBJECT, encode_stroke(stroke)
+                )
+            finally:
+                await self._client.release_lock(self.group, CANVAS_OBJECT)
+        else:
+            await self._client.bcast_update(
+                self.group, CANVAS_OBJECT, encode_stroke(stroke)
+            )
+
+    async def import_image(self, name: str, pixels: bytes) -> None:
+        """Import an image as an incremental canvas item."""
+        await self._client.bcast_update(
+            self.group, CANVAS_OBJECT, encode_image(name, pixels)
+        )
+
+    async def clear(self) -> None:
+        """Wipe the canvas for everyone (a ``bcastState`` override)."""
+        await self._client.bcast_state(self.group, CANVAS_OBJECT, b"")
+
+    def canvas(self) -> list:
+        """Current canvas contents from the local replica."""
+        view = self._client.view(self.group)
+        if CANVAS_OBJECT not in view.state:
+            return []
+        return list(decode_canvas(view.state.get(CANVAS_OBJECT).materialized()))
+
+    def on_stroke(self, callback: Callable[[Stroke], None]) -> None:
+        self._on_stroke.append(callback)
+
+    def on_clear(self, callback: Callable[[], None]) -> None:
+        self._on_clear.append(callback)
+
+    def _deliver(self, event: DeliveryEvent) -> None:
+        if event.group != self.group or event.record.object_id != CANVAS_OBJECT:
+            return
+        if event.record.kind is UpdateKind.STATE:
+            for callback in self._on_clear:
+                callback()
+            return
+        for item in decode_canvas(event.record.data):
+            if isinstance(item, Stroke):
+                for callback in self._on_stroke:
+                    callback(item)

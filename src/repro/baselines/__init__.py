@@ -1,0 +1,22 @@
+"""Comparison baselines: the stateless sequencer and an ISIS-like system.
+
+The *stateless* baseline is Corona itself with ``stateful=False`` (the
+configuration the paper measures in Figure 3); it lives in
+:mod:`repro.core.server`.  The *ISIS-like* baseline here implements the
+related-work architecture the paper argues against: client-resident state
+with member-involving joins.
+"""
+
+from repro.baselines.isis import (
+    IsisClientConfig,
+    IsisClientCore,
+    IsisServerConfig,
+    IsisServerCore,
+)
+
+__all__ = [
+    "IsisClientConfig",
+    "IsisClientCore",
+    "IsisServerConfig",
+    "IsisServerCore",
+]

@@ -1,0 +1,16 @@
+"""Benchmark harness: workloads, metrics, and the reproduced evaluation."""
+
+from repro.bench.metrics import LatencySample, LatencyStats, summarize
+from repro.bench.report import format_block, format_table
+from repro.bench.workload import BlastSender, MeasuredSender, build_room
+
+__all__ = [
+    "LatencySample",
+    "LatencyStats",
+    "summarize",
+    "format_block",
+    "format_table",
+    "BlastSender",
+    "MeasuredSender",
+    "build_room",
+]

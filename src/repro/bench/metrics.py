@@ -1,0 +1,62 @@
+"""Measurement utilities for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LatencySample", "LatencyStats", "summarize"]
+
+
+@dataclass
+class LatencySample:
+    """Collects individual latency observations (in seconds)."""
+
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def stats(self) -> "LatencyStats":
+        return summarize(self.values)
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency sample, in milliseconds."""
+
+    count: int
+    mean_ms: float
+    std_ms: float
+    p50_ms: float
+    p95_ms: float
+    min_ms: float
+    max_ms: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean_ms:.2f}ms "
+            f"std={self.std_ms:.2f}ms p50={self.p50_ms:.2f}ms "
+            f"p95={self.p95_ms:.2f}ms"
+        )
+
+
+def summarize(values: list[float]) -> LatencyStats:
+    """Summarize latencies (seconds in, milliseconds out)."""
+    if not values:
+        return LatencyStats(0, float("nan"), float("nan"), float("nan"),
+                            float("nan"), float("nan"), float("nan"))
+    arr = np.asarray(values) * 1000.0
+    return LatencyStats(
+        count=len(arr),
+        mean_ms=float(arr.mean()),
+        std_ms=float(arr.std()),
+        p50_ms=float(np.percentile(arr, 50)),
+        p95_ms=float(np.percentile(arr, 95)),
+        min_ms=float(arr.min()),
+        max_ms=float(arr.max()),
+    )

@@ -1,0 +1,149 @@
+"""Workload drivers for the simulated evaluation.
+
+These reproduce the paper's measurement procedures:
+
+* :class:`MeasuredSender` — the §5.2.1 probe: a client that is "both a
+  sender and a receiver", emitting fixed-size sender-inclusive multicasts
+  at a fixed rate and measuring the round-trip until its own delivery.
+* :class:`BlastSender` — the §5.2.2 throughput load: clients "multicasting
+  data as fast as possible", implemented with a send window so TCP-like
+  backpressure emerges (a client saturated by inbound traffic slows its
+  own sending, exactly the client-bound effect the paper reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.metrics import LatencySample
+from repro.sim.harness import CoronaWorld, SimClient
+
+__all__ = ["MeasuredSender", "BlastSender", "build_room"]
+
+
+@dataclass
+class MeasuredSender:
+    """Sends `count` inclusive multicasts every `interval`; records RTTs."""
+
+    world: CoronaWorld
+    client: SimClient
+    group: str
+    object_id: str = "probe"
+    size: int = 1000
+    interval: float = 0.1
+    count: int = 50
+    #: Initial probes excluded from the statistics (system warm-up).
+    warmup: int = 0
+    rtts: LatencySample = field(default_factory=LatencySample)
+    _send_times: list[float] = field(default_factory=list)
+    _matched: int = 0
+
+    def start(self, at: float = 0.0) -> None:
+        """Schedule the probe sends; call before running the world."""
+        for i in range(self.count):
+            self.world.kernel.schedule_at(
+                max(at, self.world.now) + i * self.interval, self._send
+            )
+        self.client.host.on_notify(self._on_notify)
+
+    def _send(self) -> None:
+        self._send_times.append(self.world.now)
+        self.client.call("bcast_update", self.group, self.object_id, bytes(self.size))
+
+    def _on_notify(self, kind: str, payload) -> None:
+        if kind != "delivery":
+            return
+        record = payload.record
+        if (
+            payload.group == self.group
+            and record.sender == self.client.client_id
+            and record.object_id == self.object_id
+        ):
+            # per-sender FIFO: the k-th own delivery answers the k-th send
+            if self._matched < len(self._send_times):
+                if self._matched >= self.warmup:
+                    self.rtts.add(self.world.now - self._send_times[self._matched])
+                self._matched += 1
+
+
+@dataclass
+class BlastSender:
+    """Keeps `window` multicasts in flight for `duration` virtual seconds."""
+
+    world: CoronaWorld
+    client: SimClient
+    group: str
+    size: int = 1000
+    window: int = 4
+    duration: float = 10.0
+    object_id: str = "blast"
+    sent: int = 0
+    acked: int = 0
+    _deadline: float = 0.0
+
+    def start(self, at: float = 0.0) -> None:
+        start_time = max(at, self.world.now)
+        self._deadline = start_time + self.duration
+        self.client.host.on_notify(self._on_notify)
+        self.world.kernel.schedule_at(start_time, self._fill_window)
+
+    def _fill_window(self) -> None:
+        while self.sent - self.acked < self.window and self.world.now < self._deadline:
+            self._send_one()
+
+    def _send_one(self) -> None:
+        self.sent += 1
+        self.client.call("bcast_update", self.group, self.object_id, bytes(self.size))
+
+    def _on_notify(self, kind: str, payload) -> None:
+        if kind == "reply" and getattr(payload, "kind", "") == "bcast":
+            self.acked += 1
+            if self.world.now < self._deadline:
+                self._fill_window()
+
+
+def build_room(
+    world: CoronaWorld,
+    n_clients: int,
+    group: str = "bench",
+    server: str = "server",
+    servers: list[str] | None = None,
+    segments: list[str] | None = None,
+    persistent: bool = True,
+) -> list[SimClient]:
+    """Create *n_clients* clients, all joined to one group.
+
+    ``segments[i % len(segments)]`` places each client (default "lan");
+    ``servers[i % len(servers)]`` spreads clients over a replicated
+    deployment (default: the single *server*).  Returns the clients in
+    join order (the last one is the paper's worst-case measuring
+    position).
+    """
+    clients = []
+    for i in range(n_clients):
+        segment = segments[i % len(segments)] if segments else "lan"
+        target = servers[i % len(servers)] if servers else server
+        clients.append(
+            world.add_client(
+                host_id=f"bench-client-{i}", segment=segment, server=target
+            )
+        )
+    # replicated worlds never drain (heartbeats), so settle on predicates
+    _settle(world, lambda: all(c.core.connected for c in clients))
+    creator = clients[0]
+    created = creator.call("create_group", group, persistent)
+    _settle(world, lambda: created.done)
+    assert created.ok, f"group creation failed: {created.error}"
+    joins = [client.call("join_group", group) for client in clients]
+    _settle(world, lambda: all(j.done for j in joins))
+    assert all(j.ok for j in joins), "not every client joined"
+    return clients
+
+
+def _settle(world: CoronaWorld, predicate, step: float = 0.5, timeout: float = 120.0) -> None:
+    deadline = world.now + timeout
+    while world.now < deadline:
+        if predicate():
+            return
+        world.run_for(step)
+    raise AssertionError("simulation did not settle within the timeout")

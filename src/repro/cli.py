@@ -1,0 +1,121 @@
+"""Command-line entry points.
+
+``corona-server`` runs a production Corona server::
+
+    corona-server --host 0.0.0.0 --port 7700 --data ./corona-data
+
+``corona-bench`` regenerates one reproduced paper result from the shell::
+
+    corona-bench figure3
+    corona-bench table2 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+__all__ = ["server_main", "bench_main"]
+
+
+def server_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``corona-server``."""
+    parser = argparse.ArgumentParser(
+        prog="corona-server",
+        description="Run a stateful Corona group-communication server.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=7700, help="bind port")
+    parser.add_argument(
+        "--data", default=None,
+        help="stable-storage directory (omit for a memory-only server)",
+    )
+    parser.add_argument(
+        "--server-id", default="corona-1", help="identity reported to clients"
+    )
+    parser.add_argument(
+        "--stateless", action="store_true",
+        help="run as a sequencer only (the Figure 3 comparator)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.core.server import ServerConfig
+    from repro.runtime.server import CoronaServer
+    from repro.storage.store import GroupStore
+
+    store = GroupStore(args.data) if args.data else None
+    config = ServerConfig(server_id=args.server_id, stateful=not args.stateless)
+    server = CoronaServer(config=config, store=store)
+
+    async def _run() -> None:
+        host, port = await server.start(args.host, args.port)
+        recovered = len(server.core.groups) if server.core else 0
+        print(f"corona-server {args.server_id} listening on {host}:{port}"
+              + (f" ({recovered} groups recovered)" if recovered else ""))
+        try:
+            await asyncio.Event().wait()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+_BENCHES = {
+    "figure3": ("figure3", {"quick": {"client_counts": (5, 20, 40), "probes": 15}}),
+    "table1": ("table1", {"quick": {"duration": 2.0}}),
+    "table2": ("table2", {"quick": {"client_counts": (100, 200), "probes": 4}}),
+    "msgsize": ("msgsize_sweep", {"quick": {"probes": 10}}),
+    "aggregate": ("aggregate_throughput", {"quick": {"duration": 2.0}}),
+    "join": ("join_latency", {"quick": {}}),
+    "transfer": ("state_transfer", {"quick": {}}),
+    "logging": ("logging_ablation", {"quick": {"duration": 2.0}}),
+    "reduction": ("log_reduction", {"quick": {"n_updates": 500}}),
+    "failover": ("failover", {"quick": {"suspicion_timeouts": (0.5,)}}),
+    "scaling": ("server_scaling", {"quick": {"fanout_counts": (1, 3), "n_clients": 120, "probes": 3}}),
+    "mcast": ("multicast_ablation", {"quick": {"client_counts": (10, 30), "probes": 8}}),
+}
+
+
+def bench_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``corona-bench``."""
+    parser = argparse.ArgumentParser(
+        prog="corona-bench",
+        description="Regenerate one reproduced result of the ICDCS'99 paper.",
+    )
+    parser.add_argument("experiment", choices=sorted(_BENCHES))
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller parameters, faster run"
+    )
+    args = parser.parse_args(argv)
+
+    from dataclasses import fields
+
+    from repro.bench import experiments
+    from repro.bench.report import format_table
+
+    func_name, variants = _BENCHES[args.experiment]
+    func = getattr(experiments, func_name)
+    kwargs = variants["quick"] if args.quick else {}
+    rows = func(**kwargs)
+    if not rows:
+        print("no results")
+        return 1
+    first = rows[0]
+    headers = [f.name for f in fields(first)]
+    table = [
+        [getattr(row, h) for h in headers]
+        for row in rows
+    ]
+    print(format_table(f"{func_name} (reproduced)", headers, table))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(server_main())

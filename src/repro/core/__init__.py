@@ -1,0 +1,64 @@
+"""Core Corona protocol: shared state, groups, server and client cores."""
+
+from repro.core.auth import AllowAnyClient, Authenticator, TokenAuthenticator
+from repro.core.client import (
+    ClientConfig,
+    ClientCore,
+    DeliveryEvent,
+    GroupView,
+    ReplyEvent,
+)
+from repro.core.clock import Clock, ManualClock, MonotonicClock
+from repro.core.errors import CoronaError
+from repro.core.group import Group, Member
+from repro.core.locks import LockGrant, LockTable
+from repro.core.log import StateLog
+from repro.core.ordering import FifoChecker, Sequencer, VectorClock
+from repro.core.reduction import (
+    CompositeReduce,
+    NeverReduce,
+    ReduceByBytes,
+    ReduceByCount,
+    ReductionPolicy,
+)
+from repro.core.server import ServerConfig, ServerCore
+from repro.core.session import AclSessionManager, AllowAll, GroupAction, SessionManager
+from repro.core.state import SharedObject, SharedState
+from repro.core.transfer import build_snapshot
+
+__all__ = [
+    "AllowAnyClient",
+    "Authenticator",
+    "TokenAuthenticator",
+    "ClientConfig",
+    "ClientCore",
+    "DeliveryEvent",
+    "GroupView",
+    "ReplyEvent",
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "CoronaError",
+    "Group",
+    "Member",
+    "LockGrant",
+    "LockTable",
+    "StateLog",
+    "FifoChecker",
+    "Sequencer",
+    "VectorClock",
+    "CompositeReduce",
+    "NeverReduce",
+    "ReduceByBytes",
+    "ReduceByCount",
+    "ReductionPolicy",
+    "ServerConfig",
+    "ServerCore",
+    "AclSessionManager",
+    "AllowAll",
+    "GroupAction",
+    "SessionManager",
+    "SharedObject",
+    "SharedState",
+    "build_snapshot",
+]

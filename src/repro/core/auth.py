@@ -1,0 +1,51 @@
+"""Client authentication — the paper's §5.3 future work, implemented.
+
+"We also intend to add security mechanisms and access control to the
+system."  Access control exists as the session manager
+(:mod:`repro.core.session`); this module supplies the authentication
+half: the ``Hello`` handshake carries a token which an
+:class:`Authenticator` checks before the client may use the service.
+"""
+
+from __future__ import annotations
+
+import hmac
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.ids import ClientId
+
+__all__ = ["Authenticator", "AllowAnyClient", "TokenAuthenticator"]
+
+
+class Authenticator(Protocol):
+    """Decides whether a connecting client is who it claims to be."""
+
+    def authenticate(self, client_id: ClientId, token: str) -> bool:
+        """Return True to admit the client."""
+        ...
+
+
+class AllowAnyClient:
+    """Open service: any client id, any (or no) token."""
+
+    def authenticate(self, client_id: ClientId, token: str) -> bool:
+        return True
+
+
+@dataclass
+class TokenAuthenticator:
+    """Per-client shared-secret tokens, compared in constant time."""
+
+    tokens: dict[ClientId, str] = field(default_factory=dict)
+    #: Admit clients that have no registered token (mixed deployments).
+    allow_unregistered: bool = False
+
+    def register(self, client_id: ClientId, token: str) -> None:
+        self.tokens[client_id] = token
+
+    def authenticate(self, client_id: ClientId, token: str) -> bool:
+        expected = self.tokens.get(client_id)
+        if expected is None:
+            return self.allow_unregistered
+        return hmac.compare_digest(expected, token)

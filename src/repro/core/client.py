@@ -1,0 +1,512 @@
+"""The Corona client core: requests, replies, and local state replicas.
+
+A client connects to one Corona server, identifies itself with ``Hello``,
+and then issues the service requests of §3.2.  The core:
+
+* correlates replies to requests via ``request_id`` and enforces a
+  per-request timeout;
+* maintains a local replica (:class:`GroupView`) of each joined group's
+  shared state, applying the join snapshot and every subsequent sequenced
+  delivery, and asserting the per-sender FIFO guarantee;
+* surfaces everything to the application as ``Notify`` effects, which the
+  asyncio runtime turns into awaitables/callbacks and the simulator into
+  recorded events.
+
+Sender-exclusive deliveries: when this client broadcasts with
+``DeliveryMode.EXCLUSIVE`` the server does not echo the message back, so
+the client's replica would miss that sequence number.  The core keeps the
+payloads of in-flight exclusive broadcasts and splices each one into the
+replica when the gap it left becomes visible — sound because the sequencer
+preserves per-sender FIFO order.  Until a later delivery reveals the gap,
+the replica intentionally lags (the client cannot know its own seqno).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.clock import Clock
+from repro.core.errors import (
+    CoronaError,
+    NotConnectedError,
+    ProtocolError,
+    RequestTimeoutError,
+    error_from_code,
+)
+from repro.core.events import Notify, OpenConnection, ProtocolCore, StartTimer, CancelTimer
+from repro.core.ids import ConnId, GroupId, RequestId, SeqNo
+from repro.core.ordering import FifoChecker
+from repro.core.state import SharedState
+from repro.wire.messages import (
+    Ack,
+    AcquireLockRequest,
+    BcastStateRequest,
+    BcastUpdateRequest,
+    CreateGroupRequest,
+    DeleteGroupRequest,
+    Delivery,
+    DeliveryMode,
+    ErrorReply,
+    ForkNotice,
+    GetMembershipRequest,
+    GroupDeletedNotice,
+    GroupListReply,
+    Hello,
+    HelloReply,
+    JoinGroupRequest,
+    JoinReply,
+    LeaveGroupRequest,
+    ListGroupsRequest,
+    LockGranted,
+    MemberInfo,
+    MemberRole,
+    MembershipNotice,
+    MembershipReply,
+    Message,
+    ObjectState,
+    PingReply,
+    PingRequest,
+    RebaseNotice,
+    ReduceLogRequest,
+    ReleaseLockRequest,
+    StateSnapshot,
+    TransferPolicy,
+    TransferSpec,
+    UpdateKind,
+    UpdateRecord,
+)
+
+__all__ = ["ClientConfig", "ClientCore", "GroupView", "ReplyEvent", "DeliveryEvent"]
+
+
+@dataclass
+class ClientConfig:
+    """Behavioural knobs of one Corona client."""
+
+    client_id: str
+    request_timeout: float = 10.0
+    #: Shared-secret token presented in the Hello handshake (only needed
+    #: when the service runs a TokenAuthenticator).
+    token: str = ""
+    #: Automatically redial and rejoin after a connection loss (the
+    #: client/link-failure tolerance of the paper's companion work [15]).
+    auto_reconnect: bool = False
+    #: Initial redial delay; doubles per consecutive failure up to the max.
+    reconnect_backoff: float = 0.5
+    reconnect_backoff_max: float = 15.0
+    #: Alternative server addresses tried round-robin when reconnecting —
+    #: in a replicated deployment any server can serve the client.
+    fallback_addresses: tuple = ()
+
+
+@dataclass(frozen=True)
+class ReplyEvent:
+    """Outcome of one request, surfaced via ``Notify('reply', ...)``."""
+
+    request_id: RequestId
+    kind: str
+    ok: bool
+    value: Any = None
+    error: CoronaError | None = None
+
+
+@dataclass(frozen=True)
+class DeliveryEvent:
+    """One sequenced multicast, surfaced via ``Notify('delivery', ...)``."""
+
+    group: GroupId
+    record: UpdateRecord
+
+
+@dataclass
+class GroupView:
+    """Client-side replica of one joined group."""
+
+    name: GroupId
+    state: SharedState = field(default_factory=SharedState)
+    next_seqno: SeqNo = 0
+    members: tuple[MemberInfo, ...] = ()
+    fifo: FifoChecker = field(default_factory=FifoChecker)
+    #: Parameters of the original join, reused for automatic rejoins.
+    role: MemberRole = MemberRole.PRINCIPAL
+    notify_membership: bool = False
+    #: Payloads of our own in-flight sender-exclusive broadcasts, oldest
+    #: first, spliced in when their sequence-number gap becomes visible.
+    pending_exclusive: deque[tuple[UpdateKind, str, bytes]] = field(default_factory=deque)
+
+    def apply_snapshot(self, snapshot: StateSnapshot) -> None:
+        self.state = SharedState(snapshot.objects)
+        for obj_id in self.state.object_ids():
+            self.state.get(obj_id).base_seqno = snapshot.base_seqno
+        for record in snapshot.updates:
+            self.state.apply(record)
+        self.next_seqno = snapshot.next_seqno
+
+    def resync(self, snapshot: StateSnapshot) -> None:
+        """Merge a reconnection snapshot into the existing replica.
+
+        When the snapshot is the exact suffix after what we already have
+        (a ``SINCE_SEQNO`` transfer), its updates are applied
+        incrementally; anything else (a reduction happened, we fell too
+        far behind) replaces the replica wholesale.
+        """
+        if (
+            not snapshot.objects
+            and snapshot.base_seqno == self.next_seqno - 1
+        ):
+            for record in snapshot.updates:
+                self.state.apply(record)
+            self.next_seqno = snapshot.next_seqno
+            self.pending_exclusive.clear()
+        else:
+            self.apply_snapshot(snapshot)
+            self.pending_exclusive.clear()
+            self.fifo = FifoChecker()
+
+    def apply_delivery(self, record: UpdateRecord, own_id: str) -> None:
+        if record.seqno < self.next_seqno:
+            raise ProtocolError(
+                f"duplicate delivery seqno {record.seqno} in {self.name!r}"
+            )
+        while self.next_seqno < record.seqno:
+            # Gap: must be one of our own exclusive broadcasts (FIFO order).
+            if not self.pending_exclusive:
+                raise ProtocolError(
+                    f"delivery gap at seqno {self.next_seqno} in {self.name!r}"
+                )
+            kind, object_id, data = self.pending_exclusive.popleft()
+            self.state.apply(
+                UpdateRecord(self.next_seqno, kind, object_id, data, own_id, record.timestamp)
+            )
+            self.next_seqno += 1
+        self.fifo.observe(record.sender, record.seqno)
+        self.state.apply(record)
+        self.next_seqno = record.seqno + 1
+
+
+class ClientCore(ProtocolCore):
+    """Sans-io protocol core of one Corona client."""
+
+    def __init__(self, config: ClientConfig, clock: Clock) -> None:
+        super().__init__()
+        self.config = config
+        self.clock = clock
+        self.views: dict[GroupId, GroupView] = {}
+        self.connected = False
+        self.server_id: str | None = None
+        self._conn: ConnId | None = None
+        self._address: Any = None
+        self._address_rotation = 0
+        self._backoff = config.reconnect_backoff
+        self._rejoining: set[GroupId] = set()
+        self._request_ids = itertools.count(1)
+        self._pending: dict[RequestId, str] = {}
+        self._pending_bcast: dict[RequestId, tuple[GroupId, DeliveryMode, UpdateKind, str, bytes]] = {}
+        self._join_params: dict[RequestId, tuple[MemberRole, bool]] = {}
+
+    # ------------------------------------------------------------------
+    # connection lifecycle
+    # ------------------------------------------------------------------
+
+    def connect(self, address: Any) -> None:
+        """Dial the server at *address* (host executes the effect)."""
+        self._address = address
+        self.emit(OpenConnection(address, key="server"))
+
+    def handle_connected(self, conn: ConnId, peer: Any, key: str) -> None:
+        if key != "server":
+            return
+        self._conn = conn
+        self.send(conn, Hello(client_id=self.config.client_id,
+                              token=self.config.token))
+
+    def handle_closed(self, conn: ConnId) -> None:
+        if conn != self._conn:
+            return
+        was_connected = self.connected
+        self._conn = None
+        self.connected = False
+        for request_id, kind in list(self._pending.items()):
+            self._finish(request_id, kind, error=NotConnectedError("connection lost"))
+        if was_connected:
+            self.emit(Notify("disconnected", self.server_id))
+        if self.config.auto_reconnect and self._address is not None:
+            self.emit(StartTimer("reconnect", self._backoff))
+            self._backoff = min(
+                self._backoff * 2, self.config.reconnect_backoff_max
+            )
+            if not was_connected:
+                self.emit(Notify("reconnect_failed", self._address))
+
+    def _rejoin_groups(self) -> None:
+        """After a reconnect, resynchronize every group we were in."""
+        for view in self.views.values():
+            self._rejoining.add(view.name)
+            spec = TransferSpec(
+                policy=TransferPolicy.SINCE_SEQNO,
+                since_seqno=view.next_seqno - 1,
+            )
+            self._request(
+                "rejoin",
+                lambda rid, v=view, s=spec: JoinGroupRequest(
+                    rid, v.name, v.role, s, v.notify_membership
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # requests (each returns its request id)
+    # ------------------------------------------------------------------
+
+    def create_group(
+        self,
+        group: GroupId,
+        persistent: bool = False,
+        initial_state: tuple[ObjectState, ...] = (),
+    ) -> RequestId:
+        """``createGroup()``: create a group with an initial shared state."""
+        return self._request(
+            "create", lambda rid: CreateGroupRequest(rid, group, persistent, initial_state)
+        )
+
+    def delete_group(self, group: GroupId) -> RequestId:
+        """``deleteGroup()``: destroy the group and its shared state."""
+        return self._request("delete", lambda rid: DeleteGroupRequest(rid, group))
+
+    def join_group(
+        self,
+        group: GroupId,
+        role: MemberRole = MemberRole.PRINCIPAL,
+        transfer: TransferSpec | None = None,
+        notify_membership: bool = False,
+    ) -> RequestId:
+        """``joinGroup()``: join and receive the state per *transfer*."""
+        spec = transfer if transfer is not None else TransferSpec()
+        request_id = self._request(
+            "join",
+            lambda rid: JoinGroupRequest(rid, group, role, spec, notify_membership),
+        )
+        self._join_params[request_id] = (role, notify_membership)
+        return request_id
+
+    def leave_group(self, group: GroupId) -> RequestId:
+        """``leaveGroup()``: leave unobtrusively."""
+        return self._request("leave", lambda rid: LeaveGroupRequest(rid, group))
+
+    def get_membership(self, group: GroupId) -> RequestId:
+        """``getMembership()``: query the current member list."""
+        return self._request("membership", lambda rid: GetMembershipRequest(rid, group))
+
+    def list_groups(self) -> RequestId:
+        """Enumerate groups known to the service."""
+        return self._request("list_groups", lambda rid: ListGroupsRequest(rid))
+
+    def bcast_state(
+        self,
+        group: GroupId,
+        object_id: str,
+        data: bytes,
+        mode: DeliveryMode = DeliveryMode.INCLUSIVE,
+    ) -> RequestId:
+        """``bcastState()``: override an object's state, group-wide."""
+        rid = self._request(
+            "bcast", lambda r: BcastStateRequest(r, group, object_id, data, mode)
+        )
+        self._pending_bcast[rid] = (group, mode, UpdateKind.STATE, object_id, data)
+        return rid
+
+    def bcast_update(
+        self,
+        group: GroupId,
+        object_id: str,
+        data: bytes,
+        mode: DeliveryMode = DeliveryMode.INCLUSIVE,
+    ) -> RequestId:
+        """``bcastUpdate()``: append an incremental change, group-wide."""
+        rid = self._request(
+            "bcast", lambda r: BcastUpdateRequest(r, group, object_id, data, mode)
+        )
+        self._pending_bcast[rid] = (group, mode, UpdateKind.UPDATE, object_id, data)
+        return rid
+
+    def acquire_lock(self, group: GroupId, object_id: str, blocking: bool = True) -> RequestId:
+        """Acquire the per-object update lock."""
+        return self._request(
+            "lock", lambda rid: AcquireLockRequest(rid, group, object_id, blocking)
+        )
+
+    def release_lock(self, group: GroupId, object_id: str) -> RequestId:
+        """Release a held per-object lock."""
+        return self._request(
+            "unlock", lambda rid: ReleaseLockRequest(rid, group, object_id)
+        )
+
+    def reduce_log(self, group: GroupId) -> RequestId:
+        """Ask the service to reduce the group's state log now."""
+        return self._request("reduce", lambda rid: ReduceLogRequest(rid, group))
+
+    def ping(self) -> RequestId:
+        """Round-trip probe carrying the server clock back."""
+        return self._request("ping", lambda rid: PingRequest(rid))
+
+    def _request(self, kind: str, build: "Any") -> RequestId:
+        if self._conn is None:
+            raise NotConnectedError("not connected to a server")
+        request_id = next(self._request_ids)
+        self._pending[request_id] = kind
+        self.send(self._conn, build(request_id))
+        self.emit(StartTimer(f"req-{request_id}", self.config.request_timeout))
+        return request_id
+
+    # ------------------------------------------------------------------
+    # replies and unsolicited messages
+    # ------------------------------------------------------------------
+
+    def handle_message(self, conn: ConnId, message: Message) -> None:
+        if isinstance(message, HelloReply):
+            reconnecting = self.connected is False and bool(self.views)
+            self.connected = True
+            self.server_id = message.server_id
+            self._backoff = self.config.reconnect_backoff
+            self.emit(Notify("connected", message.server_id))
+            if reconnecting and self.config.auto_reconnect:
+                self._rejoin_groups()
+        elif isinstance(message, Ack):
+            self._on_ack(message)
+        elif isinstance(message, ErrorReply):
+            if message.request_id == 0:
+                # connection-level failure (authentication, protocol
+                # version): not tied to any request
+                self.emit(Notify(
+                    "error", error_from_code(message.code, message.detail)
+                ))
+                return
+            kind = self._pending.get(message.request_id, "")
+            self._pending_bcast.pop(message.request_id, None)
+            self._finish(
+                message.request_id, kind,
+                error=error_from_code(message.code, message.detail),
+            )
+        elif isinstance(message, JoinReply):
+            group = message.snapshot.group
+            if group in self._rejoining and group in self.views:
+                self._rejoining.discard(group)
+                view = self.views[group]
+                view.resync(message.snapshot)
+                view.members = message.members
+                self._finish(message.request_id, "rejoin", value=view)
+                self.emit(Notify("rejoined", view))
+            else:
+                view = GroupView(name=group)
+                view.apply_snapshot(message.snapshot)
+                view.members = message.members
+                role, notify = self._join_params.pop(
+                    message.request_id, (MemberRole.PRINCIPAL, False)
+                )
+                view.role = role
+                view.notify_membership = notify
+                self.views[view.name] = view
+                self._finish(message.request_id, "join", value=view)
+        elif isinstance(message, MembershipReply):
+            self._finish(message.request_id, "membership", value=message.members)
+        elif isinstance(message, GroupListReply):
+            self._finish(message.request_id, "list_groups", value=message.groups)
+        elif isinstance(message, LockGranted):
+            self._finish(message.request_id, "lock", value=message.object_id)
+        elif isinstance(message, PingReply):
+            self._finish(message.request_id, "ping", value=message.server_time)
+        elif isinstance(message, Delivery):
+            self._on_delivery(message)
+        elif isinstance(message, MembershipNotice):
+            view = self.views.get(message.group)
+            if view is not None:
+                view.members = message.members
+            self.emit(Notify("membership", message))
+        elif isinstance(message, GroupDeletedNotice):
+            self.views.pop(message.group, None)
+            self.emit(Notify("group_deleted", message.group))
+        elif isinstance(message, RebaseNotice):
+            # partition reconciliation replaced the group state: rebuild
+            # the replica from the reconciled snapshot
+            view = self.views.get(message.group)
+            if view is None:
+                view = GroupView(name=message.group)
+                self.views[message.group] = view
+            view.apply_snapshot(message.snapshot)
+            view.pending_exclusive.clear()
+            view.fifo = FifoChecker()
+            self.emit(Notify("rebased", view))
+        elif isinstance(message, ForkNotice):
+            view = self.views.pop(message.group, None)
+            if view is not None:
+                view.name = message.new_name
+                self.views[message.new_name] = view
+            self.emit(Notify("forked", (message.group, message.new_name)))
+        else:
+            raise ProtocolError(f"unexpected message {type(message).__name__}")
+
+    def _on_ack(self, message: Ack) -> None:
+        kind = self._pending.get(message.request_id, "")
+        pending = self._pending_bcast.pop(message.request_id, None)
+        if pending is not None:
+            group, mode, update_kind, object_id, data = pending
+            if mode is DeliveryMode.EXCLUSIVE:
+                view = self.views.get(group)
+                if view is not None:
+                    view.pending_exclusive.append((update_kind, object_id, data))
+        self._finish(message.request_id, kind, value=None)
+
+    def _on_delivery(self, message: Delivery) -> None:
+        view = self.views.get(message.group)
+        if view is not None:
+            view.apply_delivery(message.update, own_id=self.config.client_id)
+        self.emit(Notify("delivery", DeliveryEvent(message.group, message.update)))
+
+    # ------------------------------------------------------------------
+    # timeouts
+    # ------------------------------------------------------------------
+
+    def handle_timer(self, key: str) -> None:
+        if key == "reconnect":
+            if self._conn is None and self._address is not None:
+                # rotate through the primary + fallback servers: in a
+                # replicated deployment any live server can take over
+                candidates = [self._address, *self.config.fallback_addresses]
+                address = candidates[self._address_rotation % len(candidates)]
+                self._address_rotation += 1
+                self.emit(OpenConnection(address, key="server"))
+            return
+        if not key.startswith("req-"):
+            return
+        request_id = int(key[4:])
+        kind = self._pending.get(request_id)
+        if kind is None:
+            return
+        self._pending_bcast.pop(request_id, None)
+        self._finish(
+            request_id, kind,
+            error=RequestTimeoutError(
+                f"request {request_id} ({kind}) timed out after "
+                f"{self.config.request_timeout}s"
+            ),
+        )
+
+    def _finish(
+        self,
+        request_id: RequestId,
+        kind: str,
+        value: Any = None,
+        error: CoronaError | None = None,
+    ) -> None:
+        if self._pending.pop(request_id, None) is None:
+            return  # already completed (late reply after timeout)
+        self._join_params.pop(request_id, None)
+        self.emit(CancelTimer(f"req-{request_id}"))
+        self.emit(
+            Notify(
+                "reply",
+                ReplyEvent(request_id, kind, ok=error is None, value=value, error=error),
+            )
+        )

@@ -1,0 +1,57 @@
+"""Clock abstraction shared by the real runtime and the simulator.
+
+Protocol cores never call wall-clock APIs directly.  They receive a
+:class:`Clock` at construction time; the asyncio runtime injects
+:class:`MonotonicClock` and the simulator injects its virtual clock.  This is
+what makes every timeout and timestamp in the protocol deterministic under
+simulation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["Clock", "MonotonicClock", "ManualClock"]
+
+
+class Clock(Protocol):
+    """Source of the current time, in seconds."""
+
+    def now(self) -> float:
+        """Return the current time in seconds since an arbitrary epoch."""
+        ...
+
+
+class MonotonicClock:
+    """Real clock backed by :func:`time.monotonic`."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock:
+    """A clock advanced explicitly — the building block of virtual time.
+
+    Used directly in unit tests and wrapped by the simulation kernel.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta: float) -> None:
+        """Move time forward by *delta* seconds (never backwards)."""
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta!r}")
+        self._now += delta
+
+    def set(self, value: float) -> None:
+        """Jump the clock to an absolute time (never backwards)."""
+        if value < self._now:
+            raise ValueError(
+                f"cannot move clock backwards from {self._now!r} to {value!r}"
+            )
+        self._now = float(value)

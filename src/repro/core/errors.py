@@ -1,0 +1,222 @@
+"""Exception hierarchy for the Corona group communication service.
+
+Every error raised by the public API derives from :class:`CoronaError`, so
+applications can catch one base class.  Errors that travel over the wire are
+identified by a stable :attr:`CoronaError.code` string, which the protocol
+uses in ``ErrorReply`` messages and which :func:`error_from_code`
+reconstructs on the client side.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CoronaError",
+    "ProtocolError",
+    "CodecError",
+    "FrameTooLargeError",
+    "GroupError",
+    "GroupExistsError",
+    "NoSuchGroupError",
+    "NotAMemberError",
+    "AlreadyMemberError",
+    "NotAuthorizedError",
+    "LockError",
+    "LockHeldError",
+    "LockNotHeldError",
+    "StateError",
+    "NoSuchObjectError",
+    "StaleStateError",
+    "StorageError",
+    "CorruptLogError",
+    "ReplicationError",
+    "NotCoordinatorError",
+    "NoQuorumError",
+    "PartitionedError",
+    "ClientError",
+    "NotConnectedError",
+    "RequestTimeoutError",
+    "error_from_code",
+    "register_error",
+]
+
+
+class CoronaError(Exception):
+    """Base class for every error raised by this library."""
+
+    #: Stable identifier used in wire-level error replies.
+    code = "corona.error"
+
+
+class ProtocolError(CoronaError):
+    """A peer violated the wire protocol (bad message, bad sequence)."""
+
+    code = "corona.protocol"
+
+
+class CodecError(ProtocolError):
+    """A message could not be encoded or decoded."""
+
+    code = "corona.codec"
+
+
+class FrameTooLargeError(CodecError):
+    """An incoming frame exceeded the configured maximum size."""
+
+    code = "corona.frame_too_large"
+
+
+class GroupError(CoronaError):
+    """Base class for group-management failures."""
+
+    code = "corona.group"
+
+
+class GroupExistsError(GroupError):
+    """``createGroup`` named a group that already exists."""
+
+    code = "corona.group_exists"
+
+
+class NoSuchGroupError(GroupError):
+    """The named group does not exist at the service."""
+
+    code = "corona.no_such_group"
+
+
+class NotAMemberError(GroupError):
+    """The client attempted a member-only operation without membership."""
+
+    code = "corona.not_a_member"
+
+
+class AlreadyMemberError(GroupError):
+    """The client attempted to join a group it already belongs to."""
+
+    code = "corona.already_member"
+
+
+class NotAuthorizedError(GroupError):
+    """The workspace session manager denied the requested action."""
+
+    code = "corona.not_authorized"
+
+
+class LockError(CoronaError):
+    """Base class for synchronization-service failures."""
+
+    code = "corona.lock"
+
+
+class LockHeldError(LockError):
+    """A non-blocking acquire found the lock held by another member."""
+
+    code = "corona.lock_held"
+
+
+class LockNotHeldError(LockError):
+    """A release named a lock the caller does not hold."""
+
+    code = "corona.lock_not_held"
+
+
+class StateError(CoronaError):
+    """Base class for shared-state failures."""
+
+    code = "corona.state"
+
+
+class NoSuchObjectError(StateError):
+    """The named shared object does not exist in the group state."""
+
+    code = "corona.no_such_object"
+
+
+class StaleStateError(StateError):
+    """A requested log suffix has been reduced away (client must refetch)."""
+
+    code = "corona.stale_state"
+
+
+class StorageError(CoronaError):
+    """Base class for stable-storage failures."""
+
+    code = "corona.storage"
+
+
+class CorruptLogError(StorageError):
+    """A write-ahead-log record failed its integrity check during replay."""
+
+    code = "corona.corrupt_log"
+
+
+class ReplicationError(CoronaError):
+    """Base class for replicated-service failures."""
+
+    code = "corona.replication"
+
+
+class NotCoordinatorError(ReplicationError):
+    """A coordinator-only request reached a non-coordinator server."""
+
+    code = "corona.not_coordinator"
+
+
+class NoQuorumError(ReplicationError):
+    """A coordinator candidate could not gather half+1 acknowledgements."""
+
+    code = "corona.no_quorum"
+
+
+class PartitionedError(ReplicationError):
+    """The operation cannot complete because the service is partitioned."""
+
+    code = "corona.partitioned"
+
+
+class ClientError(CoronaError):
+    """Base class for client-side failures."""
+
+    code = "corona.client"
+
+
+class NotConnectedError(ClientError):
+    """The client attempted an operation while disconnected."""
+
+    code = "corona.not_connected"
+
+
+class RequestTimeoutError(ClientError):
+    """A request did not receive a reply within its deadline."""
+
+    code = "corona.request_timeout"
+
+
+_ERROR_REGISTRY: dict[str, type[CoronaError]] = {}
+
+
+def register_error(cls: type[CoronaError]) -> type[CoronaError]:
+    """Register *cls* so :func:`error_from_code` can reconstruct it."""
+    _ERROR_REGISTRY[cls.code] = cls
+    return cls
+
+
+def error_from_code(code: str, message: str = "") -> CoronaError:
+    """Rebuild the error class identified by *code* from a wire reply.
+
+    Unknown codes degrade gracefully to the :class:`CoronaError` base so a
+    newer server never crashes an older client.
+    """
+    cls = _ERROR_REGISTRY.get(code, CoronaError)
+    err = cls(message or code)
+    return err
+
+
+def _register_all() -> None:
+    stack: list[type[CoronaError]] = [CoronaError]
+    while stack:
+        cls = stack.pop()
+        register_error(cls)
+        stack.extend(cls.__subclasses__())
+
+
+_register_all()

@@ -1,0 +1,73 @@
+"""Identifier types and deterministic id generation.
+
+Corona identifies every entity by a short string.  Plain ``str`` aliases keep
+the wire codec and user code simple; the aliases exist so signatures document
+which kind of id they expect.
+
+The service itself never mints client ids — clients present their own on
+``Hello`` — but servers, groups and messages need fresh ids.  In simulation
+the generator must be deterministic, so :class:`IdGenerator` is seedable and
+purely counter-based rather than random.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = [
+    "GroupId",
+    "ObjectId",
+    "ClientId",
+    "ServerId",
+    "ConnId",
+    "RequestId",
+    "SeqNo",
+    "IdGenerator",
+    "NO_SEQNO",
+]
+
+#: Name of a communication group (unique at the service).
+GroupId = str
+
+#: Identifier of a shared object within a group's shared state.
+ObjectId = str
+
+#: Identifier a client presents when connecting.
+ClientId = str
+
+#: Identifier of a Corona server (replica or coordinator).
+ServerId = str
+
+#: Host-assigned identifier for one transport connection.
+ConnId = int
+
+#: Client-chosen correlation id for request/reply matching.
+RequestId = int
+
+#: Position of an update in a group's totally ordered state log.
+SeqNo = int
+
+#: Sentinel for "no sequence number assigned yet".
+NO_SEQNO: SeqNo = -1
+
+
+@dataclass
+class IdGenerator:
+    """Deterministic generator for entity ids.
+
+    Ids look like ``"<prefix>-<n>"``.  Two generators constructed with the
+    same prefix produce the same sequence, which keeps simulation runs
+    reproducible.
+    """
+
+    prefix: str = "id"
+    _counter: itertools.count = field(default_factory=itertools.count, repr=False)
+
+    def next_id(self) -> str:
+        """Return the next id in the sequence."""
+        return f"{self.prefix}-{next(self._counter)}"
+
+    def next_int(self) -> int:
+        """Return the next raw integer (used for connection ids)."""
+        return next(self._counter)

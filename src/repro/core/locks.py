@@ -1,0 +1,100 @@
+"""Per-object locks: Corona's update-synchronization service.
+
+"Corona also provides interfaces for synchronizing client updates through
+locks" (paper §3.2).  Locks are advisory, per shared object within a group,
+granted in FIFO order.  A member that leaves, or whose connection fails, is
+stripped of its locks and the next waiters are granted — the fail-stop
+analogue of lock leases.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.errors import LockNotHeldError
+from repro.core.ids import ClientId, ObjectId
+
+__all__ = ["LockGrant", "LockTable"]
+
+
+@dataclass(frozen=True)
+class LockGrant:
+    """A lock handed to a waiting client after a release."""
+
+    object_id: ObjectId
+    client: ClientId
+    request_id: int
+
+
+@dataclass
+class _Lock:
+    holder: ClientId | None = None
+    waiters: deque[tuple[ClientId, int]] = field(default_factory=deque)
+
+
+class LockTable:
+    """Lock state for one group."""
+
+    def __init__(self) -> None:
+        self._locks: dict[ObjectId, _Lock] = {}
+
+    def acquire(self, object_id: ObjectId, client: ClientId, request_id: int,
+                blocking: bool) -> bool | None:
+        """Try to acquire.
+
+        Returns ``True`` when granted immediately, ``False`` when denied
+        (non-blocking), and ``None`` when queued (blocking; a later
+        release yields a :class:`LockGrant`).  Re-acquiring a held lock is
+        granted immediately (locks are reentrant per client, not counted).
+        """
+        lock = self._locks.setdefault(object_id, _Lock())
+        if lock.holder is None or lock.holder == client:
+            lock.holder = client
+            return True
+        if not blocking:
+            return False
+        lock.waiters.append((client, request_id))
+        return None
+
+    def release(self, object_id: ObjectId, client: ClientId) -> LockGrant | None:
+        """Release a held lock; returns the grant for the next waiter."""
+        lock = self._locks.get(object_id)
+        if lock is None or lock.holder != client:
+            raise LockNotHeldError(
+                f"{client!r} does not hold the lock on {object_id!r}"
+            )
+        return self._pass_on(object_id, lock)
+
+    def release_all(self, client: ClientId) -> list[LockGrant]:
+        """Strip *client* of every lock and queue slot (leave/failure)."""
+        grants: list[LockGrant] = []
+        for object_id, lock in self._locks.items():
+            if lock.waiters:
+                lock.waiters = deque(
+                    (c, r) for c, r in lock.waiters if c != client
+                )
+            if lock.holder == client:
+                grant = self._pass_on(object_id, lock)
+                if grant is not None:
+                    grants.append(grant)
+        return grants
+
+    def holder(self, object_id: ObjectId) -> ClientId | None:
+        """Current holder of the lock on *object_id* (None if free)."""
+        lock = self._locks.get(object_id)
+        return lock.holder if lock else None
+
+    def waiting(self, object_id: ObjectId) -> int:
+        """Number of queued waiters on *object_id*."""
+        lock = self._locks.get(object_id)
+        return len(lock.waiters) if lock else 0
+
+    @staticmethod
+    def _pass_on(object_id: ObjectId, lock: _Lock) -> LockGrant | None:
+        if lock.waiters:
+            client, request_id = lock.waiters.popleft()
+            lock.holder = client
+            return LockGrant(object_id, client, request_id)
+        lock.holder = None
+        return None

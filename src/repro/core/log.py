@@ -1,0 +1,114 @@
+"""The in-memory state log: a group's totally ordered update history.
+
+All multicast messages are logged "both in memory and on stable storage"
+(paper §3.2); this is the in-memory half, which serves incremental state
+transfers (``LATEST_N``, ``SINCE_SEQNO``) without touching the disk.  Log
+reduction trims a prefix; requests for trimmed history raise
+:class:`~repro.core.errors.StaleStateError` so the server can fall back to
+a full state transfer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.errors import StaleStateError
+from repro.core.ids import SeqNo
+from repro.wire.messages import UpdateRecord
+
+__all__ = ["StateLog"]
+
+
+class StateLog:
+    """Ordered, contiguous sequence of update records for one group."""
+
+    def __init__(self) -> None:
+        self._records: deque[UpdateRecord] = deque()
+        self._first_seqno: SeqNo = 0  # seqno the next record must have when empty
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def first_seqno(self) -> SeqNo:
+        """Seqno of the oldest retained record (== next seqno when empty)."""
+        return self._first_seqno
+
+    @property
+    def next_seqno(self) -> SeqNo:
+        """The seqno the next appended record must carry."""
+        if self._records:
+            return self._records[-1].seqno + 1
+        return self._first_seqno
+
+    @property
+    def last_seqno(self) -> SeqNo:
+        """Seqno of the newest record (-1 before the first append)."""
+        return self.next_seqno - 1
+
+    def size_bytes(self) -> int:
+        """Approximate memory held by retained record payloads."""
+        return self._bytes
+
+    def append(self, record: UpdateRecord) -> None:
+        """Append the next record; seqnos must be contiguous."""
+        expected = self.next_seqno
+        if record.seqno != expected:
+            raise ValueError(
+                f"log expected seqno {expected}, got {record.seqno}"
+            )
+        self._records.append(record)
+        self._bytes += len(record.data)
+
+    def since(self, seqno: SeqNo) -> tuple[UpdateRecord, ...]:
+        """Records with seqno > *seqno* (the reconnection suffix).
+
+        Raises :class:`StaleStateError` if reduction already discarded part
+        of that suffix.
+        """
+        if seqno + 1 < self._first_seqno:
+            raise StaleStateError(
+                f"records after {seqno} requested but log starts at "
+                f"{self._first_seqno}"
+            )
+        return tuple(r for r in self._records if r.seqno > seqno)
+
+    def latest(self, n: int) -> tuple[UpdateRecord, ...]:
+        """The most recent *n* retained records (fewer if the log is short)."""
+        if n <= 0:
+            return ()
+        start = max(0, len(self._records) - n)
+        return tuple(list(self._records)[start:])
+
+    def trim_to(self, seqno: SeqNo) -> int:
+        """Discard records with seqno <= *seqno*; return how many dropped.
+
+        This is the log half of state-log reduction; the caller is
+        responsible for folding the shared state to the same point first.
+        """
+        dropped = 0
+        while self._records and self._records[0].seqno <= seqno:
+            record = self._records.popleft()
+            self._bytes -= len(record.data)
+            dropped += 1
+        self._first_seqno = max(self._first_seqno, seqno + 1)
+        return dropped
+
+    def truncate_after(self, seqno: SeqNo) -> int:
+        """Discard records with seqno > *seqno* (partition rollback).
+
+        Returns how many records were dropped.  The inverse of
+        :meth:`trim_to`; used only by reconciliation, never on the
+        multicast fast path.
+        """
+        dropped = 0
+        while self._records and self._records[-1].seqno > seqno:
+            record = self._records.pop()
+            self._bytes -= len(record.data)
+            dropped += 1
+        return dropped
+
+    def records(self) -> tuple[UpdateRecord, ...]:
+        """Every retained record, oldest first."""
+        return tuple(self._records)

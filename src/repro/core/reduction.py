@@ -1,0 +1,79 @@
+"""State-log reduction policies (paper §3.2).
+
+"At the request of the communication service (several policies may be
+implemented based on factors such as the state log size and the type of the
+data) or, under certain circumstances, when desired by a client, the
+history of state updates for a group may be trimmed up to a point and
+replaced with the consistent group state existing at that point."
+
+A policy decides *when* to reduce; the reduction itself — fold increments
+into object bases, trim the log, checkpoint the folded state — is performed
+by the server core, which consults its policy after every append.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.log import StateLog
+from repro.core.state import SharedState
+
+__all__ = [
+    "ReductionPolicy",
+    "NeverReduce",
+    "ReduceByCount",
+    "ReduceByBytes",
+    "CompositeReduce",
+]
+
+
+class ReductionPolicy(Protocol):
+    """Decides whether a group's log should be reduced now."""
+
+    def should_reduce(self, log: StateLog, state: SharedState) -> bool:
+        """Return True to trigger a reduction at the current log tip."""
+        ...
+
+
+@dataclass(frozen=True)
+class NeverReduce:
+    """Keep the full history (reduction only on explicit client request)."""
+
+    def should_reduce(self, log: StateLog, state: SharedState) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class ReduceByCount:
+    """Reduce when more than *max_records* updates are retained."""
+
+    max_records: int = 1000
+
+    def should_reduce(self, log: StateLog, state: SharedState) -> bool:
+        return len(log) > self.max_records
+
+
+@dataclass(frozen=True)
+class ReduceByBytes:
+    """Reduce when retained update payloads exceed *max_bytes*.
+
+    This is the resource-exhaustion guard the paper's §6 worries about:
+    "maintaining the state for numerous groups simultaneously may cause a
+    server to exceed its available resources".
+    """
+
+    max_bytes: int = 4 * 1024 * 1024
+
+    def should_reduce(self, log: StateLog, state: SharedState) -> bool:
+        return log.size_bytes() > self.max_bytes
+
+
+@dataclass(frozen=True)
+class CompositeReduce:
+    """Reduce when any of the component policies says so."""
+
+    policies: tuple[ReductionPolicy, ...]
+
+    def should_reduce(self, log: StateLog, state: SharedState) -> bool:
+        return any(p.should_reduce(log, state) for p in self.policies)

@@ -1,0 +1,556 @@
+"""The single-server Corona core: the stateful logical server of §3.
+
+One :class:`ServerCore` implements the full service suite the paper
+describes — group membership, group multicast with sender-inclusive and
+sender-exclusive delivery, member-independent state transfer, per-object
+locks, and state-log reduction — as a deterministic sans-io state machine.
+
+The server is *stateful*: it keeps an up-to-date copy of every group's
+shared state, in memory (``Group.state`` / ``Group.log``) and, when
+persistence is enabled, on stable storage via ``AppendWal`` and
+``WriteCheckpoint`` effects that the host executes **off the critical
+path**.  Setting ``stateful=False`` turns it into the pure sequencer the
+paper compares against in Figure 3.
+
+The same core also powers the replicated service: replica servers embed it
+for local bookkeeping while deferring sequencing to the coordinator (see
+:mod:`repro.replication`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.auth import Authenticator
+from repro.core.clock import Clock
+from repro.core.errors import (
+    AlreadyMemberError,
+    CoronaError,
+    GroupExistsError,
+    LockHeldError,
+    NoSuchGroupError,
+    NotAMemberError,
+    NotAuthorizedError,
+    ProtocolError,
+)
+from repro.core.events import (
+    AppendWal,
+    CloseConnection,
+    CreateGroupStorage,
+    ProtocolCore,
+    PurgeGroupStorage,
+    SendMulticast,
+    WriteCheckpoint,
+)
+from repro.core.group import Group
+from repro.core.ids import ClientId, ConnId, GroupId
+from repro.core.locks import LockGrant
+from repro.core.reduction import NeverReduce, ReductionPolicy
+from repro.core.session import AllowAll, GroupAction, SessionManager
+from repro.core.transfer import build_snapshot
+from repro.storage.store import RecoveredGroup
+from repro.wire import codec
+from repro.wire.messages import (
+    Ack,
+    AcquireLockRequest,
+    BcastStateRequest,
+    BcastUpdateRequest,
+    CreateGroupRequest,
+    DeleteGroupRequest,
+    Delivery,
+    DeliveryMode,
+    ErrorReply,
+    GetMembershipRequest,
+    GroupDeletedNotice,
+    GroupInfo,
+    GroupListReply,
+    GroupMeta,
+    Hello,
+    HelloReply,
+    JoinGroupRequest,
+    JoinReply,
+    LeaveGroupRequest,
+    ListGroupsRequest,
+    LockGranted,
+    MemberInfo,
+    MemberRole,
+    MembershipNotice,
+    MembershipReply,
+    Message,
+    PingReply,
+    PingRequest,
+    PROTOCOL_VERSION,
+    ReduceLogRequest,
+    ReleaseLockRequest,
+    StateSnapshot,
+    UpdateKind,
+    UpdateRecord,
+)
+
+__all__ = ["ServerConfig", "ServerCore", "state_from_snapshot"]
+
+
+@dataclass
+class ServerConfig:
+    """Behavioural knobs of one Corona server."""
+
+    server_id: str = "corona-1"
+    #: Maintain shared state and the update log.  ``False`` gives the
+    #: stateless sequencer-only comparator of Figure 3.
+    stateful: bool = True
+    #: Write WAL records / checkpoints (requires ``stateful``).
+    persist: bool = True
+    #: When the service itself triggers state-log reduction.
+    reduction: ReductionPolicy = field(default_factory=NeverReduce)
+    #: External authority over group-management actions.
+    session_manager: SessionManager = field(default_factory=AllowAll)
+    #: Fan deliveries out as one multicast per network segment instead of
+    #: point-to-point copies (paper §5.3's IP-multicast mode).  Hosts
+    #: without multicast support fall back to a unicast loop.
+    use_multicast: bool = False
+    #: Admission control for the Hello handshake (paper §5.3 future work).
+    authenticator: "Authenticator" = field(default_factory=lambda: _allow_any())
+
+
+class ServerCore(ProtocolCore):
+    """Sans-io protocol core of one Corona server."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        clock: Clock,
+        recovered: dict[str, RecoveredGroup] | None = None,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.clock = clock
+        self.groups: dict[GroupId, Group] = {}
+        self._conn_client: dict[ConnId, ClientId] = {}
+        self._client_conn: dict[ClientId, ConnId] = {}
+        self._client_groups: dict[ClientId, set[GroupId]] = {}
+        #: Observers (the replication layer) notified of each sequenced
+        #: record after local processing: ``fn(group, record, mode, sender_conn)``.
+        self.on_local_sequence: Callable[[Group, UpdateRecord, DeliveryMode, ConnId], None] | None = None
+        self._dispatch: dict[type, Callable[[ConnId, Any], None]] = {
+            Hello: self._on_hello,
+            CreateGroupRequest: self._on_create,
+            DeleteGroupRequest: self._on_delete,
+            JoinGroupRequest: self._on_join,
+            LeaveGroupRequest: self._on_leave,
+            GetMembershipRequest: self._on_get_membership,
+            ListGroupsRequest: self._on_list_groups,
+            BcastStateRequest: self._on_bcast_state,
+            BcastUpdateRequest: self._on_bcast_update,
+            AcquireLockRequest: self._on_acquire_lock,
+            ReleaseLockRequest: self._on_release_lock,
+            ReduceLogRequest: self._on_reduce_log,
+            PingRequest: self._on_ping,
+        }
+        if recovered:
+            self._recover(recovered)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self, recovered: dict[str, RecoveredGroup]) -> None:
+        """Rebuild persistent groups from checkpoints + WAL suffixes."""
+        for name, data in recovered.items():
+            meta = codec.decode(data.meta)
+            if not isinstance(meta, GroupMeta):
+                raise ProtocolError(f"group {name!r} has corrupt metadata")
+            group = Group(
+                name=meta.name,
+                persistent=meta.persistent,
+                initial_state=meta.initial_state,
+                created_at=meta.created_at,
+            )
+            if data.snapshot is not None:
+                snapshot = codec.decode(data.snapshot)
+                if not isinstance(snapshot, StateSnapshot):
+                    raise ProtocolError(f"group {name!r} has corrupt checkpoint")
+                group.state = state_from_snapshot(snapshot)
+                group.log.trim_to(snapshot.base_seqno)
+                group.sequencer.fast_forward(snapshot.base_seqno)
+            for _seqno, payload in data.records:
+                record = codec.decode(payload)
+                if not isinstance(record, UpdateRecord):
+                    raise ProtocolError(f"group {name!r} has a corrupt WAL record")
+                group.log.append(record)
+                group.state.apply(record)
+                group.sequencer.fast_forward(record.seqno)
+            self.groups[name] = group
+
+    # ------------------------------------------------------------------
+    # host entry points
+    # ------------------------------------------------------------------
+
+    def handle_message(self, conn: ConnId, message: Message) -> None:
+        handler = self._dispatch.get(type(message))
+        if handler is None:
+            self._reply_error(
+                conn, getattr(message, "request_id", 0),
+                ProtocolError(f"unexpected message {type(message).__name__}"),
+            )
+            return
+        try:
+            handler(conn, message)
+        except CoronaError as err:
+            self._reply_error(conn, getattr(message, "request_id", 0), err)
+
+    def handle_closed(self, conn: ConnId) -> None:
+        """Client failure or disconnect: unobtrusive removal everywhere."""
+        client = self._conn_client.pop(conn, None)
+        if client is None:
+            return
+        if self._client_conn.get(client) == conn:
+            del self._client_conn[client]
+        for group_name in sorted(self._client_groups.pop(client, set())):
+            group = self.groups.get(group_name)
+            if group is not None and group.is_member(client):
+                self._remove_member(group, client)
+
+    # ------------------------------------------------------------------
+    # handshake
+    # ------------------------------------------------------------------
+
+    def _on_hello(self, conn: ConnId, msg: Hello) -> None:
+        if msg.protocol_version != PROTOCOL_VERSION:
+            self._reply_error(conn, 0, ProtocolError(
+                f"protocol version {msg.protocol_version} not supported "
+                f"(server speaks {PROTOCOL_VERSION})"
+            ))
+            self.emit(CloseConnection(conn))
+            return
+        if not self.config.authenticator.authenticate(msg.client_id, msg.token):
+            self._reply_error(conn, 0, NotAuthorizedError(
+                f"authentication failed for {msg.client_id!r}"
+            ))
+            self.emit(CloseConnection(conn))
+            return
+        stale = self._client_conn.get(msg.client_id)
+        if stale is not None and stale != conn:
+            # Reconnection: the old connection is dead weight; drop it.
+            self._conn_client.pop(stale, None)
+            self.emit(CloseConnection(stale))
+        self._conn_client[conn] = msg.client_id
+        self._client_conn[msg.client_id] = conn
+        self._client_groups.setdefault(msg.client_id, set())
+        self.send(conn, HelloReply(server_id=self.config.server_id))
+
+    def _client_of(self, conn: ConnId) -> ClientId:
+        client = self._conn_client.get(conn)
+        if client is None:
+            raise ProtocolError("request before Hello handshake")
+        return client
+
+    def _group_named(self, name: GroupId) -> Group:
+        group = self.groups.get(name)
+        if group is None:
+            raise NoSuchGroupError(f"no group named {name!r}")
+        return group
+
+    # ------------------------------------------------------------------
+    # group management
+    # ------------------------------------------------------------------
+
+    def _on_create(self, conn: ConnId, msg: CreateGroupRequest) -> None:
+        client = self._client_of(conn)
+        self._authorize(client, GroupAction.CREATE, msg.group)
+        if msg.group in self.groups:
+            raise GroupExistsError(f"group {msg.group!r} already exists")
+        group = Group(
+            name=msg.group,
+            persistent=msg.persistent,
+            initial_state=msg.initial_state,
+            created_at=self.clock.now(),
+        )
+        self.groups[msg.group] = group
+        if self._persists:
+            meta = GroupMeta(
+                name=msg.group,
+                persistent=msg.persistent,
+                initial_state=msg.initial_state,
+                created_at=group.created_at,
+            )
+            self.emit(CreateGroupStorage(msg.group, codec.encode(meta)))
+        self.send(conn, Ack(msg.request_id))
+
+    def _on_delete(self, conn: ConnId, msg: DeleteGroupRequest) -> None:
+        client = self._client_of(conn)
+        self._authorize(client, GroupAction.DELETE, msg.group)
+        group = self._group_named(msg.group)
+        notice = GroupDeletedNotice(msg.group)
+        for member in group.members():
+            self._client_groups.get(member.client_id, set()).discard(msg.group)
+            if member.client_id != client:
+                self.send(member.conn, notice)
+        self._drop_group(group)
+        self.send(conn, Ack(msg.request_id))
+
+    def _drop_group(self, group: Group) -> None:
+        del self.groups[group.name]
+        if self._persists:
+            self.emit(PurgeGroupStorage(group.name))
+
+    def _on_join(self, conn: ConnId, msg: JoinGroupRequest) -> None:
+        client = self._client_of(conn)
+        self._authorize(client, GroupAction.JOIN, msg.group)
+        group = self._group_named(msg.group)
+        if group.is_member(client):
+            raise AlreadyMemberError(f"{client!r} already joined {msg.group!r}")
+        if self.config.stateful:
+            snapshot = build_snapshot(group, msg.transfer)
+        else:
+            # A stateless sequencer has no state to transfer.
+            snapshot = StateSnapshot(
+                group=group.name,
+                base_seqno=group.log.last_seqno,
+                objects=(),
+                updates=(),
+                next_seqno=group.log.next_seqno,
+            )
+        member = group.add_member(
+            client, conn, msg.role, wants_membership_notices=msg.notify_membership
+        )
+        self._client_groups.setdefault(client, set()).add(msg.group)
+        self.send(
+            conn,
+            JoinReply(msg.request_id, snapshot, self._membership_for_reply(group)),
+        )
+        self._notify_membership(group, joined=(member.info(),), left=())
+
+    def _on_leave(self, conn: ConnId, msg: "LeaveGroupRequest") -> None:
+        client = self._client_of(conn)
+        group = self._group_named(msg.group)
+        if not group.is_member(client):
+            raise NotAMemberError(f"{client!r} is not in {msg.group!r}")
+        self._client_groups.get(client, set()).discard(msg.group)
+        self._remove_member(group, client)
+        self.send(conn, Ack(msg.request_id))
+
+    #: Replicated servers override this: the transient-death decision is
+    #: global (the coordinator's), not local.
+    drops_empty_transient_groups = True
+
+    def _remove_member(self, group: Group, client: ClientId) -> None:
+        member = group.remove_member(client)
+        for grant in group.locks.release_all(client):
+            self._send_grant(group, grant)
+        self._notify_membership(group, joined=(), left=(member.info(),))
+        if group.empty and group.dies_when_empty and self.drops_empty_transient_groups:
+            # Transient group: ceases to exist, shared state is lost.
+            self._drop_group(group)
+
+    def _notify_membership(
+        self,
+        group: Group,
+        joined: tuple[MemberInfo, ...],
+        left: tuple[MemberInfo, ...],
+    ) -> None:
+        subscribers = group.notice_subscribers()
+        if not subscribers:
+            return
+        notice = MembershipNotice(
+            group=group.name,
+            joined=joined,
+            left=left,
+            members=group.member_infos(),
+        )
+        changed = {m.client_id for m in joined} | {m.client_id for m in left}
+        for member in subscribers:
+            if member.client_id not in changed:
+                self.send(member.conn, notice)
+
+    def _membership_for_reply(self, group: Group) -> tuple[MemberInfo, ...]:
+        """Membership reported to clients; replicas override with the
+        coordinator-maintained group-wide view."""
+        return group.member_infos()
+
+    def _on_get_membership(self, conn: ConnId, msg: GetMembershipRequest) -> None:
+        self._client_of(conn)
+        group = self._group_named(msg.group)
+        self.send(
+            conn,
+            MembershipReply(msg.request_id, msg.group, self._membership_for_reply(group)),
+        )
+
+    def _on_list_groups(self, conn: ConnId, msg: ListGroupsRequest) -> None:
+        self._client_of(conn)
+        infos = tuple(
+            GroupInfo(g.name, g.persistent, len(g), g.log.next_seqno)
+            for g in self.groups.values()
+        )
+        self.send(conn, GroupListReply(msg.request_id, infos))
+
+    # ------------------------------------------------------------------
+    # multicast
+    # ------------------------------------------------------------------
+
+    def _on_bcast_state(self, conn: ConnId, msg: BcastStateRequest) -> None:
+        self._bcast(conn, msg, UpdateKind.STATE)
+
+    def _on_bcast_update(self, conn: ConnId, msg: BcastUpdateRequest) -> None:
+        self._bcast(conn, msg, UpdateKind.UPDATE)
+
+    def _bcast(
+        self,
+        conn: ConnId,
+        msg: BcastStateRequest | BcastUpdateRequest,
+        kind: UpdateKind,
+    ) -> None:
+        client = self._client_of(conn)
+        self._authorize(client, GroupAction.BROADCAST, msg.group)
+        group = self._group_named(msg.group)
+        member = group.member(client)
+        if member.role is MemberRole.OBSERVER:
+            raise NotAuthorizedError(f"observer {client!r} cannot broadcast")
+        record = UpdateRecord(
+            seqno=group.sequencer.allocate(),
+            kind=kind,
+            object_id=msg.object_id,
+            data=msg.data,
+            sender=client,
+            timestamp=self.clock.now(),
+        )
+        self.apply_and_deliver(group, record, msg.mode, exclude_conn=None)
+        self.send(conn, Ack(msg.request_id))
+        if self.on_local_sequence is not None:
+            self.on_local_sequence(group, record, msg.mode, conn)
+
+    def apply_and_deliver(
+        self,
+        group: Group,
+        record: UpdateRecord,
+        mode: DeliveryMode,
+        exclude_conn: ConnId | None,
+    ) -> None:
+        """Apply a sequenced record and fan it out to local members.
+
+        Shared by the local fast path and the replicated slow path (where
+        the record arrives already sequenced by the coordinator).
+        """
+        # keep the sequencer ahead of everything applied — a replica that
+        # is later promoted to coordinator must not reuse sequence numbers
+        group.sequencer.fast_forward(record.seqno)
+        if self.config.stateful:
+            group.log.append(record)
+            group.state.apply(record)
+            if self.config.persist:
+                self.emit(AppendWal(group.name, record.seqno, codec.encode(record)))
+        delivery = Delivery(group.name, record)
+        targets = [
+            m.conn
+            for m in group.members()
+            if not (mode is DeliveryMode.EXCLUSIVE and m.client_id == record.sender)
+            and m.conn != exclude_conn
+        ]
+        if self.config.use_multicast and len(targets) > 1:
+            self.emit(SendMulticast(tuple(targets), delivery))
+        else:
+            for conn in targets:
+                self.send(conn, delivery)
+        if self.config.stateful and self.config.reduction.should_reduce(
+            group.log, group.state
+        ):
+            self.reduce_group(group)
+
+    # ------------------------------------------------------------------
+    # locks
+    # ------------------------------------------------------------------
+
+    def _on_acquire_lock(self, conn: ConnId, msg: AcquireLockRequest) -> None:
+        client = self._client_of(conn)
+        group = self._group_named(msg.group)
+        group.member(client)  # must be a member
+        outcome = group.locks.acquire(msg.object_id, client, msg.request_id, msg.blocking)
+        if outcome is True:
+            self.send(conn, LockGranted(msg.request_id, msg.group, msg.object_id))
+        elif outcome is False:
+            holder = group.locks.holder(msg.object_id)
+            self._reply_error(
+                conn, msg.request_id,
+                LockHeldError(f"lock on {msg.object_id!r} held by {holder!r}"),
+            )
+        # outcome None: queued; LockGranted follows a future release.
+
+    def _on_release_lock(self, conn: ConnId, msg: ReleaseLockRequest) -> None:
+        client = self._client_of(conn)
+        group = self._group_named(msg.group)
+        grant = group.locks.release(msg.object_id, client)
+        self.send(conn, Ack(msg.request_id))
+        if grant is not None:
+            self._send_grant(group, grant)
+
+    def _send_grant(self, group: Group, grant: LockGrant) -> None:
+        conn = self._client_conn.get(grant.client)
+        if conn is not None:
+            self.send(conn, LockGranted(grant.request_id, group.name, grant.object_id))
+
+    # ------------------------------------------------------------------
+    # log reduction
+    # ------------------------------------------------------------------
+
+    def _on_reduce_log(self, conn: ConnId, msg: ReduceLogRequest) -> None:
+        client = self._client_of(conn)
+        self._authorize(client, GroupAction.REDUCE, msg.group)
+        group = self._group_named(msg.group)
+        self.reduce_group(group)
+        self.send(conn, Ack(msg.request_id))
+
+    def reduce_group(self, group: Group, upto: int | None = None) -> None:
+        """Trim the update history and replace it with the folded state."""
+        tip = group.log.last_seqno if upto is None else min(upto, group.log.last_seqno)
+        if tip < 0 or tip < group.log.first_seqno or not self.config.stateful:
+            return
+        group.state.fold(tip)
+        group.log.trim_to(tip)
+        if self.config.persist:
+            snapshot = StateSnapshot(
+                group=group.name,
+                base_seqno=tip,
+                objects=group.state.materialize_all(),
+                updates=(),
+                next_seqno=tip + 1,
+            )
+            self.emit(WriteCheckpoint(group.name, tip, codec.encode(snapshot)))
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+
+    def _on_ping(self, conn: ConnId, msg: PingRequest) -> None:
+        self._client_of(conn)
+        self.send(conn, PingReply(msg.request_id, self.clock.now()))
+
+    def _authorize(self, client: ClientId, action: GroupAction, group: GroupId) -> None:
+        if not self.config.session_manager.authorize(client, action, group):
+            raise NotAuthorizedError(
+                f"{client!r} may not {action.value} {group!r}"
+            )
+
+    def _reply_error(self, conn: ConnId, request_id: int, err: CoronaError) -> None:
+        self.send(conn, ErrorReply(request_id, err.code, str(err)))
+
+    @property
+    def _persists(self) -> bool:
+        return self.config.stateful and self.config.persist
+
+
+def _allow_any() -> Authenticator:
+    from repro.core.auth import AllowAnyClient
+
+    return AllowAnyClient()
+
+
+def state_from_snapshot(snapshot: StateSnapshot) -> "SharedState":
+    """Rebuild a SharedState from a folded checkpoint snapshot."""
+    from repro.core.state import SharedState
+
+    state = SharedState(snapshot.objects)
+    for obj_id in state.object_ids():
+        state.get(obj_id).base_seqno = snapshot.base_seqno
+    for record in snapshot.updates:
+        state.apply(record)
+    return state

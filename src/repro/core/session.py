@@ -1,0 +1,67 @@
+"""Workspace session management: who may do what to which group.
+
+"The Corona server works in conjunction with an external workspace session
+manager that determines which client is allowed to execute these actions"
+(paper §3.2).  The server core consults a :class:`SessionManager` before
+every group-management action; the library ships a permissive default and
+an access-control-list implementation, and applications can supply their
+own.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.ids import ClientId, GroupId
+
+__all__ = ["GroupAction", "SessionManager", "AllowAll", "AclSessionManager"]
+
+
+class GroupAction(enum.Enum):
+    """Actions gated by the session manager."""
+
+    CREATE = "create"
+    DELETE = "delete"
+    JOIN = "join"
+    BROADCAST = "broadcast"
+    REDUCE = "reduce"
+
+
+class SessionManager(Protocol):
+    """External authority over group-management actions."""
+
+    def authorize(self, client: ClientId, action: GroupAction, group: GroupId) -> bool:
+        """Return True when *client* may perform *action* on *group*."""
+        ...
+
+
+class AllowAll:
+    """Permissive default: every client may do everything."""
+
+    def authorize(self, client: ClientId, action: GroupAction, group: GroupId) -> bool:
+        return True
+
+
+@dataclass
+class AclSessionManager:
+    """Access-control lists per (group, action).
+
+    Unlisted (group, action) pairs fall back to ``default_allow``.  An
+    entry maps to the set of permitted client ids; the wildcard ``"*"``
+    permits everyone.
+    """
+
+    default_allow: bool = True
+    _acl: dict[tuple[GroupId, GroupAction], set[ClientId]] = field(default_factory=dict)
+
+    def restrict(self, group: GroupId, action: GroupAction, clients: set[ClientId]) -> None:
+        """Limit *action* on *group* to *clients* (replaces prior entry)."""
+        self._acl[(group, action)] = set(clients)
+
+    def authorize(self, client: ClientId, action: GroupAction, group: GroupId) -> bool:
+        allowed = self._acl.get((group, action))
+        if allowed is None:
+            return self.default_allow
+        return "*" in allowed or client in allowed

@@ -1,0 +1,152 @@
+"""The shared-state model: a set of opaque shared objects.
+
+The shared state of a group is ``S = {(O_1, S_1), ..., (O_n, S_n)}`` where
+``O_i`` is a unique object identifier and ``S_i`` a *byte-stream encoding*
+of the object (paper §3.1).  The service never interprets those bytes —
+"the interpretation of the semantics of shared data is the responsibility
+of collaborating processes".
+
+Two multicast primitives modify an object (paper §3.2):
+
+* ``bcastState`` carries a whole new state that **overrides** the present
+  state of the object;
+* ``bcastUpdate`` carries an incremental change that is **appended to the
+  existing state, thus preserving the history of updates**.
+
+Appending is literal byte-stream concatenation, which is what makes
+state-log reduction type-independent: folding increments into the base
+yields a state "equivalent with the initial state plus the history of
+state updates" without the service understanding either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import NoSuchObjectError
+from repro.core.ids import ObjectId, SeqNo
+from repro.wire.messages import ObjectState, UpdateKind, UpdateRecord
+
+__all__ = ["SharedObject", "SharedState"]
+
+
+@dataclass
+class SharedObject:
+    """Server-side representation of one shared object.
+
+    The object's current state is ``base`` followed by the pending
+    ``increments`` (updates not yet folded by log reduction), in seqno
+    order.
+    """
+
+    object_id: ObjectId
+    base: bytes = b""
+    #: Seqno of the ``bcastState`` (or fold) that produced ``base``;
+    #: -1 when the base comes from the group's initial state.
+    base_seqno: SeqNo = -1
+    increments: list[tuple[SeqNo, bytes]] = field(default_factory=list)
+
+    def apply(self, record: UpdateRecord) -> None:
+        """Apply one sequenced update to this object."""
+        if record.object_id != self.object_id:
+            raise ValueError(
+                f"record for {record.object_id!r} applied to {self.object_id!r}"
+            )
+        if record.kind is UpdateKind.STATE:
+            self.base = record.data
+            self.base_seqno = record.seqno
+            self.increments.clear()
+        else:
+            self.increments.append((record.seqno, record.data))
+
+    def fold(self, upto_seqno: SeqNo) -> None:
+        """Concatenate increments with seqno <= *upto_seqno* into the base."""
+        if not self.increments:
+            return
+        keep_from = 0
+        folded = [self.base]
+        for i, (seqno, data) in enumerate(self.increments):
+            if seqno > upto_seqno:
+                break
+            folded.append(data)
+            keep_from = i + 1
+        if keep_from:
+            self.base = b"".join(folded)
+            self.base_seqno = self.increments[keep_from - 1][0]
+            del self.increments[:keep_from]
+
+    def materialized(self) -> bytes:
+        """The object's full current state as one byte stream."""
+        if not self.increments:
+            return self.base
+        return self.base + b"".join(data for _seqno, data in self.increments)
+
+    @property
+    def last_seqno(self) -> SeqNo:
+        """Seqno of the newest update reflected in this object."""
+        if self.increments:
+            return self.increments[-1][0]
+        return self.base_seqno
+
+    def size_bytes(self) -> int:
+        """Approximate memory held by this object's state."""
+        return len(self.base) + sum(len(d) for _s, d in self.increments)
+
+
+class SharedState:
+    """The full shared state of one group: object id -> shared object."""
+
+    def __init__(self, initial: tuple[ObjectState, ...] = ()) -> None:
+        self._objects: dict[ObjectId, SharedObject] = {}
+        for obj in initial:
+            self._objects[obj.object_id] = SharedObject(
+                object_id=obj.object_id, base=obj.data
+            )
+
+    def __contains__(self, object_id: ObjectId) -> bool:
+        return object_id in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def object_ids(self) -> list[ObjectId]:
+        """All object ids, in insertion order."""
+        return list(self._objects)
+
+    def get(self, object_id: ObjectId) -> SharedObject:
+        """Return the object or raise :class:`NoSuchObjectError`."""
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise NoSuchObjectError(f"no shared object {object_id!r}") from None
+
+    def apply(self, record: UpdateRecord) -> SharedObject:
+        """Apply a sequenced update, creating the object on first touch."""
+        obj = self._objects.get(record.object_id)
+        if obj is None:
+            obj = SharedObject(object_id=record.object_id)
+            self._objects[record.object_id] = obj
+        obj.apply(record)
+        return obj
+
+    def fold(self, upto_seqno: SeqNo) -> None:
+        """Fold every object's increments up to *upto_seqno* (reduction)."""
+        for obj in self._objects.values():
+            obj.fold(upto_seqno)
+
+    def materialize_all(self) -> tuple[ObjectState, ...]:
+        """Current state of every object as transferable byte streams."""
+        return tuple(
+            ObjectState(obj.object_id, obj.materialized())
+            for obj in self._objects.values()
+        )
+
+    def materialize_selected(self, object_ids: tuple[ObjectId, ...]) -> tuple[ObjectState, ...]:
+        """Current state of the named objects only (SELECTED transfer)."""
+        return tuple(
+            ObjectState(oid, self.get(oid).materialized()) for oid in object_ids
+        )
+
+    def size_bytes(self) -> int:
+        """Approximate memory held by the whole shared state."""
+        return sum(obj.size_bytes() for obj in self._objects.values())

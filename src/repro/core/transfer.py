@@ -1,0 +1,96 @@
+"""Customized state transfer: building the snapshot a joining client gets.
+
+"Based on the speed of its connection to the server and application
+characteristics, the client may request either to receive the whole state
+of the group or the latest n updates to the state (for incremental
+updates).  It may also request to be transferred only the state of certain
+objects in the shared state of the group." (paper §3.2)
+
+Policies:
+
+* ``FULL`` — every object's materialized byte stream at the log tip.
+* ``LATEST_N`` — only the newest *n* update records (cheap over modems;
+  right for append-style tools like the chat box).
+* ``SELECTED`` — materialized state of the named objects only.
+* ``SINCE_SEQNO`` — the update suffix after a seqno the client already has
+  (reconnection); falls back to ``FULL`` when reduction trimmed the
+  suffix away.
+* ``NONE`` — no state at all (pure notification subscriber).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import StaleStateError
+from repro.core.group import Group
+from repro.wire.messages import StateSnapshot, TransferPolicy, TransferSpec
+
+__all__ = ["build_snapshot"]
+
+
+def build_snapshot(group: Group, spec: TransferSpec) -> StateSnapshot:
+    """Build the state transfer for a join per *spec*.
+
+    Never involves any existing member — the service's own copy is the
+    source, which is what makes Corona joins fast and member-independent.
+    """
+    tip = group.log.last_seqno
+    next_seqno = group.log.next_seqno
+
+    if spec.policy is TransferPolicy.FULL:
+        return _full(group, tip, next_seqno)
+
+    if spec.policy is TransferPolicy.LATEST_N:
+        updates = group.log.latest(spec.last_n)
+        base = updates[0].seqno - 1 if updates else tip
+        return StateSnapshot(
+            group=group.name,
+            base_seqno=base,
+            objects=(),
+            updates=updates,
+            next_seqno=next_seqno,
+        )
+
+    if spec.policy is TransferPolicy.SELECTED:
+        return StateSnapshot(
+            group=group.name,
+            base_seqno=tip,
+            objects=group.state.materialize_selected(spec.object_ids),
+            updates=(),
+            next_seqno=next_seqno,
+        )
+
+    if spec.policy is TransferPolicy.SINCE_SEQNO:
+        try:
+            updates = group.log.since(spec.since_seqno)
+        except StaleStateError:
+            # The suffix was reduced away; the client's cached state is
+            # unusable, so degrade to a full transfer.
+            return _full(group, tip, next_seqno)
+        return StateSnapshot(
+            group=group.name,
+            base_seqno=spec.since_seqno,
+            objects=(),
+            updates=updates,
+            next_seqno=next_seqno,
+        )
+
+    if spec.policy is TransferPolicy.NONE:
+        return StateSnapshot(
+            group=group.name,
+            base_seqno=tip,
+            objects=(),
+            updates=(),
+            next_seqno=next_seqno,
+        )
+
+    raise ValueError(f"unknown transfer policy {spec.policy!r}")
+
+
+def _full(group: Group, tip: int, next_seqno: int) -> StateSnapshot:
+    return StateSnapshot(
+        group=group.name,
+        base_seqno=tip,
+        objects=group.state.materialize_all(),
+        updates=(),
+        next_seqno=next_seqno,
+    )

@@ -1,0 +1,17 @@
+"""Async transports: abstract interfaces, TCP, and in-memory pipes."""
+
+from repro.net.memory import MemoryConnection, MemoryListener, MemoryNetwork
+from repro.net.tcp import TcpConnection, TcpListener, TcpTransport
+from repro.net.transport import Connection, Listener, Transport
+
+__all__ = [
+    "Connection",
+    "Listener",
+    "Transport",
+    "TcpConnection",
+    "TcpListener",
+    "TcpTransport",
+    "MemoryConnection",
+    "MemoryListener",
+    "MemoryNetwork",
+]

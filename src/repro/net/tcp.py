@@ -1,0 +1,108 @@
+"""TCP transport: asyncio streams + wire framing.
+
+This is the production transport, matching the evaluated Corona
+implementation's use of point-to-point TCP connections (paper §5.1).
+Addresses are ``(host, port)`` tuples.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.core.errors import NotConnectedError
+from repro.wire.framing import FrameDecoder, frame_message
+from repro.wire.messages import Message
+
+__all__ = ["TcpConnection", "TcpListener", "TcpTransport"]
+
+_READ_CHUNK = 64 * 1024
+
+
+class TcpConnection:
+    """One framed message stream over a TCP socket."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._decoder = FrameDecoder()
+        self._inbox: list[Message] = []
+        self._closed = False
+
+    @property
+    def peer(self) -> str:
+        peername = self._writer.get_extra_info("peername")
+        return f"{peername[0]}:{peername[1]}" if peername else "<closed>"
+
+    async def send(self, message: Message) -> None:
+        if self._closed:
+            raise NotConnectedError("connection is closed")
+        self._writer.write(frame_message(message))
+        await self._writer.drain()
+
+    async def receive(self) -> Message | None:
+        while not self._inbox:
+            if self._closed:
+                return None
+            try:
+                chunk = await self._reader.read(_READ_CHUNK)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                chunk = b""
+            if not chunk:
+                await self.close()
+                return None
+            self._inbox.extend(self._decoder.feed(chunk))
+        return self._inbox.pop(0)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class TcpListener:
+    """Accept loop over ``asyncio.start_server``."""
+
+    def __init__(self) -> None:
+        self._server: asyncio.Server | None = None
+        self._pending: asyncio.Queue[TcpConnection] = asyncio.Queue()
+
+    async def _bind(self, host: str, port: int) -> None:
+        self._server = await asyncio.start_server(self._on_client, host, port)
+
+    def _on_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._pending.put_nowait(TcpConnection(reader, writer))
+
+    @property
+    def address(self) -> Any:
+        assert self._server is not None
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def accept(self) -> TcpConnection:
+        return await self._pending.get()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+
+class TcpTransport:
+    """Transport over real TCP sockets; addresses are (host, port)."""
+
+    async def dial(self, address: Any) -> TcpConnection:
+        host, port = address
+        reader, writer = await asyncio.open_connection(host, port)
+        return TcpConnection(reader, writer)
+
+    async def listen(self, address: Any) -> TcpListener:
+        host, port = address
+        listener = TcpListener()
+        await listener._bind(host, port)
+        return listener

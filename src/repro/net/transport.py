@@ -1,0 +1,66 @@
+"""Abstract async transport interfaces.
+
+The asyncio runtime is written against these protocols so the same server
+and client code runs over real TCP sockets (:mod:`repro.net.tcp`) and over
+in-process pipes (:mod:`repro.net.memory`) in tests.  The simulator does
+not use them — it has its own deterministic network model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.wire.messages import Message
+
+__all__ = ["Connection", "Listener", "Transport"]
+
+
+@runtime_checkable
+class Connection(Protocol):
+    """One reliable, FIFO, message-framed duplex connection."""
+
+    @property
+    def peer(self) -> str:
+        """Human-readable identity of the other end."""
+        ...
+
+    async def send(self, message: Message) -> None:
+        """Frame and write one message (raises on a closed connection)."""
+        ...
+
+    async def receive(self) -> Message | None:
+        """Read the next message; ``None`` on orderly or failed close."""
+        ...
+
+    async def close(self) -> None:
+        """Close the connection (idempotent)."""
+        ...
+
+
+class Listener(Protocol):
+    """An open listening endpoint."""
+
+    @property
+    def address(self) -> Any:
+        """The bound address (useful with ephemeral ports)."""
+        ...
+
+    async def accept(self) -> Connection:
+        """Wait for and return the next inbound connection."""
+        ...
+
+    async def close(self) -> None:
+        """Stop listening."""
+        ...
+
+
+class Transport(Protocol):
+    """Factory for connections and listeners."""
+
+    async def dial(self, address: Any) -> Connection:
+        """Open a connection to *address*."""
+        ...
+
+    async def listen(self, address: Any) -> Listener:
+        """Bind a listener at *address*."""
+        ...

@@ -1,0 +1,6 @@
+"""The replicated Corona service: coordinator, replicas, failover."""
+
+from repro.replication.node import ReplicatedServerCore, ReplicationConfig
+from repro.replication.topology import ServerList
+
+__all__ = ["ReplicatedServerCore", "ReplicationConfig", "ServerList"]

@@ -1,0 +1,120 @@
+"""Partition reconciliation logic (paper §4.2).
+
+"In case of a network partition, there will ultimately exist two subsets
+of the server set which run without having knowledge about each other.
+[...] When the network connectivity between the two subsets is
+re-established, for each group the last globally consistent state is
+identified based on the previous checkpoints and the sequence numbers
+assigned to the state update messages.  The application is given the
+choice of either rolling back to the consistent state, selecting one of
+the available updated states or evolving as two different groups."
+
+This module holds the *pure* reconciliation decisions; the wire/driver
+half lives in :mod:`repro.replication.node`.  The protocol is initiated on
+the **junior** side (the coordinator that concedes, typically the one
+elected during the partition) against the **senior** coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.state import SharedState
+from repro.wire.messages import ReconcileOffer, ReconcilePolicy
+
+__all__ = [
+    "ReconcileChooser",
+    "adopt_senior",
+    "adopt_longest_branch",
+    "prefer_rollback",
+    "common_point",
+    "rollback_state",
+]
+
+#: Decides the fate of one diverged group.  Called on the senior side as
+#: ``chooser(senior_offer, junior_offer)``; returns the policy plus, for
+#: ``ADOPT_ONE``, the id of the winning branch.
+ReconcileChooser = Callable[
+    [ReconcileOffer, ReconcileOffer], tuple[ReconcilePolicy, str]
+]
+
+
+def adopt_senior(
+    senior: ReconcileOffer, junior: ReconcileOffer
+) -> tuple[ReconcilePolicy, str]:
+    """Default policy: the senior branch wins (junior updates discarded)."""
+    return ReconcilePolicy.ADOPT_ONE, senior.branch_id
+
+
+def adopt_longest_branch(
+    senior: ReconcileOffer, junior: ReconcileOffer
+) -> tuple[ReconcilePolicy, str]:
+    """Adopt whichever branch saw more updates during the partition."""
+    base = common_point(senior, junior)
+    if junior.tip_seqno - base > senior.tip_seqno - base:
+        return ReconcilePolicy.ADOPT_ONE, junior.branch_id
+    return ReconcilePolicy.ADOPT_ONE, senior.branch_id
+
+
+def prefer_rollback(
+    senior: ReconcileOffer, junior: ReconcileOffer
+) -> tuple[ReconcilePolicy, str]:
+    """Roll both branches back to the last globally consistent state."""
+    return ReconcilePolicy.ROLL_BACK, ""
+
+
+def fork_branches(
+    senior: ReconcileOffer, junior: ReconcileOffer
+) -> tuple[ReconcilePolicy, str]:
+    """Let the two branches evolve as two different groups."""
+    return ReconcilePolicy.FORK, ""
+
+
+def common_point(senior: ReconcileOffer, junior: ReconcileOffer) -> int:
+    """The last sequence number both branches agree on.
+
+    Each side records, at coordinator-takeover time, the group's tip — the
+    last update it saw before the partition forced a takeover.  The side
+    that kept the pre-partition coordinator reports ``partition_base=-2``
+    (it never took over); the smallest recorded base among sides that did
+    take over is the last globally consistent point.  If neither side took
+    over (no partition actually happened), the smaller tip is common.
+    """
+    bases = [
+        offer.partition_base
+        for offer in (senior, junior)
+        if offer.partition_base != -2
+    ]
+    if bases:
+        return min(bases)
+    return min(senior.tip_seqno, junior.tip_seqno)
+
+
+@dataclass
+class RollbackResult:
+    """Outcome of attempting to roll a branch back to *seqno*."""
+
+    ok: bool
+    reason: str = ""
+
+
+def rollback_state(state: SharedState, seqno: int) -> RollbackResult:
+    """Discard every update with sequence number greater than *seqno*.
+
+    Works by dropping still-unfolded increments; it fails (without
+    modifying anything) when a ``bcastState`` or a log reduction past the
+    common point destroyed the information needed to rewind — the caller
+    then falls back to ``ADOPT_ONE``.
+    """
+    for object_id in state.object_ids():
+        if state.get(object_id).base_seqno > seqno:
+            return RollbackResult(
+                False,
+                f"object {object_id!r} base advanced past {seqno} "
+                "(bcastState or reduction); cannot rewind",
+            )
+    for object_id in state.object_ids():
+        obj = state.get(object_id)
+        obj.increments = [(s, d) for s, d in obj.increments if s <= seqno]
+    return RollbackResult(True)

@@ -1,0 +1,98 @@
+"""Server-list management for the replicated Corona service.
+
+"All the servers, including the coordinator, maintain a list (sorted in
+the order the servers have been brought up) of the other servers,
+containing their IP addresses and port numbers.  This information is
+loaded at startup from the configuration files and it is updated as a
+result of the changes sent from the coordinator to every server.  When the
+coordinator crashes, the first server in the list becomes the new
+coordinator." (paper §4.2)
+
+The list order therefore *is* the succession order, and each server's
+position determines its failure-detection patience: the first server
+suspects the coordinator after ``t``, the second after ``2t``, and so on,
+which lets a system of k+1 servers ride out k simultaneous crashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wire.messages import ServerInfo
+
+__all__ = ["ServerList"]
+
+
+@dataclass
+class ServerList:
+    """The ordered view of the service's servers."""
+
+    servers: list[ServerInfo] = field(default_factory=list)
+    version: int = 0
+
+    def __contains__(self, server_id: str) -> bool:
+        return any(s.server_id == server_id for s in self.servers)
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def ids(self) -> list[str]:
+        return [s.server_id for s in self.servers]
+
+    def get(self, server_id: str) -> ServerInfo | None:
+        for info in self.servers:
+            if info.server_id == server_id:
+                return info
+        return None
+
+    def add(self, info: ServerInfo) -> bool:
+        """Append a newly brought-up server; returns False if known."""
+        if info.server_id in self:
+            return False
+        self.servers.append(info)
+        self.version += 1
+        return True
+
+    def remove(self, server_id: str) -> bool:
+        """Drop a crashed or departed server; returns False if unknown."""
+        before = len(self.servers)
+        self.servers = [s for s in self.servers if s.server_id != server_id]
+        if len(self.servers) != before:
+            self.version += 1
+            return True
+        return False
+
+    def replace(self, servers: tuple[ServerInfo, ...], version: int) -> bool:
+        """Adopt a pushed list if *version* is newer; returns adoption."""
+        if version <= self.version and self.servers:
+            return False
+        self.servers = list(servers)
+        self.version = version
+        return True
+
+    def coordinator(self) -> ServerInfo | None:
+        """The current head of the succession order."""
+        return self.servers[0] if self.servers else None
+
+    def position(self, server_id: str) -> int:
+        """0-based position in the succession order (-1 if absent)."""
+        for i, info in enumerate(self.servers):
+            if info.server_id == server_id:
+                return i
+        return -1
+
+    def successor_after(self, failed: set[str]) -> ServerInfo | None:
+        """First server not in *failed* — the rightful next coordinator."""
+        for info in self.servers:
+            if info.server_id not in failed:
+                return info
+        return None
+
+    def peers_of(self, server_id: str) -> list[ServerInfo]:
+        """Every server except *server_id*."""
+        return [s for s in self.servers if s.server_id != server_id]
+
+    def majority(self) -> int:
+        """Votes needed for a takeover: half+1 of the *other* servers,
+        i.e. the candidate plus ``len//2`` peers (paper §4.2)."""
+        return len(self.servers) // 2 + 1

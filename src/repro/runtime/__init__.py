@@ -1,0 +1,7 @@
+"""Asyncio runtime: production hosts for the sans-io protocol cores."""
+
+from repro.runtime.client import CoronaClient
+from repro.runtime.host import AsyncioHost
+from repro.runtime.server import CoronaServer
+
+__all__ = ["CoronaClient", "AsyncioHost", "CoronaServer"]

@@ -1,0 +1,273 @@
+"""Asyncio host: runs a sans-io protocol core over real transports.
+
+The production counterpart of :class:`repro.sim.host.SimHost`: it feeds
+connection/timer events into a core and executes the effects the core
+returns.  Ordering guarantees:
+
+* effects from one input event are executed in emission order;
+* messages to one connection are written by a dedicated writer task fed
+  from a FIFO queue, preserving per-connection send order even though
+  socket writes await.
+
+Storage effects go to an optional :class:`~repro.storage.GroupStore`; a
+background flush task bounds the WAL loss window, mirroring the paper's
+"logging in parallel with delivery" design.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Any, Callable
+
+from repro.core.clock import Clock, MonotonicClock
+from repro.core.events import (
+    AppendWal,
+    CancelTimer,
+    CloseConnection,
+    CreateGroupStorage,
+    Effect,
+    Notify,
+    OpenConnection,
+    ProtocolCore,
+    PurgeGroupStorage,
+    SendMessage,
+    SendMulticast,
+    ShutDown,
+    StartTimer,
+    TruncateWal,
+    WriteCheckpoint,
+)
+from repro.net.transport import Connection, Listener, Transport
+from repro.storage.store import GroupStore
+
+__all__ = ["AsyncioHost"]
+
+logger = logging.getLogger("repro.runtime")
+
+
+class AsyncioHost:
+    """Drives one protocol core on the running asyncio event loop."""
+
+    def __init__(
+        self,
+        core: ProtocolCore,
+        transport: Transport,
+        clock: Clock | None = None,
+        store: GroupStore | None = None,
+        flush_interval: float | None = 0.2,
+    ) -> None:
+        self.core = core
+        self.transport = transport
+        self.clock = clock or MonotonicClock()
+        self.store = store
+        self._flush_interval = flush_interval
+        self._conns: dict[int, Connection] = {}
+        self._outboxes: dict[int, asyncio.Queue] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._timers: dict[str, asyncio.TimerHandle] = {}
+        self._next_conn = 0
+        self._listener: Listener | None = None
+        self._notify_handler: Callable[[str, Any], None] | None = None
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def on_notify(self, handler: Callable[[str, Any], None]) -> None:
+        """Register the application callback for ``Notify`` effects."""
+        self._notify_handler = handler
+
+    async def listen(self, address: Any) -> Any:
+        """Accept inbound connections at *address*; returns the bound
+        address (with the real port when an ephemeral one was asked)."""
+        self._listener = await self.transport.listen(address)
+        self._spawn(self._accept_loop(self._listener))
+        if self.store is not None and self._flush_interval:
+            self._spawn(self._flush_loop())
+        return self._listener.address
+
+    async def stop(self) -> None:
+        """Close the listener, every connection, and all timers/tasks."""
+        self._stopped.set()
+        if self._listener is not None:
+            await self._listener.close()
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        for conn in list(self._conns.values()):
+            await conn.close()
+        for task in list(self._tasks):
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self.store is not None:
+            self.store.flush()
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------------
+    # driving the core
+    # ------------------------------------------------------------------
+
+    def invoke(self, action: Callable[[], Any]) -> Any:
+        """Run a request method on the core and execute its effects."""
+        result = action()
+        self.dispatch(self.core.drain())
+        return result
+
+    def dispatch(self, effects: list[Effect]) -> None:
+        for effect in effects:
+            self._execute(effect)
+
+    def _execute(self, effect: Effect) -> None:
+        if isinstance(effect, SendMessage):
+            outbox = self._outboxes.get(effect.conn)
+            if outbox is not None:
+                outbox.put_nowait(effect.message)
+        elif isinstance(effect, SendMulticast):
+            # TCP has no multicast: degrade to a unicast loop (the
+            # paper's "point-to-point whenever IP-multicast is not
+            # available")
+            for conn_id in effect.conns:
+                outbox = self._outboxes.get(conn_id)
+                if outbox is not None:
+                    outbox.put_nowait(effect.message)
+        elif isinstance(effect, StartTimer):
+            self._start_timer(effect.key, effect.delay)
+        elif isinstance(effect, CancelTimer):
+            handle = self._timers.pop(effect.key, None)
+            if handle is not None:
+                handle.cancel()
+        elif isinstance(effect, OpenConnection):
+            self._spawn(self._dial(effect.address, effect.key))
+        elif isinstance(effect, CloseConnection):
+            conn = self._conns.get(effect.conn)
+            if conn is not None:
+                self._spawn(conn.close())
+        elif isinstance(effect, CreateGroupStorage):
+            if self.store is not None and not self.store.has_group(effect.group):
+                self.store.create_group(effect.group, effect.meta)
+        elif isinstance(effect, PurgeGroupStorage):
+            if self.store is not None:
+                self.store.delete_group(effect.group)
+        elif isinstance(effect, AppendWal):
+            if self.store is not None:
+                self.store.append(effect.group, effect.seqno, effect.record)
+        elif isinstance(effect, WriteCheckpoint):
+            if self.store is not None:
+                self.store.checkpoint(effect.group, effect.seqno, effect.snapshot)
+        elif isinstance(effect, TruncateWal):
+            pass  # GroupStore.checkpoint already rotates segments
+        elif isinstance(effect, Notify):
+            if self._notify_handler is not None:
+                self._notify_handler(effect.kind, effect.payload)
+        elif isinstance(effect, ShutDown):
+            self._spawn(self.stop())
+        else:
+            raise TypeError(f"unknown effect {effect!r}")
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+
+    def adopt_connection(self, conn: Connection, key: str = "") -> int:
+        """Register an externally created connection with the core."""
+        return self._register(conn, key)
+
+    def _register(self, conn: Connection, key: str) -> int:
+        conn_id = self._next_conn
+        self._next_conn += 1
+        self._conns[conn_id] = conn
+        self._outboxes[conn_id] = asyncio.Queue()
+        self._spawn(self._writer_loop(conn_id, conn))
+        self._spawn(self._reader_loop(conn_id, conn))
+        self.dispatch(self.core.on_connected(conn_id, peer=conn.peer, key=key))
+        return conn_id
+
+    async def _accept_loop(self, listener: Listener) -> None:
+        while True:
+            try:
+                conn = await listener.accept()
+            except asyncio.CancelledError:
+                return
+            except Exception:
+                logger.exception("accept failed")
+                return
+            self._register(conn, key="")
+
+    async def _dial(self, address: Any, key: str) -> None:
+        try:
+            conn = await self.transport.dial(address)
+        except (OSError, ConnectionError) as exc:
+            logger.debug("dial %r failed: %s", address, exc)
+            # surface as an immediately closed connection (same
+            # convention as the simulator)
+            conn_id = self._next_conn
+            self._next_conn += 1
+            self.dispatch(self.core.on_connected(conn_id, peer=str(address), key=key))
+            self.dispatch(self.core.on_closed(conn_id))
+            return
+        self._register(conn, key)
+
+    async def _reader_loop(self, conn_id: int, conn: Connection) -> None:
+        try:
+            while True:
+                message = await conn.receive()
+                if message is None:
+                    break
+                self.dispatch(self.core.on_message(conn_id, message))
+        except asyncio.CancelledError:
+            return
+        except Exception:
+            logger.exception("reader for conn %d failed", conn_id)
+        self._drop_connection(conn_id)
+
+    async def _writer_loop(self, conn_id: int, conn: Connection) -> None:
+        outbox = self._outboxes[conn_id]
+        try:
+            while True:
+                message = await outbox.get()
+                await conn.send(message)
+        except asyncio.CancelledError:
+            return
+        except Exception:
+            # write failure: the reader loop will observe the close and
+            # deliver on_closed exactly once
+            await conn.close()
+
+    def _drop_connection(self, conn_id: int) -> None:
+        if self._conns.pop(conn_id, None) is None:
+            return
+        self._outboxes.pop(conn_id, None)
+        self.dispatch(self.core.on_closed(conn_id))
+
+    # ------------------------------------------------------------------
+    # timers and background work
+    # ------------------------------------------------------------------
+
+    def _start_timer(self, key: str, delay: float) -> None:
+        existing = self._timers.pop(key, None)
+        if existing is not None:
+            existing.cancel()
+        loop = asyncio.get_running_loop()
+        self._timers[key] = loop.call_later(delay, self._fire_timer, key)
+
+    def _fire_timer(self, key: str) -> None:
+        self._timers.pop(key, None)
+        self.dispatch(self.core.on_timer(key))
+
+    async def _flush_loop(self) -> None:
+        assert self.store is not None and self._flush_interval
+        try:
+            while True:
+                await asyncio.sleep(self._flush_interval)
+                self.store.flush()
+        except asyncio.CancelledError:
+            return
+
+    def _spawn(self, coro: Any) -> None:
+        task = asyncio.ensure_future(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)

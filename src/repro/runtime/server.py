@@ -1,0 +1,70 @@
+"""CoronaServer: the production entry point for a single stateful server.
+
+Wraps a :class:`~repro.core.server.ServerCore` in an
+:class:`~repro.runtime.host.AsyncioHost` over TCP (or any transport), with
+optional stable storage and automatic crash recovery at startup.
+
+Example::
+
+    server = CoronaServer(store=GroupStore("/var/lib/corona"))
+    address = await server.start("0.0.0.0", 7700)
+    ...
+    await server.stop()
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.server import ServerConfig, ServerCore
+from repro.net.tcp import TcpTransport
+from repro.net.transport import Transport
+from repro.runtime.host import AsyncioHost
+from repro.storage.store import GroupStore
+
+__all__ = ["CoronaServer"]
+
+
+class CoronaServer:
+    """One Corona group-communication server."""
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        store: GroupStore | None = None,
+        transport: Transport | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        if store is None:
+            self.config.persist = False
+        self.store = store
+        self.transport = transport or TcpTransport()
+        self.host: AsyncioHost | None = None
+        self.core: ServerCore | None = None
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Any:
+        """Recover persistent groups, bind, and serve; returns the bound
+        address (useful when *port* is 0)."""
+        recovered = self.store.recover_all() if self.store is not None else None
+        self.core = ServerCore(self.config, clock=_host_clock(), recovered=recovered)
+        self.host = AsyncioHost(self.core, self.transport, store=self.store)
+        return await self.host.listen((host, port))
+
+    async def stop(self) -> None:
+        """Stop serving and flush storage."""
+        if self.host is not None:
+            await self.host.stop()
+        if self.store is not None:
+            self.store.close()
+
+    async def __aenter__(self) -> "CoronaServer":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+
+def _host_clock():
+    from repro.core.clock import MonotonicClock
+
+    return MonotonicClock()

@@ -1,0 +1,40 @@
+"""Deterministic discrete-event simulation of the paper's testbed."""
+
+from repro.sim.disk import DiskProfile, SimDisk
+from repro.sim.host import HostStats, SimHost
+from repro.sim.kernel import EventHandle, SimKernel
+from repro.sim.network import Channel, Segment, SimNetwork
+from repro.sim.profiles import (
+    CAMPUS_HOP_LATENCY,
+    CLIENT_WORKSTATION,
+    ETHERNET_10MBPS,
+    ETHERNET_100MBPS,
+    MODEM_28_8,
+    PENTIUM_II_200,
+    SPARC_20,
+    ULTRASPARC_1,
+    HostProfile,
+    NetProfile,
+)
+
+__all__ = [
+    "DiskProfile",
+    "SimDisk",
+    "HostStats",
+    "SimHost",
+    "EventHandle",
+    "SimKernel",
+    "Channel",
+    "Segment",
+    "SimNetwork",
+    "HostProfile",
+    "NetProfile",
+    "CAMPUS_HOP_LATENCY",
+    "CLIENT_WORKSTATION",
+    "ETHERNET_10MBPS",
+    "ETHERNET_100MBPS",
+    "MODEM_28_8",
+    "PENTIUM_II_200",
+    "SPARC_20",
+    "ULTRASPARC_1",
+]

@@ -1,0 +1,291 @@
+"""Simulation harness: assembling Corona deployments inside the simulator.
+
+:class:`CoronaWorld` builds a topology (segments, servers, clients), wires
+protocol cores onto simulated hosts, and offers a scripted-driver API:
+
+* ``world.add_server(...)`` — a stateful (or stateless) Corona server;
+* ``world.add_client(...)`` — a client that auto-connects and records
+  every notification;
+* ``client.call("join_group", "g")`` — invoke any ClientCore request from
+  inside the simulation; returns a :class:`PendingCall` whose ``reply``
+  fills in when the simulated reply arrives.
+
+Tests and benchmarks drive scenarios by scheduling calls, running the
+kernel, and asserting on the recorded events and host statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.client import ClientConfig, ClientCore, DeliveryEvent, ReplyEvent
+from repro.core.server import ServerConfig, ServerCore
+from repro.replication.node import ReplicatedServerCore, ReplicationConfig
+from repro.wire.messages import ServerInfo
+from repro.sim.host import SimHost
+from repro.sim.kernel import SimKernel
+from repro.sim.network import SimNetwork
+from repro.sim.profiles import (
+    CLIENT_WORKSTATION,
+    ETHERNET_10MBPS,
+    ULTRASPARC_1,
+    HostProfile,
+    NetProfile,
+)
+from repro.storage.store import GroupStore
+
+__all__ = ["PendingCall", "SimClient", "SimServer", "CoronaWorld"]
+
+
+@dataclass
+class PendingCall:
+    """Handle for one in-simulation client request."""
+
+    method: str
+    request_id: int | None = None
+    reply: ReplyEvent | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.reply is not None
+
+    @property
+    def ok(self) -> bool:
+        return self.reply is not None and self.reply.ok
+
+    @property
+    def value(self) -> Any:
+        if self.reply is None:
+            raise AssertionError(f"call {self.method!r} has no reply yet")
+        return self.reply.value
+
+    @property
+    def error(self) -> Any:
+        return self.reply.error if self.reply is not None else None
+
+
+@dataclass
+class SimServer:
+    """A Corona server running on a simulated host."""
+
+    host: SimHost
+    core: ServerCore
+
+    @property
+    def host_id(self) -> str:
+        return self.host.host_id
+
+    @property
+    def stats(self):
+        return self.host.stats
+
+
+class SimClient:
+    """A Corona client on a simulated host, with recorded notifications."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        host: SimHost,
+        core: ClientCore,
+    ) -> None:
+        self.kernel = kernel
+        self.host = host
+        self.core = core
+        self.events: list[tuple[float, str, Any]] = []
+        self.deliveries: list[tuple[float, DeliveryEvent]] = []
+        self.connected_at: float | None = None
+        self._calls: dict[int, PendingCall] = {}
+        host.on_notify(self._on_notify)
+
+    @property
+    def client_id(self) -> str:
+        return self.core.config.client_id
+
+    @property
+    def host_id(self) -> str:
+        return self.host.host_id
+
+    def _on_notify(self, kind: str, payload: Any) -> None:
+        now = self.kernel.now()
+        self.events.append((now, kind, payload))
+        if kind == "connected":
+            self.connected_at = now
+        elif kind == "delivery":
+            self.deliveries.append((now, payload))
+        elif kind == "reply":
+            call = self._calls.pop(payload.request_id, None)
+            if call is not None:
+                call.reply = payload
+
+    def connect(self, server_host: str) -> None:
+        """Dial *server_host* (takes effect inside the simulation)."""
+        self.host.invoke(lambda: self.core.connect(server_host) or [])
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> PendingCall:
+        """Invoke a ClientCore request method from inside the simulation."""
+        pending = PendingCall(method)
+
+        def action() -> list:
+            pending.request_id = getattr(self.core, method)(*args, **kwargs)
+            self._calls[pending.request_id] = pending
+            return []
+
+        self.host.invoke(action)
+        return pending
+
+    def at(self, time: float, method: str, *args: Any, **kwargs: Any) -> PendingCall:
+        """Schedule ``call(method, ...)`` at absolute virtual *time*."""
+        pending = PendingCall(method)
+
+        def action() -> list:
+            pending.request_id = getattr(self.core, method)(*args, **kwargs)
+            self._calls[pending.request_id] = pending
+            return []
+
+        self.kernel.schedule_at(time, self.host.invoke, action)
+        return pending
+
+    def events_of_kind(self, kind: str) -> list[Any]:
+        """Payloads of every recorded notification of *kind*."""
+        return [payload for _t, k, payload in self.events if k == kind]
+
+
+class CoronaWorld:
+    """One simulated deployment: kernel + network + servers + clients."""
+
+    def __init__(self, default_segment: NetProfile = ETHERNET_10MBPS) -> None:
+        self.kernel = SimKernel()
+        self.network = SimNetwork(self.kernel)
+        self.servers: dict[str, SimServer] = {}
+        self.clients: dict[str, SimClient] = {}
+        self._client_seq = 0
+        self.add_segment("lan", default_segment)
+
+    # -- topology -----------------------------------------------------------
+
+    def add_segment(self, name: str, profile: NetProfile) -> None:
+        self.network.add_segment(name, profile.bytes_per_sec, profile.latency)
+
+    def set_hop_latency(self, seg_a: str, seg_b: str, latency: float) -> None:
+        self.network.set_hop_latency(seg_a, seg_b, latency)
+
+    # -- actors -----------------------------------------------------------
+
+    def add_server(
+        self,
+        host_id: str = "server",
+        segment: str = "lan",
+        profile: HostProfile = ULTRASPARC_1,
+        config: ServerConfig | None = None,
+        store: GroupStore | None = None,
+        sync_logging: bool = False,
+    ) -> SimServer:
+        """Create a Corona server host running a :class:`ServerCore`."""
+        config = config or ServerConfig(server_id=host_id)
+        # Persistence effects without a real GroupStore still cost
+        # simulated CPU/disk time, they just are not durable; pass a
+        # GroupStore for tests that exercise real recovery.
+        host = SimHost(
+            self.kernel, self.network, host_id, segment, profile,
+            store=store, sync_logging=sync_logging,
+        )
+        core = ServerCore(config, clock=self.kernel)
+        host.set_core(core)
+        server = SimServer(host, core)
+        self.servers[host_id] = server
+        return server
+
+    def add_replicated_cluster(
+        self,
+        n_servers: int,
+        segments: list[str] | None = None,
+        profile: HostProfile = ULTRASPARC_1,
+        heartbeat_interval: float = 1.0,
+        suspicion_timeout: float = 3.0,
+        stateful: bool = True,
+    ) -> list[SimServer]:
+        """Build a coordinator + replicas deployment (paper §4.1).
+
+        Server ``srv-0`` heads the bring-up order and thus coordinates.
+        ``segments[i]`` places each server; default puts all on "lan".
+        """
+        infos = tuple(
+            ServerInfo(server_id=f"srv-{i}", host=f"srv-{i}", port=0)
+            for i in range(n_servers)
+        )
+        cluster = []
+        for i, info in enumerate(infos):
+            segment = segments[i] if segments else "lan"
+            host = SimHost(
+                self.kernel, self.network, info.server_id, segment, profile
+            )
+            core = ReplicatedServerCore(
+                ServerConfig(
+                    server_id=info.server_id, stateful=stateful, persist=False
+                ),
+                ReplicationConfig(
+                    info=info,
+                    initial_servers=infos,
+                    heartbeat_interval=heartbeat_interval,
+                    suspicion_timeout=suspicion_timeout,
+                ),
+                clock=self.kernel,
+            )
+            host.set_core(core)
+            server = SimServer(host, core)
+            self.servers[info.server_id] = server
+            cluster.append(server)
+            host.invoke(core.start)
+        return cluster
+
+    def add_client(
+        self,
+        host_id: str | None = None,
+        segment: str = "lan",
+        profile: HostProfile = CLIENT_WORKSTATION,
+        client_id: str | None = None,
+        server: str | None = "server",
+        request_timeout: float = 30.0,
+        **config_kwargs,
+    ) -> SimClient:
+        """Create a client host; auto-connects to *server* unless None.
+
+        Extra keyword arguments become :class:`ClientConfig` fields
+        (e.g. ``auto_reconnect=True``).
+        """
+        if host_id is None:
+            host_id = f"client-{self._client_seq}"
+            self._client_seq += 1
+        client_id = client_id or host_id
+        host = SimHost(self.kernel, self.network, host_id, segment, profile)
+        core = ClientCore(
+            ClientConfig(
+                client_id=client_id, request_timeout=request_timeout,
+                **config_kwargs,
+            ),
+            clock=self.kernel,
+        )
+        host.set_core(core)
+        client = SimClient(self.kernel, host, core)
+        self.clients[host_id] = client
+        if server is not None:
+            client.connect(server)
+        return client
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, max_events: int | None = None) -> int:
+        """Drain the event queue (the usual way to settle a scenario)."""
+        return self.kernel.run(max_events)
+
+    def run_for(self, duration: float) -> None:
+        self.kernel.run_for(duration)
+
+    def run_until(self, time: float) -> None:
+        self.kernel.run_until(time)
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now()

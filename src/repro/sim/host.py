@@ -1,0 +1,355 @@
+"""Simulated host: runs one sans-io protocol core under the cost model.
+
+A :class:`SimHost` owns a protocol core and plays the same role the asyncio
+runtime plays in production: it feeds network/timer events into the core
+and executes the effects the core returns.  On top of that it charges
+virtual CPU time for every message handled and sent, so server saturation —
+the phenomenon behind the paper's linear delay curves — emerges naturally.
+
+CPU model: a single FIFO server.  Handling an arrived message occupies the
+CPU for ``recv_cost(size)``; the core's handler then runs (its logic cost
+is folded into the fixed overhead) and each ``SendMessage`` effect occupies
+the CPU for ``send_cost(size)`` *sequentially* before the bytes enter the
+network — this serialized fan-out is exactly how the evaluated Corona
+implementation multicast "via multiple point-to-point messages" (§5.1).
+
+Disk model: ``AppendWal`` effects go to the simulated disk.  Under
+asynchronous logging (the paper's configuration) they cost no CPU-path
+time; under synchronous logging the CPU stalls until the write completes,
+which the logging ablation benchmark uses to show the disk-bound ceiling.
+
+Optionally a real :class:`~repro.storage.GroupStore` can back the host, so
+simulated crashes exercise genuine recovery code against genuine files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.events import (
+    AppendWal,
+    CancelTimer,
+    CloseConnection,
+    CreateGroupStorage,
+    Effect,
+    Notify,
+    OpenConnection,
+    ProtocolCore,
+    PurgeGroupStorage,
+    SendMessage,
+    SendMulticast,
+    ShutDown,
+    StartTimer,
+    TruncateWal,
+    WriteCheckpoint,
+)
+from repro.sim.disk import SimDisk
+from repro.sim.kernel import EventHandle, SimKernel
+from repro.sim.network import Channel, SimNetwork
+from repro.sim.profiles import HostProfile
+from repro.storage.store import GroupStore
+from repro.wire import codec
+
+__all__ = ["SimHost", "HostStats"]
+
+_FRAME_OVERHEAD = 4  # length prefix added by wire framing
+
+
+@dataclass
+class HostStats:
+    """Counters a benchmark reads after a run."""
+
+    messages_received: int = 0
+    messages_sent: int = 0
+    bytes_received: int = 0
+    bytes_sent: int = 0
+    cpu_busy: float = 0.0
+    wal_appends: int = 0
+    notifications: int = 0
+
+
+class SimHost:
+    """One simulated machine running one protocol core."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        network: SimNetwork,
+        host_id: str,
+        segment: str,
+        profile: HostProfile,
+        store: GroupStore | None = None,
+        sync_logging: bool = False,
+    ) -> None:
+        self.kernel = kernel
+        self.network = network
+        self.host_id = host_id
+        self.segment = segment
+        self.profile = profile
+        self.store = store
+        self.sync_logging = sync_logging
+        self.disk = SimDisk(kernel, profile.disk)
+        self.stats = HostStats()
+        self.core: ProtocolCore | None = None
+        self.alive = True
+        self._cpu_free = 0.0
+        self._channels: dict[int, Channel] = {}
+        self._conn_ids: dict[int, int] = {}  # channel_id -> conn_id
+        self._next_conn = 0
+        self._timers: dict[str, EventHandle] = {}
+        self._notify_handlers: list[Callable[[str, Any], None]] = []
+        network.attach(host_id, segment, self)
+
+    def set_core(self, core: ProtocolCore) -> None:
+        """Install the protocol core this host runs."""
+        self.core = core
+
+    def on_notify(self, handler: Callable[[str, Any], None]) -> None:
+        """Register an application callback for ``Notify`` effects
+        (multiple handlers are all invoked, in registration order)."""
+        self._notify_handlers.append(handler)
+
+    # -- CPU accounting ------------------------------------------------------
+
+    def _occupy_cpu(self, cost: float) -> float:
+        """Reserve *cost* seconds of CPU; return the completion time."""
+        start = max(self.kernel.now(), self._cpu_free)
+        done = start + cost
+        self._cpu_free = done
+        self.stats.cpu_busy += cost
+        return done
+
+    @property
+    def cpu_free_at(self) -> float:
+        return self._cpu_free
+
+    # -- injecting work (used by workload drivers) ------------------------------
+
+    def invoke(self, action: Callable[[], list[Effect]], cost: float | None = None) -> None:
+        """Run *action* on this host's CPU and execute its effects.
+
+        Workload drivers use this to make a client core issue requests
+        ("send a broadcast now") from inside the simulation.
+        """
+        if not self.alive:
+            return
+        done = self._occupy_cpu(self.profile.timer_overhead if cost is None else cost)
+        self.kernel.schedule_at(done, self._run_action, action)
+
+    def _run_action(self, action: Callable[[], list[Effect]]) -> None:
+        if not self.alive:
+            return
+        effects = list(action() or [])
+        if self.core is not None:
+            effects.extend(self.core.drain())
+        self._execute(effects)
+
+    # -- HostAdapter interface (called by the network) ----------------------------
+
+    def network_connected(self, channel: Channel, inbound: bool, key: str) -> None:
+        if not self.alive or self.core is None:
+            return
+        conn = self._next_conn
+        self._next_conn += 1
+        self._channels[conn] = channel
+        self._conn_ids[channel.channel_id] = conn
+        peer = channel.peer_of(self.host_id)
+        effects = self.core.on_connected(conn, peer=peer, key=key)
+        self._execute(effects)
+
+    def network_connect_failed(self, peer: str, key: str) -> None:
+        if not self.alive or self.core is None:
+            return
+        # Surface dial failure as an immediately-closed connection.
+        conn = self._next_conn
+        self._next_conn += 1
+        effects = self.core.on_connected(conn, peer=peer, key=key)
+        self._execute(effects)
+        self._execute(self.core.on_closed(conn))
+
+    def network_message(self, channel: Channel, message: Any, size: int) -> None:
+        if not self.alive or self.core is None:
+            return
+        conn = self._conn_ids.get(channel.channel_id)
+        if conn is None:
+            return
+        self.stats.messages_received += 1
+        self.stats.bytes_received += size
+        done = self._occupy_cpu(self.profile.recv_cost(size))
+        self.kernel.schedule_at(done, self._handle_message, conn, message)
+
+    def _handle_message(self, conn: int, message: Any) -> None:
+        if self.alive and self.core is not None and conn in self._channels:
+            self._execute(self.core.on_message(conn, message))
+
+    def network_closed(self, channel: Channel) -> None:
+        if not self.alive or self.core is None:
+            return
+        conn = self._conn_ids.get(channel.channel_id)
+        if conn is None:
+            return
+        # messages already received queue ahead of the EOF, exactly as
+        # data buffered in a TCP socket is readable before the close
+        self.kernel.schedule_at(
+            max(self.kernel.now(), self._cpu_free),
+            self._deliver_closed, channel.channel_id,
+        )
+
+    def _deliver_closed(self, channel_id: int) -> None:
+        if not self.alive or self.core is None:
+            return
+        conn = self._conn_ids.pop(channel_id, None)
+        if conn is None:
+            return
+        self._channels.pop(conn, None)
+        self._execute(self.core.on_closed(conn))
+
+    # -- effect execution ------------------------------------------------------
+
+    def _execute(self, effects: list[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, SendMessage):
+                self._do_send(effect)
+            elif isinstance(effect, SendMulticast):
+                self._do_send_multicast(effect)
+            elif isinstance(effect, StartTimer):
+                self._do_start_timer(effect)
+            elif isinstance(effect, CancelTimer):
+                handle = self._timers.pop(effect.key, None)
+                if handle is not None:
+                    handle.cancel()
+            elif isinstance(effect, CreateGroupStorage):
+                self.disk.write(len(effect.meta))
+                if self.store is not None and not self.store.has_group(effect.group):
+                    self.store.create_group(effect.group, effect.meta)
+            elif isinstance(effect, PurgeGroupStorage):
+                if self.store is not None:
+                    self.store.delete_group(effect.group)
+            elif isinstance(effect, AppendWal):
+                self._do_append_wal(effect)
+            elif isinstance(effect, WriteCheckpoint):
+                self.disk.write(len(effect.snapshot))
+                if self.store is not None:
+                    self.store.checkpoint(effect.group, effect.seqno, effect.snapshot)
+            elif isinstance(effect, TruncateWal):
+                pass  # GroupStore.checkpoint already rotates segments
+            elif isinstance(effect, Notify):
+                self.stats.notifications += 1
+                for handler in self._notify_handlers:
+                    handler(effect.kind, effect.payload)
+            elif isinstance(effect, OpenConnection):
+                # Addresses are (host, port) in production; the simulator
+                # routes purely by host id.
+                address = effect.address
+                target = address[0] if isinstance(address, tuple) else str(address)
+                self.network.connect(self.host_id, target, effect.key)
+            elif isinstance(effect, CloseConnection):
+                # close after already-queued writes have entered the
+                # network (TCP flushes buffered data before FIN)
+                self.kernel.schedule_at(
+                    max(self.kernel.now(), self._cpu_free),
+                    self._do_close,
+                    effect.conn,
+                )
+            elif isinstance(effect, ShutDown):
+                self.crash()
+            else:
+                raise TypeError(f"unknown effect {effect!r}")
+
+    def _do_close(self, conn: int) -> None:
+        channel = self._channels.pop(conn, None)
+        if channel is not None:
+            self._conn_ids.pop(channel.channel_id, None)
+            self.network.close(channel, self.host_id)
+
+    def _do_send(self, effect: SendMessage) -> None:
+        channel = self._channels.get(effect.conn)
+        if channel is None:
+            return  # connection already gone; fail-stop semantics
+        size = codec.encoded_size(effect.message) + _FRAME_OVERHEAD
+        done = self._occupy_cpu(self.profile.send_cost(size))
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size
+        self.kernel.schedule_at(done, self._enter_network, channel, effect.message, size)
+
+    def _enter_network(self, channel: Channel, message: Any, size: int) -> None:
+        if self.alive:
+            self.network.send(channel, self.host_id, message, size)
+
+    def _do_send_multicast(self, effect: SendMulticast) -> None:
+        channels = [
+            self._channels[conn] for conn in effect.conns if conn in self._channels
+        ]
+        if not channels:
+            return
+        size = codec.encoded_size(effect.message) + _FRAME_OVERHEAD
+        # one serialization on the CPU, however many receivers
+        done = self._occupy_cpu(self.profile.send_cost(size))
+        self.stats.messages_sent += len(channels)
+        self.stats.bytes_sent += size
+        self.kernel.schedule_at(
+            done, self._enter_network_multicast, channels, effect.message, size
+        )
+
+    def _enter_network_multicast(self, channels: list, message: Any, size: int) -> None:
+        if self.alive:
+            self.network.multicast(self.host_id, channels, message, size)
+
+    def _do_start_timer(self, effect: StartTimer) -> None:
+        existing = self._timers.pop(effect.key, None)
+        if existing is not None:
+            existing.cancel()
+        self._timers[effect.key] = self.kernel.schedule(
+            effect.delay, self._fire_timer, effect.key
+        )
+
+    def _fire_timer(self, key: str) -> None:
+        self._timers.pop(key, None)
+        if not self.alive or self.core is None:
+            return
+        done = self._occupy_cpu(self.profile.timer_overhead)
+        self.kernel.schedule_at(done, self._run_timer_handler, key)
+
+    def _run_timer_handler(self, key: str) -> None:
+        if self.alive and self.core is not None:
+            self._execute(self.core.on_timer(key))
+
+    def _do_append_wal(self, effect: AppendWal) -> None:
+        self.stats.wal_appends += 1
+        self._occupy_cpu(self.profile.log_overhead)
+        # the write is issued when the CPU gets to it, which under load is
+        # later than the current event time
+        done = self.disk.write(len(effect.record) + 8, earliest=self._cpu_free)
+        if self.sync_logging:
+            # Synchronous durability: the CPU path stalls for the write.
+            self._cpu_free = max(self._cpu_free, done)
+        if self.store is not None:
+            self.store.append(effect.group, effect.seqno, effect.record)
+
+    # -- failure injection ------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: lose in-memory state, keep the disk (GroupStore)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.core = None
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        self._channels.clear()
+        self._conn_ids.clear()
+        self.network.detach(self.host_id)
+        if self.store is not None:
+            self.store.close()
+
+    def restart(self, core: ProtocolCore) -> None:
+        """Bring the host back with a fresh core (which may recover from
+        ``self.store``); the network sees a brand-new attachment."""
+        if self.alive:
+            raise RuntimeError(f"host {self.host_id} is already running")
+        self.alive = True
+        self._cpu_free = self.kernel.now()
+        self.network.reattach(self.host_id, self.segment, self)
+        self.core = core

@@ -1,0 +1,135 @@
+"""Discrete-event simulation kernel: virtual clock + ordered event queue.
+
+The kernel is the deterministic heart of every benchmark in this
+reproduction.  Events are callbacks scheduled at absolute virtual times;
+ties break by insertion order, so two runs of the same workload produce
+byte-identical traces.  Protocol cores never see the kernel directly — they
+see a :class:`~repro.core.clock.Clock` and timer effects executed by their
+simulated host.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["EventHandle", "SimKernel"]
+
+
+@dataclass(order=True)
+class _Entry:
+    time: float
+    seq: int
+    fn: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+
+@dataclass
+class EventHandle:
+    """Returned by :meth:`SimKernel.schedule`; allows cancellation."""
+
+    _entry: _Entry
+
+    @property
+    def time(self) -> float:
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._entry.cancelled = True
+
+
+class SimKernel:
+    """Virtual-time scheduler.
+
+    Also exposes :meth:`now` so it satisfies the ``Clock`` protocol and can
+    be injected into protocol cores directly.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[_Entry] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    # -- Clock protocol ------------------------------------------------------
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` after *delay* virtual seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Run ``fn(*args)`` at absolute virtual *time*."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time!r}, already at {self._now!r}"
+            )
+        entry = _Entry(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    # -- execution ------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Total events executed so far."""
+        return self._processed
+
+    def step(self) -> bool:
+        """Execute the next event; return False when the queue is empty."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            self._now = entry.time
+            self._processed += 1
+            entry.fn(*entry.args)
+            return True
+        return False
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the queue drains (or *max_events*); return count run."""
+        count = 0
+        while max_events is None or count < max_events:
+            if not self.step():
+                break
+            count += 1
+        return count
+
+    def run_until(self, time: float) -> None:
+        """Run every event scheduled at or before *time*, then set now=time."""
+        if time < self._now:
+            raise ValueError(f"cannot run backwards to {time!r}")
+        while self._queue:
+            entry = self._queue[0]
+            if entry.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if entry.time > time:
+                break
+            self.step()
+        self._now = max(self._now, time)
+
+    def run_for(self, duration: float) -> None:
+        """Advance virtual time by *duration*, executing due events."""
+        self.run_until(self._now + duration)

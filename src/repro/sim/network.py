@@ -1,0 +1,334 @@
+"""Simulated network: shared-medium segments, reliable channels, partitions.
+
+The model mirrors the paper's testbed: hosts sit on shared 10 Mbps Ethernet
+segments and talk over reliable, FIFO, point-to-point connections (TCP in
+the paper).  Three costs make up a message's journey:
+
+* **medium serialization** — a transmission reserves the *sender's* segment
+  for ``size / bandwidth`` seconds (half-duplex shared Ethernet
+  approximation: the receiving segment is not charged, which keeps the
+  model simple while preserving the sender-side bottleneck that dominates
+  the paper's fan-out measurements);
+* **propagation latency** — the segment latency, plus a configurable
+  inter-segment hop latency when sender and receiver sit on different
+  segments ("a few routers away", paper §5.2.3);
+* **receiver CPU** — charged by :mod:`repro.sim.host`, not here.
+
+Channels are reliable and FIFO while open.  Failures follow the paper's
+fail-stop model: crashing a host or partitioning the network closes the
+affected channels (as TCP connections die), and messages in flight across
+a cut are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.sim.kernel import SimKernel
+
+__all__ = ["Segment", "HostAdapter", "Channel", "SimNetwork"]
+
+
+@dataclass
+class Segment:
+    """A shared-medium network segment (e.g. one Ethernet LAN)."""
+
+    name: str
+    bytes_per_sec: float
+    latency: float
+    _busy_until: float = field(default=0.0, repr=False)
+
+    def reserve(self, now: float, size: int) -> tuple[float, float]:
+        """Reserve the medium for *size* bytes; return (start, finish)."""
+        start = max(now, self._busy_until)
+        finish = start + size / self.bytes_per_sec
+        self._busy_until = finish
+        return start, finish
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+
+class HostAdapter(Protocol):
+    """What the network needs from an attached host."""
+
+    def network_connected(self, channel: "Channel", inbound: bool, key: str) -> None:
+        """A channel to this host opened."""
+        ...
+
+    def network_connect_failed(self, peer: str, key: str) -> None:
+        """An outbound connect was refused (peer down or partitioned)."""
+        ...
+
+    def network_message(self, channel: "Channel", message: Any, size: int) -> None:
+        """A message arrived on *channel*."""
+        ...
+
+    def network_closed(self, channel: "Channel") -> None:
+        """The channel closed (peer crash, partition, or explicit close)."""
+        ...
+
+
+@dataclass
+class Channel:
+    """One reliable FIFO duplex connection between two hosts."""
+
+    channel_id: int
+    host_a: str
+    host_b: str
+    open: bool = True
+    #: Graceful close in progress: no new sends, in-flight data drains.
+    closing: bool = False
+
+    def peer_of(self, host: str) -> str:
+        if host == self.host_a:
+            return self.host_b
+        if host == self.host_b:
+            return self.host_a
+        raise ValueError(f"{host} is not an endpoint of {self}")
+
+
+class SimNetwork:
+    """Topology of segments and hosts, plus the channels between them."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        default_hop_latency: float = 0.002,
+        connect_rtt_factor: float = 1.5,
+    ) -> None:
+        self._kernel = kernel
+        self._segments: dict[str, Segment] = {}
+        self._attachment: dict[str, Segment] = {}
+        self._adapters: dict[str, HostAdapter] = {}
+        self._hop_latency: dict[frozenset[str], float] = {}
+        self._default_hop_latency = default_hop_latency
+        self._connect_rtt_factor = connect_rtt_factor
+        self._channels: dict[int, Channel] = {}
+        self._last_arrival: dict[tuple[int, str], float] = {}
+        self._next_channel_id = 0
+        self._cuts: list[tuple[frozenset[str], frozenset[str]]] = []
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def add_segment(
+        self, name: str, bytes_per_sec: float, latency: float
+    ) -> Segment:
+        """Create a shared-medium segment."""
+        if name in self._segments:
+            raise ValueError(f"segment {name!r} already exists")
+        segment = Segment(name, bytes_per_sec, latency)
+        self._segments[name] = segment
+        return segment
+
+    def attach(self, host: str, segment: str, adapter: HostAdapter) -> None:
+        """Attach *host* to *segment* with its event adapter."""
+        if host in self._adapters:
+            raise ValueError(f"host {host!r} already attached")
+        self._attachment[host] = self._segments[segment]
+        self._adapters[host] = adapter
+
+    def detach(self, host: str) -> None:
+        """Remove *host* (crash): closes all its channels."""
+        self._adapters.pop(host, None)
+        self._attachment.pop(host, None)
+        for channel in [c for c in self._channels.values() if host in (c.host_a, c.host_b)]:
+            self._close_channel(channel, notify=(channel.peer_of(host),))
+
+    def reattach(self, host: str, segment: str, adapter: HostAdapter) -> None:
+        """Bring a crashed host back (restart)."""
+        self._attachment[host] = self._segments[segment]
+        self._adapters[host] = adapter
+
+    def set_hop_latency(self, seg_a: str, seg_b: str, latency: float) -> None:
+        """Extra one-way latency between two segments (router hops)."""
+        self._hop_latency[frozenset((seg_a, seg_b))] = latency
+
+    def segment_of(self, host: str) -> Segment:
+        return self._attachment[host]
+
+    # -- partitions ------------------------------------------------------------
+
+    def partition(self, side_a: set[str], side_b: set[str]) -> None:
+        """Cut connectivity between *side_a* and *side_b*.
+
+        Channels crossing the cut close (after their latency, as TCP
+        failure detection would), and in-flight messages across it drop.
+        """
+        cut = (frozenset(side_a), frozenset(side_b))
+        self._cuts.append(cut)
+        for channel in list(self._channels.values()):
+            if self._blocked(channel.host_a, channel.host_b):
+                self._close_channel(channel, notify=(channel.host_a, channel.host_b))
+
+    def heal(self) -> None:
+        """Remove every partition cut."""
+        self._cuts.clear()
+
+    def _blocked(self, a: str, b: str) -> bool:
+        for side_a, side_b in self._cuts:
+            if (a in side_a and b in side_b) or (a in side_b and b in side_a):
+                return True
+        return False
+
+    # -- connections ------------------------------------------------------------
+
+    def connect(self, src: str, dst: str, key: str = "") -> None:
+        """Dial from *src* to *dst*; outcome delivered asynchronously."""
+        delay = self._propagation(src, dst) * self._connect_rtt_factor
+        self._kernel.schedule(delay, self._finish_connect, src, dst, key)
+
+    def _finish_connect(self, src: str, dst: str, key: str) -> None:
+        src_adapter = self._adapters.get(src)
+        if src_adapter is None:
+            return  # dialer crashed while connecting
+        dst_adapter = self._adapters.get(dst)
+        if dst_adapter is None or self._blocked(src, dst):
+            src_adapter.network_connect_failed(dst, key)
+            return
+        channel = Channel(self._next_channel_id, src, dst)
+        self._next_channel_id += 1
+        self._channels[channel.channel_id] = channel
+        dst_adapter.network_connected(channel, inbound=True, key="")
+        src_adapter.network_connected(channel, inbound=False, key=key)
+
+    def close(self, channel: Channel, closer: str) -> None:
+        """Gracefully close *channel*: already-sent data still arrives
+        (TCP delivers buffered bytes before the FIN); the peer is
+        notified once the pipe has drained."""
+        if not channel.open or channel.closing:
+            return
+        channel.closing = True
+        drain_until = max(
+            (
+                t for (cid, _recv), t in self._last_arrival.items()
+                if cid == channel.channel_id
+            ),
+            default=self._kernel.now(),
+        )
+        delay = max(0.0, drain_until - self._kernel.now())
+        self._kernel.schedule(
+            delay, self._finish_graceful_close, channel,
+            (channel.peer_of(closer),),
+        )
+
+    def _finish_graceful_close(self, channel: Channel, notify: tuple[str, ...]) -> None:
+        self._close_channel(channel, notify)
+
+    def _close_channel(self, channel: Channel, notify: tuple[str, ...]) -> None:
+        if not channel.open:
+            return
+        channel.open = False
+        self._channels.pop(channel.channel_id, None)
+        for host in notify:
+            adapter = self._adapters.get(host)
+            if adapter is not None:
+                self._kernel.schedule(
+                    self._propagation(channel.host_a, channel.host_b),
+                    self._notify_closed,
+                    host,
+                    channel,
+                )
+
+    def _notify_closed(self, host: str, channel: Channel) -> None:
+        adapter = self._adapters.get(host)
+        if adapter is not None:
+            adapter.network_closed(channel)
+
+    # -- data transfer ------------------------------------------------------------
+
+    def send(self, channel: Channel, sender: str, message: Any, size: int) -> float:
+        """Transmit *message* of *size* bytes; returns scheduled arrival time.
+
+        The sender's segment is reserved for the serialization time; the
+        arrival respects FIFO ordering per channel direction.
+        """
+        if not channel.open or channel.closing:
+            return self._kernel.now()
+        receiver = channel.peer_of(sender)
+        segment = self._attachment[sender]
+        _start, finish = segment.reserve(self._kernel.now(), size)
+        dst_segment = self._attachment.get(receiver)
+        if dst_segment is not None and dst_segment is not segment:
+            # the bytes also serialize onto the receiver's segment; a slow
+            # last hop (e.g. a modem) dominates the path
+            _dst_start, dst_finish = dst_segment.reserve(self._kernel.now(), size)
+            finish = max(finish, dst_finish)
+        arrival = finish + self._propagation(sender, receiver)
+        fifo_key = (channel.channel_id, receiver)
+        arrival = max(arrival, self._last_arrival.get(fifo_key, 0.0))
+        self._last_arrival[fifo_key] = arrival
+        self.bytes_sent += size
+        self.messages_sent += 1
+        self._kernel.schedule_at(
+            arrival, self._deliver, channel, receiver, message, size
+        )
+        return arrival
+
+    def multicast(
+        self, sender: str, channels: list[Channel], message: Any, size: int
+    ) -> None:
+        """Transmit one copy of *message* per network segment.
+
+        Models IP multicast on shared media: the sender's segment carries
+        the message once; each distinct receiving segment carries one
+        router-forwarded copy; every receiver on a segment hears the same
+        transmission.
+        """
+        live = [c for c in channels if c.open and not c.closing]
+        if not live:
+            return
+        src_segment = self._attachment[sender]
+        _start, src_finish = src_segment.reserve(self._kernel.now(), size)
+        by_segment: dict[str, list[Channel]] = {}
+        for channel in live:
+            receiver = channel.peer_of(sender)
+            segment = self._attachment.get(receiver)
+            if segment is None:
+                continue
+            by_segment.setdefault(segment.name, []).append(channel)
+        for segment_name, segment_channels in by_segment.items():
+            segment = self._segments[segment_name]
+            if segment is src_segment:
+                finish = src_finish
+            else:
+                _s, finish = segment.reserve(self._kernel.now(), size)
+                finish = max(finish, src_finish)
+            for channel in segment_channels:
+                receiver = channel.peer_of(sender)
+                arrival = finish + self._propagation(sender, receiver)
+                fifo_key = (channel.channel_id, receiver)
+                arrival = max(arrival, self._last_arrival.get(fifo_key, 0.0))
+                self._last_arrival[fifo_key] = arrival
+                self.messages_sent += 1
+                self._kernel.schedule_at(
+                    arrival, self._deliver, channel, receiver, message, size
+                )
+        self.bytes_sent += size * (1 + sum(
+            1 for name in by_segment if self._segments[name] is not src_segment
+        ))
+
+    def _deliver(self, channel: Channel, receiver: str, message: Any, size: int) -> None:
+        if not channel.open:
+            return  # connection died while the message was in flight
+        if self._blocked(channel.host_a, channel.host_b):
+            return  # partitioned mid-flight: dropped with the connection
+        adapter = self._adapters.get(receiver)
+        if adapter is not None:
+            adapter.network_message(channel, message, size)
+
+    def _propagation(self, src: str, dst: str) -> float:
+        seg_src = self._attachment.get(src)
+        seg_dst = self._attachment.get(dst)
+        if seg_src is None or seg_dst is None:
+            return self._default_hop_latency
+        latency = seg_src.latency
+        if seg_src is not seg_dst:
+            latency += seg_dst.latency + self._hop_latency.get(
+                frozenset((seg_src.name, seg_dst.name)), self._default_hop_latency
+            )
+        return latency

@@ -1,0 +1,134 @@
+"""Calibrated machine and network profiles for the paper's testbed.
+
+The paper evaluated Corona on late-90s hardware: Sun Sparc 20 and
+UltraSparc 1 workstations and a quad Pentium II 200, connected by 10 Mbps
+shared Ethernet, with clients ranging from LAN peers to modem users.  The
+numbers below are calibrated so the simulated evaluation reproduces the
+paper's *shapes* (linear delay growth, ~600 KB/s aggregate ceiling,
+CPU-bound throughput ranking) — see EXPERIMENTS.md for measured-vs-paper.
+
+Cost model per message: ``overhead + size * per_byte`` of CPU time, once on
+receive and once per point-to-point send.  The per-byte term stands in for
+JDK object serialization, which the paper singles out as "a significant
+part of the cost"; the fixed term covers protocol-stack processing, thread
+scheduling, and occasional GC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.disk import DiskProfile
+
+__all__ = [
+    "HostProfile",
+    "NetProfile",
+    "ULTRASPARC_1",
+    "SPARC_20",
+    "PENTIUM_II_200",
+    "CLIENT_WORKSTATION",
+    "ETHERNET_10MBPS",
+    "ETHERNET_100MBPS",
+    "MODEM_28_8",
+    "CAMPUS_HOP_LATENCY",
+]
+
+
+@dataclass(frozen=True)
+class HostProfile:
+    """CPU cost model of one machine."""
+
+    name: str
+    #: Fixed CPU seconds to receive-and-handle one message.
+    recv_overhead: float
+    #: Fixed CPU seconds to emit one point-to-point message.
+    send_overhead: float
+    #: CPU seconds per payload byte (serialization / copy costs).
+    per_byte: float
+    #: Disk attached to this machine.
+    disk: DiskProfile = DiskProfile()
+    #: Fixed CPU seconds to service a timer event.
+    timer_overhead: float = 0.00002
+    #: CPU seconds to store one update in the server's internal data
+    #: structures and hand it to the (asynchronous) logger.  Constant per
+    #: multicast regardless of group size — the paper's Fig. 3 point.
+    log_overhead: float = 0.00008
+
+    def recv_cost(self, size: int) -> float:
+        return self.recv_overhead + size * self.per_byte
+
+    def send_cost(self, size: int) -> float:
+        return self.send_overhead + size * self.per_byte
+
+
+@dataclass(frozen=True)
+class NetProfile:
+    """Parameters of one shared network segment."""
+
+    name: str
+    bytes_per_sec: float
+    latency: float
+
+
+#: UltraSparc 1 (64 MB, Solaris) — the paper's single-server machine.
+#: JVM-era costs: ~1 ms fixed per message plus ~0.6 us/byte serialization.
+ULTRASPARC_1 = HostProfile(
+    name="UltraSparc-1",
+    recv_overhead=0.0010,
+    send_overhead=0.0009,
+    per_byte=0.6e-6,
+    disk=DiskProfile(bytes_per_sec=4_000_000.0),
+)
+
+#: Sparc 20 — the slower client workstation in the mix.
+SPARC_20 = HostProfile(
+    name="Sparc-20",
+    recv_overhead=0.0016,
+    send_overhead=0.0014,
+    per_byte=1.0e-6,
+    disk=DiskProfile(bytes_per_sec=3_000_000.0),
+)
+
+#: Quad Pentium II 200 (256 MB, NT) — the faster server in Table 1.
+PENTIUM_II_200 = HostProfile(
+    name="PentiumII-200",
+    recv_overhead=0.00055,
+    send_overhead=0.00050,
+    per_byte=0.33e-6,
+    disk=DiskProfile(bytes_per_sec=5_000_000.0),
+)
+
+#: Generic client machine for large-scale runs (clients are never the
+#: bottleneck in the paper's experiments, per §5.2.2 they sometimes were —
+#: this profile is deliberately mid-range).
+CLIENT_WORKSTATION = HostProfile(
+    name="client-ws",
+    recv_overhead=0.0012,
+    send_overhead=0.0011,
+    per_byte=0.8e-6,
+)
+
+#: 10 Mbps shared Ethernet: 1.25 MB/s raw, ~80% usable after framing/IP/TCP
+#: overheads and CSMA/CD contention.
+ETHERNET_10MBPS = NetProfile(
+    name="ethernet-10",
+    bytes_per_sec=1_000_000.0,
+    latency=0.0003,
+)
+
+#: 100 Mbps switched Ethernet (used by ablations only).
+ETHERNET_100MBPS = NetProfile(
+    name="ethernet-100",
+    bytes_per_sec=10_000_000.0,
+    latency=0.0001,
+)
+
+#: 28.8 kbit/s modem — the paper's slow-client connectivity extreme.
+MODEM_28_8 = NetProfile(
+    name="modem-28.8",
+    bytes_per_sec=3_600.0 * 0.8,
+    latency=0.090,
+)
+
+#: One-way latency added per campus router path ("a few routers away").
+CAMPUS_HOP_LATENCY = 0.0015

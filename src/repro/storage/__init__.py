@@ -1,0 +1,14 @@
+"""Stable storage: write-ahead logging, checkpoints, crash recovery."""
+
+from repro.storage.checkpoint import CheckpointStore
+from repro.storage.store import GroupStore, RecoveredGroup
+from repro.storage.wal import FsyncPolicy, WriteAheadLog, read_log_records
+
+__all__ = [
+    "CheckpointStore",
+    "GroupStore",
+    "RecoveredGroup",
+    "FsyncPolicy",
+    "WriteAheadLog",
+    "read_log_records",
+]

@@ -1,0 +1,102 @@
+"""Checkpoint store: atomic snapshots of reduced group state.
+
+State-log reduction (paper §3.2) trims a group's update history up to a
+point and replaces it with "the consistent group state existing at that
+point".  That state is persisted here.  Each checkpoint is written to a
+temporary file and renamed into place, so a crash never leaves a partially
+written checkpoint visible; a CRC over the snapshot catches bit rot, and
+recovery falls back to the previous checkpoint when the newest is damaged.
+
+File name: ``ckpt.<seqno>.bin`` inside the group directory.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import struct
+import zlib
+from pathlib import Path
+
+from repro.core.errors import StorageError
+
+__all__ = ["CheckpointStore"]
+
+_HEADER = struct.Struct(">IQ")  # crc32, seqno
+_NAME_RE = re.compile(r"^ckpt\.(\d+)\.bin$")
+
+
+class CheckpointStore:
+    """Checkpoints for one group, kept in one directory."""
+
+    def __init__(self, directory: str | Path, keep: int = 2) -> None:
+        if keep < 1:
+            raise ValueError("must keep at least one checkpoint")
+        self._dir = Path(directory)
+        self._keep = keep
+        self._dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def save(self, seqno: int, snapshot: bytes) -> Path:
+        """Atomically persist *snapshot* as the checkpoint at *seqno*."""
+        if seqno < 0:
+            raise StorageError(f"checkpoint seqno must be >= 0, got {seqno}")
+        final = self._dir / f"ckpt.{seqno}.bin"
+        tmp = self._dir / f".ckpt.{seqno}.tmp"
+        crc = zlib.crc32(snapshot)
+        with open(tmp, "wb") as fh:
+            fh.write(_HEADER.pack(crc, seqno))
+            fh.write(snapshot)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+        self._prune()
+        return final
+
+    def load_latest(self) -> tuple[int, bytes] | None:
+        """Return ``(seqno, snapshot)`` of the newest intact checkpoint.
+
+        Damaged checkpoints are skipped (the previous one is used instead);
+        returns ``None`` when no usable checkpoint exists.
+        """
+        for seqno, path in sorted(self._list(), reverse=True):
+            snapshot = self._read(path, seqno)
+            if snapshot is not None:
+                return seqno, snapshot
+        return None
+
+    def seqnos(self) -> list[int]:
+        """Sequence numbers of all checkpoints on disk, ascending."""
+        return sorted(seqno for seqno, _path in self._list())
+
+    def _list(self) -> list[tuple[int, Path]]:
+        out = []
+        for path in self._dir.iterdir():
+            match = _NAME_RE.match(path.name)
+            if match:
+                out.append((int(match.group(1)), path))
+        return out
+
+    def _read(self, path: Path, expect_seqno: int) -> bytes | None:
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        if len(data) < _HEADER.size:
+            return None
+        crc, seqno = _HEADER.unpack_from(data)
+        snapshot = data[_HEADER.size :]
+        if seqno != expect_seqno or zlib.crc32(snapshot) != crc:
+            return None
+        return snapshot
+
+    def _prune(self) -> None:
+        entries = sorted(self._list(), reverse=True)
+        for _seqno, path in entries[self._keep :]:
+            try:
+                path.unlink()
+            except OSError:
+                pass

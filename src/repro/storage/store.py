@@ -1,0 +1,244 @@
+"""GroupStore: per-group persistence combining WAL segments + checkpoints.
+
+Layout under the store root (group names are percent-encoded to stay
+filesystem-safe)::
+
+    <root>/<group>/meta.bin            group metadata (atomic write)
+    <root>/<group>/wal.<start>.log     WAL segment holding seqnos >= start
+    <root>/<group>/ckpt.<seqno>.bin    checkpoints (see CheckpointStore)
+
+WAL records carry their sequence number so recovery can stitch the newest
+intact checkpoint together with the log suffix without understanding the
+record payloads — the store, like the service, is oblivious to client
+semantics (paper §3.1).
+
+Segment rotation happens at checkpoint time: ``checkpoint(S)`` starts a new
+segment for seqnos ``S+1..`` and deletes segments made obsolete by the
+checkpoint, which is exactly the on-disk half of state-log reduction.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from urllib.parse import quote, unquote
+
+from repro.core.errors import StorageError
+from repro.storage.checkpoint import CheckpointStore
+from repro.storage.wal import FsyncPolicy, WriteAheadLog, read_log_records
+
+__all__ = ["GroupStore", "RecoveredGroup"]
+
+_SEQ = struct.Struct(">q")
+_SEGMENT_RE = re.compile(r"^wal\.(\d+)\.log$")
+
+
+@dataclass
+class RecoveredGroup:
+    """Everything recovery reconstructed for one group."""
+
+    group: str
+    meta: bytes
+    checkpoint_seqno: int = -1
+    snapshot: bytes | None = None
+    records: list[tuple[int, bytes]] = field(default_factory=list)
+
+    @property
+    def last_seqno(self) -> int:
+        """Highest sequence number represented (checkpoint or record)."""
+        if self.records:
+            return self.records[-1][0]
+        return self.checkpoint_seqno
+
+
+class _GroupFiles:
+    """Open handles and cached paths for one group."""
+
+    def __init__(self, directory: Path, fsync: FsyncPolicy) -> None:
+        self.directory = directory
+        self.fsync = fsync
+        self.checkpoints = CheckpointStore(directory)
+        self.wal: WriteAheadLog | None = None
+
+    def active_wal(self) -> WriteAheadLog:
+        if self.wal is None:
+            start = max(self._segments(), default=0)
+            self.wal = WriteAheadLog(
+                self.directory / f"wal.{start}.log", fsync=self.fsync
+            )
+        return self.wal
+
+    def rotate(self, start: int) -> None:
+        if self.wal is not None:
+            self.wal.close()
+        self.wal = WriteAheadLog(self.directory / f"wal.{start}.log", fsync=self.fsync)
+        for seg_start in self._segments():
+            if seg_start < start:
+                try:
+                    (self.directory / f"wal.{seg_start}.log").unlink()
+                except OSError:
+                    pass
+
+    def _segments(self) -> list[int]:
+        out = []
+        for path in self.directory.iterdir():
+            match = _SEGMENT_RE.match(path.name)
+            if match:
+                out.append(int(match.group(1)))
+        return sorted(out)
+
+    def segment_paths(self) -> list[Path]:
+        return [self.directory / f"wal.{s}.log" for s in self._segments()]
+
+    def close(self) -> None:
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+
+
+class GroupStore:
+    """Stable storage for every group hosted by one server."""
+
+    def __init__(self, root: str | Path, fsync: FsyncPolicy = FsyncPolicy.NEVER) -> None:
+        self._root = Path(root)
+        self._fsync = fsync
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._groups: dict[str, _GroupFiles] = {}
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    # -- group lifecycle ---------------------------------------------------
+
+    def create_group(self, group: str, meta: bytes = b"") -> None:
+        """Create on-disk structures for *group* and persist its metadata."""
+        directory = self._group_dir(group)
+        if directory.exists():
+            raise StorageError(f"group {group!r} already exists on disk")
+        directory.mkdir(parents=True)
+        self._write_meta(directory, meta)
+        self._groups[group] = _GroupFiles(directory, self._fsync)
+
+    def update_meta(self, group: str, meta: bytes) -> None:
+        """Atomically replace the group's metadata."""
+        self._write_meta(self._existing_dir(group), meta)
+
+    def delete_group(self, group: str) -> None:
+        """Remove the group and all its state from disk."""
+        files = self._groups.pop(group, None)
+        if files is not None:
+            files.close()
+        directory = self._group_dir(group)
+        if directory.exists():
+            shutil.rmtree(directory)
+
+    def has_group(self, group: str) -> bool:
+        return group in self._groups or self._group_dir(group).exists()
+
+    def list_groups(self) -> list[str]:
+        """Names of every group present on disk, sorted."""
+        if not self._root.exists():
+            return []
+        return sorted(
+            unquote(path.name) for path in self._root.iterdir() if path.is_dir()
+        )
+
+    # -- logging and checkpoints --------------------------------------------
+
+    def append(self, group: str, seqno: int, payload: bytes) -> None:
+        """Append one update record to the group's WAL."""
+        files = self._files(group)
+        files.active_wal().append(_SEQ.pack(seqno) + payload)
+
+    def flush(self, group: str | None = None) -> None:
+        """Flush buffered WAL records (one group, or all)."""
+        targets = [self._files(group)] if group else list(self._groups.values())
+        for files in targets:
+            if files.wal is not None:
+                files.wal.flush()
+
+    def checkpoint(self, group: str, seqno: int, snapshot: bytes) -> None:
+        """Persist a checkpoint and rotate/trim the WAL accordingly.
+
+        Caller invariant (held by the log-reduction service): every record
+        already appended has ``seqno <= seqno``.  Recovery filters by seqno
+        anyway, so a violated invariant degrades to wasted disk, not
+        corruption.
+        """
+        files = self._files(group)
+        files.checkpoints.save(seqno, snapshot)
+        files.rotate(seqno + 1)
+
+    # -- recovery ------------------------------------------------------------
+
+    def recover(self, group: str) -> RecoveredGroup:
+        """Rebuild a group's durable state after a restart or crash."""
+        directory = self._existing_dir(group)
+        files = self._groups.get(group)
+        if files is None:
+            files = _GroupFiles(directory, self._fsync)
+            self._groups[group] = files
+        elif files.wal is not None:
+            files.wal.flush()  # make buffered appends visible to the reader
+        meta_path = directory / "meta.bin"
+        meta = meta_path.read_bytes() if meta_path.exists() else b""
+        result = RecoveredGroup(group=group, meta=meta)
+
+        loaded = files.checkpoints.load_latest()
+        if loaded is not None:
+            result.checkpoint_seqno, result.snapshot = loaded
+
+        records: dict[int, bytes] = {}
+        for path in files.segment_paths():
+            for raw in read_log_records(path):
+                if len(raw) < _SEQ.size:
+                    raise StorageError(f"{path}: record shorter than its header")
+                (seqno,) = _SEQ.unpack_from(raw)
+                if seqno > result.checkpoint_seqno:
+                    records[seqno] = raw[_SEQ.size :]
+        result.records = sorted(records.items())
+        return result
+
+    def recover_all(self) -> dict[str, RecoveredGroup]:
+        """Recover every group on disk (server restart path)."""
+        return {group: self.recover(group) for group in self.list_groups()}
+
+    def close(self) -> None:
+        for files in self._groups.values():
+            files.close()
+        self._groups.clear()
+
+    def __enter__(self) -> "GroupStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------------
+
+    def _group_dir(self, group: str) -> Path:
+        return self._root / quote(group, safe="")
+
+    def _existing_dir(self, group: str) -> Path:
+        directory = self._group_dir(group)
+        if not directory.exists():
+            raise StorageError(f"group {group!r} does not exist on disk")
+        return directory
+
+    def _files(self, group: str) -> _GroupFiles:
+        files = self._groups.get(group)
+        if files is None:
+            directory = self._existing_dir(group)
+            files = _GroupFiles(directory, self._fsync)
+            self._groups[group] = files
+        return files
+
+    @staticmethod
+    def _write_meta(directory: Path, meta: bytes) -> None:
+        tmp = directory / ".meta.tmp"
+        tmp.write_bytes(meta)
+        tmp.replace(directory / "meta.bin")

@@ -1,0 +1,152 @@
+"""Append-only write-ahead log with per-record integrity checks.
+
+The Corona service logs every multicast "both in memory and on stable
+storage" (paper §3.2).  This module provides the stable half: an append-only
+file of length-prefixed, CRC-32-protected records.
+
+On-disk record layout::
+
+    +------------+-----------+------------------+
+    | length u32 | crc32 u32 |  payload bytes   |
+    +------------+-----------+------------------+
+
+Recovery semantics follow the paper's §6 stance: the log is written in
+parallel with delivery, so a crash may lose the *tail* of the log — a torn
+or missing final record is expected and silently truncated.  Corruption in
+the *middle* of the log (valid records after a bad one) indicates real
+damage and raises :class:`~repro.core.errors.CorruptLogError`.
+
+Durability is a policy choice (:class:`FsyncPolicy`): the evaluated Corona
+configuration never fsyncs on the critical path; a synchronous variant
+exists so the benchmarks can show the disk-bound throughput ceiling the
+paper predicts for it.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.errors import CorruptLogError, StorageError
+
+__all__ = ["FsyncPolicy", "WriteAheadLog", "read_log_records"]
+
+_HEADER = struct.Struct(">II")
+
+
+class FsyncPolicy(enum.IntEnum):
+    """When appended records are forced to the storage device."""
+
+    #: Never fsync; the OS flushes when it pleases (paper's configuration —
+    #: a crash may lose the last few updates, recovered from their sender).
+    NEVER = 0
+    #: Fsync only on explicit :meth:`WriteAheadLog.flush` calls (hosts call
+    #: this on a timer, bounding the loss window).
+    ON_FLUSH = 1
+    #: Fsync after every append (synchronous logging; disk-bound).
+    ALWAYS = 2
+
+
+class WriteAheadLog:
+    """One append-only log file.
+
+    Not thread-safe by design: each log belongs to a single-threaded
+    protocol host (asyncio task or simulated host).
+    """
+
+    def __init__(self, path: str | Path, fsync: FsyncPolicy = FsyncPolicy.NEVER) -> None:
+        self._path = Path(path)
+        self._fsync = fsync
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self._path, "ab")
+        self._appended = 0
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def appended(self) -> int:
+        """Number of records appended through this handle."""
+        return self._appended
+
+    def append(self, payload: bytes) -> None:
+        """Append one record; durability depends on the fsync policy."""
+        if self._file.closed:
+            raise StorageError(f"log {self._path} is closed")
+        crc = zlib.crc32(payload)
+        self._file.write(_HEADER.pack(len(payload), crc))
+        self._file.write(payload)
+        self._appended += 1
+        if self._fsync is FsyncPolicy.ALWAYS:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def flush(self) -> None:
+        """Push buffered records to the device (per the fsync policy)."""
+        if self._file.closed:
+            return
+        self._file.flush()
+        if self._fsync in (FsyncPolicy.ON_FLUSH, FsyncPolicy.ALWAYS):
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self.flush()
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_log_records(path: str | Path, repair: bool = True) -> Iterator[bytes]:
+    """Yield every intact record of the log at *path*, in append order.
+
+    With ``repair=True`` (the default, used during crash recovery) a torn
+    tail is truncated off the file and iteration ends cleanly.  With
+    ``repair=False`` a torn tail raises, which tests use to distinguish
+    tail damage from mid-log damage.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    size = path.stat().st_size
+    with open(path, "rb") as fh:
+        offset = 0
+        while True:
+            header = fh.read(_HEADER.size)
+            if not header:
+                return
+            if len(header) < _HEADER.size:
+                _handle_tail(path, offset, size, repair, "torn record header")
+                return
+            length, crc = _HEADER.unpack(header)
+            payload = fh.read(length)
+            if len(payload) < length:
+                _handle_tail(path, offset, size, repair, "torn record payload")
+                return
+            if zlib.crc32(payload) != crc:
+                # A bad CRC at the very tail is a torn write; anywhere else
+                # it is corruption that recovery must not paper over.
+                if offset + _HEADER.size + length == size:
+                    _handle_tail(path, offset, size, repair, "corrupt tail record")
+                    return
+                raise CorruptLogError(
+                    f"{path}: CRC mismatch at offset {offset} (mid-log corruption)"
+                )
+            offset += _HEADER.size + length
+            yield payload
+
+
+def _handle_tail(path: Path, offset: int, size: int, repair: bool, what: str) -> None:
+    if not repair:
+        raise CorruptLogError(f"{path}: {what} at offset {offset} (file size {size})")
+    with open(path, "ab") as fh:
+        fh.truncate(offset)

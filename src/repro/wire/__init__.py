@@ -1,0 +1,15 @@
+"""Wire protocol: message catalogue, binary codec, and stream framing."""
+
+from repro.wire.codec import decode, encode, encoded_size
+from repro.wire.framing import FrameDecoder, frame_message
+from repro.wire.messages import *  # noqa: F401,F403 — re-export the catalogue
+from repro.wire.messages import __all__ as _messages_all
+
+__all__ = [
+    "encode",
+    "decode",
+    "encoded_size",
+    "FrameDecoder",
+    "frame_message",
+    *_messages_all,
+]

@@ -1,0 +1,68 @@
+"""Stream framing: length-prefixed message frames over a byte stream.
+
+A frame is a 4-byte big-endian unsigned length followed by one encoded
+message.  :class:`FrameDecoder` is an incremental, sans-io parser: feed it
+arbitrary byte chunks (as read from a TCP socket or a simulated channel) and
+it yields complete decoded messages.  A configurable maximum frame size
+protects servers from a misbehaving peer allocating unbounded buffers.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterator
+
+from repro.core.errors import FrameTooLargeError
+from repro.wire import codec
+
+__all__ = ["MAX_FRAME_SIZE", "frame_message", "FrameDecoder"]
+
+_LEN = struct.Struct(">I")
+
+#: Default upper bound on a single frame (16 MiB), far above any state
+#: snapshot used in the paper's workloads.
+MAX_FRAME_SIZE = 16 * 1024 * 1024
+
+
+def frame_message(message: Any) -> bytes:
+    """Encode *message* and prepend its 4-byte length prefix."""
+    payload = codec.encode(message)
+    if len(payload) > MAX_FRAME_SIZE:
+        raise FrameTooLargeError(
+            f"outgoing frame of {len(payload)} bytes exceeds {MAX_FRAME_SIZE}"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser for one direction of one connection."""
+
+    def __init__(self, max_frame_size: int = MAX_FRAME_SIZE) -> None:
+        self._max = max_frame_size
+        self._buf = bytearray()
+        self._need: int | None = None
+
+    def feed(self, data: bytes) -> Iterator[Any]:
+        """Absorb *data* and yield every message completed by it."""
+        self._buf.extend(data)
+        while True:
+            if self._need is None:
+                if len(self._buf) < _LEN.size:
+                    return
+                (self._need,) = _LEN.unpack_from(self._buf)
+                del self._buf[: _LEN.size]
+                if self._need > self._max:
+                    raise FrameTooLargeError(
+                        f"incoming frame of {self._need} bytes exceeds {self._max}"
+                    )
+            if len(self._buf) < self._need:
+                return
+            payload = bytes(self._buf[: self._need])
+            del self._buf[: self._need]
+            self._need = None
+            yield codec.decode(payload)
+
+    @property
+    def buffered(self) -> int:
+        """Number of bytes held waiting for a complete frame."""
+        return len(self._buf)

@@ -1,0 +1,315 @@
+"""Tests for the applications built on Corona (chat, whiteboard, viewer,
+pub/sub), run over the in-memory transport."""
+
+import asyncio
+
+import pytest
+
+from repro.apps.chat import ChatMessage, ChatRoom, decode_log, encode_message
+from repro.apps.dataviewer import (
+    InstrumentFeed,
+    InstrumentViewer,
+    Reading,
+    decode_reading,
+    encode_reading,
+)
+from repro.apps.pubsub import AsyncSubscriber, Item, Publisher, Subscriber
+from repro.apps.whiteboard import (
+    Stroke,
+    Whiteboard,
+    decode_canvas,
+    encode_image,
+    encode_stroke,
+)
+from repro.net.memory import MemoryNetwork
+from repro.runtime import CoronaClient, CoronaServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _world():
+    net = MemoryNetwork()
+    server = CoronaServer(transport=net)
+    await server.start("corona", 0)
+    return net, server
+
+
+async def _client(net, name):
+    return await CoronaClient.connect(("corona", 0), name, transport=net)
+
+
+class TestChatCodec:
+    def test_roundtrip(self):
+        messages = [
+            ChatMessage("alice", "hello there", 1.5),
+            ChatMessage("bob", "", 2.0),
+            ChatMessage("carol", "unicode ✓", 3.25),
+        ]
+        blob = b"".join(encode_message(m) for m in messages)
+        assert list(decode_log(blob)) == messages
+
+    def test_empty_log(self):
+        assert list(decode_log(b"")) == []
+
+
+class TestChatRoom:
+    def test_chat_flow(self):
+        async def main():
+            net, server = await _world()
+            alice = await _client(net, "alice")
+            bob = await _client(net, "bob")
+            room_a = ChatRoom(alice, "room")
+            room_b = ChatRoom(bob, "room")
+            await room_a.create()
+            assert await room_a.join() == []
+            await room_a.send("first!")
+            backlog = await room_b.join(backlog=10)
+            assert [m.text for m in backlog] == ["first!"]
+
+            received = []
+            done = asyncio.Event()
+            room_b.on_message(lambda m: (received.append(m), done.set()))
+            await room_a.send("second")
+            await asyncio.wait_for(done.wait(), 2)
+            assert received[0].author == "alice"
+            assert received[0].text == "second"
+            assert [m.text for m in room_b.history()] == ["first!", "second"]
+            await alice.close(); await bob.close(); await server.stop()
+
+        run(main())
+
+    def test_backlog_limited(self):
+        async def main():
+            net, server = await _world()
+            alice = await _client(net, "alice")
+            room = ChatRoom(alice, "room")
+            await room.create()
+            await room.join()
+            for i in range(6):
+                await room.send(f"msg-{i}")
+            late = await _client(net, "late")
+            late_room = ChatRoom(late, "room")
+            backlog = await late_room.join(backlog=2)
+            assert [m.text for m in backlog] == ["msg-4", "msg-5"]
+            await alice.close(); await late.close(); await server.stop()
+
+        run(main())
+
+
+class TestWhiteboardCodec:
+    def test_stroke_roundtrip(self):
+        stroke = Stroke("alice", "#ff0000", 3, ((0, 0), (10, -5), (20, 7)))
+        items = list(decode_canvas(encode_stroke(stroke)))
+        assert items == [stroke]
+
+    def test_mixed_canvas(self):
+        blob = encode_stroke(Stroke("a", "red", 1, ((1, 2),))) + encode_image(
+            "photo.png", b"\x89PNG..."
+        )
+        items = list(decode_canvas(blob))
+        assert isinstance(items[0], Stroke)
+        assert items[1] == ("photo.png", b"\x89PNG...")
+
+    def test_unknown_chunk_raises(self):
+        with pytest.raises(ValueError):
+            list(decode_canvas(b"\x63"))
+
+
+class TestWhiteboard:
+    def test_draw_and_clear(self):
+        async def main():
+            net, server = await _world()
+            alice = await _client(net, "alice")
+            bob = await _client(net, "bob")
+            board_a = Whiteboard(alice, "board")
+            board_b = Whiteboard(bob, "board")
+            await board_a.create()
+            await board_a.join()
+            await board_b.join()
+
+            stroke = Stroke("alice", "blue", 2, ((0, 0), (5, 5)))
+            seen = asyncio.Event()
+            board_b.on_stroke(lambda s: seen.set())
+            await board_a.draw(stroke)
+            await asyncio.wait_for(seen.wait(), 2)
+            assert board_b.canvas() == [stroke]
+
+            cleared = asyncio.Event()
+            board_b.on_clear(lambda: cleared.set())
+            await board_a.clear()
+            await asyncio.wait_for(cleared.wait(), 2)
+            assert board_b.canvas() == []
+            await alice.close(); await bob.close(); await server.stop()
+
+        run(main())
+
+    def test_exclusive_drawing_uses_lock(self):
+        async def main():
+            net, server = await _world()
+            alice = await _client(net, "alice")
+            board = Whiteboard(alice, "board")
+            await board.create()
+            await board.join()
+            await board.draw(Stroke("alice", "red", 1, ((0, 0),)), exclusive=True)
+            assert len(board.canvas()) == 1
+            await alice.close(); await server.stop()
+
+        run(main())
+
+    def test_late_joiner_sees_full_canvas(self):
+        async def main():
+            net, server = await _world()
+            alice = await _client(net, "alice")
+            board = Whiteboard(alice, "board")
+            await board.create()
+            await board.join()
+            await board.draw(Stroke("alice", "red", 1, ((0, 0), (1, 1))))
+            await board.import_image("map.png", b"pixels")
+            late = await _client(net, "late")
+            late_board = Whiteboard(late, "board")
+            items = await late_board.join()
+            assert len(items) == 2
+            await alice.close(); await late.close(); await server.stop()
+
+        run(main())
+
+
+class TestDataViewer:
+    def test_reading_roundtrip(self):
+        reading = Reading("thermometer-1", -40.5, "degC", 123.0)
+        assert decode_reading(encode_reading(reading)) == reading
+
+    def test_latest_value_semantics(self):
+        async def main():
+            net, server = await _world()
+            pub = await _client(net, "instrument-host")
+            feed = InstrumentFeed(pub, "campaign")
+            await feed.create()
+            await feed.publish(Reading("radar", 1.0, "dB", 1.0))
+            await feed.publish(Reading("radar", 2.0, "dB", 2.0))
+            await feed.publish(Reading("lidar", 9.0, "km", 2.0))
+
+            viewer_client = await _client(net, "scientist")
+            viewer = InstrumentViewer(viewer_client, "campaign")
+            current = await viewer.join()
+            # bcastState overrides: only the latest radar value survives
+            assert current["radar"].value == 2.0
+            assert current["lidar"].value == 9.0
+
+            seen = []
+            done = asyncio.Event()
+            viewer.on_reading(lambda r: (seen.append(r), done.set()))
+            await feed.publish(Reading("radar", 3.0, "dB", 3.0))
+            await asyncio.wait_for(done.wait(), 2)
+            assert viewer.current("radar").value == 3.0
+            await pub.close(); await viewer_client.close(); await server.stop()
+
+        run(main())
+
+    def test_selected_instruments_only(self):
+        async def main():
+            net, server = await _world()
+            pub = await _client(net, "instrument-host")
+            feed = InstrumentFeed(pub, "campaign")
+            await feed.create()
+            await feed.publish(Reading("radar", 1.0, "dB", 1.0))
+            await feed.publish(Reading("lidar", 2.0, "km", 1.0))
+            viewer_client = await _client(net, "scientist")
+            viewer = InstrumentViewer(viewer_client, "campaign")
+            current = await viewer.join(instruments=("radar",))
+            assert set(current) == {"radar"}
+            await pub.close(); await viewer_client.close(); await server.stop()
+
+        run(main())
+
+
+class TestPubSub:
+    def test_push_to_permanent_subscriber(self):
+        async def main():
+            net, server = await _world()
+            pub_client = await _client(net, "pub")
+            sub_client = await _client(net, "sub")
+            publisher = Publisher(pub_client, "news")
+            await publisher.create_topic()
+            await publisher.attach()
+            subscriber = Subscriber(sub_client, "news")
+            assert await subscriber.subscribe() == []
+
+            inbox = []
+            done = asyncio.Event()
+            subscriber.on_item(lambda item: (inbox.append(item), done.set()))
+            await publisher.publish("k1", b"breaking")
+            await asyncio.wait_for(done.wait(), 2)
+            assert inbox == [Item("pub", "k1", b"breaking")]
+            await pub_client.close(); await sub_client.close(); await server.stop()
+
+        run(main())
+
+    def test_async_subscriber_pulls_backlog(self):
+        async def main():
+            net, server = await _world()
+            pub_client = await _client(net, "pub")
+            publisher = Publisher(pub_client, "news")
+            await publisher.create_topic()
+            await publisher.attach()
+            for i in range(3):
+                await publisher.publish(f"k{i}", b"%d" % i)
+
+            # the subscriber was never connected while items were
+            # published — the *service* holds them (the Corona point)
+            poll_client = await _client(net, "poller")
+            poller = AsyncSubscriber(poll_client, "news")
+            first = await poller.poll()
+            assert [item.key for item in first] == ["k0", "k1", "k2"]
+
+            assert await poller.poll() == []  # nothing new
+
+            await publisher.publish("k3", b"3")
+            second = await poller.poll()
+            assert [item.key for item in second] == ["k3"]
+            await pub_client.close(); await poll_client.close(); await server.stop()
+
+        run(main())
+
+    def test_poll_after_reduction_skips_trimmed_history(self):
+        """Documented behaviour: when the service reduced the log past a
+        poller's cursor, the trimmed increments cannot be attributed to
+        'new since last poll' — the poll returns nothing but the cursor
+        advances, and subsequent items flow normally."""
+        async def main():
+            net, server = await _world()
+            pub_client = await _client(net, "pub")
+            publisher = Publisher(pub_client, "news")
+            await publisher.create_topic()
+            await publisher.attach()
+            poll_client = await _client(net, "poller")
+            poller = AsyncSubscriber(poll_client, "news")
+            await publisher.publish("k0", b"0")
+            assert [i.key for i in await poller.poll()] == ["k0"]
+            await publisher.publish("k1", b"1")
+            await pub_client.reduce_log("news")  # trims k1's record
+            stale = await poller.poll()
+            assert stale == []  # k1's increment was reduced away
+            await publisher.publish("k2", b"2")
+            assert [i.key for i in await poller.poll()] == ["k2"]
+            await pub_client.close(); await poll_client.close(); await server.stop()
+
+        run(main())
+
+    def test_subscriber_backlog_via_full_transfer(self):
+        async def main():
+            net, server = await _world()
+            pub_client = await _client(net, "pub")
+            publisher = Publisher(pub_client, "news")
+            await publisher.create_topic()
+            await publisher.attach()
+            await publisher.publish("old", b"x")
+            sub_client = await _client(net, "sub")
+            subscriber = Subscriber(sub_client, "news")
+            backlog = await subscriber.subscribe(backlog=True)
+            assert [item.key for item in backlog] == ["old"]
+            await pub_client.close(); await sub_client.close(); await server.stop()
+
+        run(main())

@@ -1,0 +1,194 @@
+"""Tests for the ISIS-like baseline: member-involving joins."""
+
+from repro.baselines.isis import (
+    IsisClientConfig,
+    IsisClientCore,
+    IsisServerConfig,
+    IsisServerCore,
+)
+from repro.sim.host import SimHost
+from repro.sim.kernel import SimKernel
+from repro.sim.network import SimNetwork
+from repro.sim.profiles import CLIENT_WORKSTATION, ULTRASPARC_1
+
+
+def _invoke(host, method, *args):
+    """Run a client-core request inside the simulation."""
+
+    def action():
+        method(*args)
+        return []
+
+    host.invoke(action)
+
+
+class IsisWorld:
+    """Minimal harness for baseline scenarios."""
+
+    def __init__(self, failure_timeout=2.0):
+        self.kernel = SimKernel()
+        self.network = SimNetwork(self.kernel)
+        self.network.add_segment("lan", 1_000_000, 0.0005)
+        self.server_host = SimHost(
+            self.kernel, self.network, "server", "lan", ULTRASPARC_1
+        )
+        self.server = IsisServerCore(
+            IsisServerConfig(failure_timeout=failure_timeout), self.kernel
+        )
+        self.server_host.set_core(self.server)
+        self.clients = {}
+
+    def add_client(self, client_id, donate_delay=None, donate_never=False):
+        host = SimHost(
+            self.kernel, self.network, client_id, "lan", CLIENT_WORKSTATION
+        )
+        core = IsisClientCore(
+            IsisClientConfig(client_id, donate_delay, donate_never), self.kernel
+        )
+        host.set_core(core)
+        events = []
+        host.on_notify(lambda kind, payload: events.append((kind, payload)))
+        _invoke(host, core.connect, "server")
+        self.clients[client_id] = (host, core, events)
+        return host, core, events
+
+    def run(self):
+        self.kernel.run()
+
+    def run_for(self, duration):
+        self.kernel.run_for(duration)
+
+
+class TestJoin:
+    def test_first_join_is_empty_and_fast(self):
+        world = IsisWorld()
+        host, core, _events = world.add_client("alice")
+        world.run()
+        _invoke(host, core.create_group, "g")
+        world.run()
+        _invoke(host, core.join_group, "g")
+        world.run()
+        assert "g" in core.states
+
+    def test_join_transfers_state_from_member(self):
+        world = IsisWorld()
+        a_host, a_core, _ = world.add_client("alice")
+        world.run()
+        _invoke(a_host, a_core.create_group, "g")
+        world.run()
+        _invoke(a_host, a_core.join_group, "g")
+        world.run()
+        _invoke(a_host, a_core.bcast_update, "g", "o", b"data")
+        world.run()
+        assert a_core.states["g"].get("o").materialized() == b"data"
+
+        b_host, b_core, _ = world.add_client("bob")
+        world.run()
+        _invoke(b_host, b_core.join_group, "g")
+        world.run()
+        assert b_core.states["g"].get("o").materialized() == b"data"
+
+    def test_slow_member_slows_the_join(self):
+        world = IsisWorld()
+        a_host, a_core, _ = world.add_client("alice", donate_delay=1.5)
+        world.run()
+        _invoke(a_host, a_core.create_group, "g")
+        world.run()
+        _invoke(a_host, a_core.join_group, "g")
+        world.run()
+
+        b_host, b_core, _ = world.add_client("bob")
+        world.run()
+        start = world.kernel.now()
+        _invoke(b_host, b_core.join_group, "g")
+        world.run()
+        elapsed = world.kernel.now() - start
+        assert "g" in b_core.states
+        assert elapsed >= 1.5  # paper: "slow members can slow down the join"
+
+    def test_hung_donor_costs_failure_timeout(self):
+        world = IsisWorld(failure_timeout=2.0)
+        a_host, a_core, _ = world.add_client("alice", donate_never=True)
+        world.run()
+        _invoke(a_host, a_core.create_group, "g")
+        world.run()
+        _invoke(a_host, a_core.join_group, "g")
+        world.run()
+
+        b_host, b_core, _ = world.add_client("bob")
+        world.run_for(0.5)
+        start = world.kernel.now()
+        _invoke(b_host, b_core.join_group, "g")
+        world.run_for(6.0)
+        elapsed = world.kernel.now() - start
+        assert "g" in b_core.states
+        # the join paid the full failure-detection timeout before the
+        # (sole, hung) donor was given up on
+        assert elapsed >= 2.0
+
+    def test_second_donor_tried_after_timeout(self):
+        world = IsisWorld(failure_timeout=1.0)
+        a_host, a_core, _ = world.add_client("alice", donate_never=True)
+        world.run()
+        _invoke(a_host, a_core.create_group, "g")
+        world.run()
+        _invoke(a_host, a_core.join_group, "g")
+        world.run()
+        # carol joins: alice never answers, so carol pays the timeout and
+        # comes in with empty state, then writes fresh data
+        c_host, c_core, _ = world.add_client("carol")
+        world.run_for(0.5)
+        _invoke(c_host, c_core.join_group, "g")
+        world.run_for(3.0)
+        assert "g" in c_core.states
+        _invoke(c_host, c_core.bcast_update, "g", "o", b"fresh")
+        world.run_for(1.0)
+
+        # bob's join asks alice (hung, 1 s timeout) then carol (answers)
+        b_host, b_core, _ = world.add_client("bob")
+        world.run_for(0.5)
+        start = world.kernel.now()
+        _invoke(b_host, b_core.join_group, "g")
+        world.run_for(5.0)
+        elapsed = world.kernel.now() - start
+        assert b_core.states["g"].get("o").materialized() == b"fresh"
+        assert elapsed >= 1.0
+
+    def test_multicast_reaches_members(self):
+        world = IsisWorld()
+        a_host, a_core, a_events = world.add_client("alice")
+        b_host, b_core, b_events = world.add_client("bob")
+        world.run()
+        _invoke(a_host, a_core.create_group, "g")
+        world.run()
+        _invoke(a_host, a_core.join_group, "g")
+        world.run()
+        _invoke(b_host, b_core.join_group, "g")
+        world.run()
+        _invoke(a_host, a_core.bcast_update, "g", "o", b"x")
+        world.run()
+        deliveries_b = [p for k, p in b_events if k == "delivery"]
+        assert len(deliveries_b) == 1
+        assert b_core.states["g"].get("o").materialized() == b"x"
+
+    def test_crashed_last_member_loses_state(self):
+        """The persistence contrast with Corona: when the only member
+        crashes, the state it held is gone for the next joiner."""
+        world = IsisWorld()
+        a_host, a_core, _ = world.add_client("alice")
+        world.run()
+        _invoke(a_host, a_core.create_group, "g")
+        world.run()
+        _invoke(a_host, a_core.join_group, "g")
+        world.run()
+        _invoke(a_host, a_core.bcast_update, "g", "o", b"precious")
+        world.run()
+        a_host.crash()
+        world.run()
+
+        b_host, b_core, _ = world.add_client("bob")
+        world.run()
+        _invoke(b_host, b_core.join_group, "g")
+        world.run_for(6.0)
+        assert "g" in b_core.states
+        assert "o" not in b_core.states["g"]  # the state did not survive

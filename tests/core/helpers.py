@@ -1,0 +1,93 @@
+"""Sans-io driver for unit-testing protocol cores without any host."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.core.events import (
+    AppendWal,
+    CancelTimer,
+    CloseConnection,
+    Effect,
+    Notify,
+    SendMessage,
+    StartTimer,
+    WriteCheckpoint,
+)
+
+
+class CoreDriver:
+    """Feeds events into one core and indexes the resulting effects."""
+
+    def __init__(self, core: Any) -> None:
+        self.core = core
+        self._conn_ids = itertools.count(100)
+        self.effects: list[Effect] = []
+
+    # -- driving -----------------------------------------------------------
+
+    def connect(self, peer: str = "peer", key: str = "") -> int:
+        conn = next(self._conn_ids)
+        self.effects.extend(self.core.on_connected(conn, peer=peer, key=key))
+        return conn
+
+    def deliver(self, conn: int, message: Any) -> list[Effect]:
+        effects = self.core.on_message(conn, message)
+        self.effects.extend(effects)
+        return effects
+
+    def close(self, conn: int) -> list[Effect]:
+        effects = self.core.on_closed(conn)
+        self.effects.extend(effects)
+        return effects
+
+    def fire_timer(self, key: str) -> list[Effect]:
+        effects = self.core.on_timer(key)
+        self.effects.extend(effects)
+        return effects
+
+    def invoke(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Call a request method on the core and collect emitted effects."""
+        result = getattr(self.core, method)(*args, **kwargs)
+        self.effects.extend(self.core.drain())
+        return result
+
+    # -- inspection -----------------------------------------------------------
+
+    def sent_to(self, conn: int, effects: list[Effect] | None = None) -> list[Any]:
+        """Messages sent to *conn* (within *effects* or everything so far)."""
+        pool = self.effects if effects is None else effects
+        return [e.message for e in pool if isinstance(e, SendMessage) and e.conn == conn]
+
+    def all_sends(self, effects: list[Effect] | None = None) -> list[SendMessage]:
+        pool = self.effects if effects is None else effects
+        return [e for e in pool if isinstance(e, SendMessage)]
+
+    def of_type(self, effect_type: type, effects: list[Effect] | None = None) -> list[Effect]:
+        pool = self.effects if effects is None else effects
+        return [e for e in pool if isinstance(e, effect_type)]
+
+    def notifications(self, kind: str | None = None) -> list[Notify]:
+        out = [e for e in self.effects if isinstance(e, Notify)]
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        return out
+
+    def wal_appends(self) -> list[AppendWal]:
+        return [e for e in self.effects if isinstance(e, AppendWal)]
+
+    def checkpoints(self) -> list[WriteCheckpoint]:
+        return [e for e in self.effects if isinstance(e, WriteCheckpoint)]
+
+    def timers_started(self) -> list[StartTimer]:
+        return [e for e in self.effects if isinstance(e, StartTimer)]
+
+    def timers_cancelled(self) -> list[CancelTimer]:
+        return [e for e in self.effects if isinstance(e, CancelTimer)]
+
+    def closes(self) -> list[CloseConnection]:
+        return [e for e in self.effects if isinstance(e, CloseConnection)]
+
+    def clear(self) -> None:
+        self.effects.clear()

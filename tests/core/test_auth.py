@@ -1,0 +1,133 @@
+"""Tests for client authentication (the §5.3 future work)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.auth import AllowAnyClient, TokenAuthenticator
+from repro.core.clock import ManualClock
+from repro.core.errors import NotAuthorizedError
+from repro.core.events import CloseConnection
+from repro.core.server import ServerConfig, ServerCore
+from repro.core.session import AclSessionManager, GroupAction
+from repro.sim.harness import CoronaWorld
+from repro.wire.messages import ErrorReply, Hello, HelloReply
+from tests.core.helpers import CoreDriver
+
+
+class TestAuthenticators:
+    def test_allow_any(self):
+        assert AllowAnyClient().authenticate("anyone", "")
+
+    def test_token_match(self):
+        auth = TokenAuthenticator({"alice": "s3cret"})
+        assert auth.authenticate("alice", "s3cret")
+        assert not auth.authenticate("alice", "wrong")
+        assert not auth.authenticate("alice", "")
+
+    def test_unregistered_client_rejected_by_default(self):
+        auth = TokenAuthenticator({"alice": "x"})
+        assert not auth.authenticate("mallory", "x")
+
+    def test_unregistered_client_admitted_when_allowed(self):
+        auth = TokenAuthenticator({"alice": "x"}, allow_unregistered=True)
+        assert auth.authenticate("guest", "")
+
+    def test_register(self):
+        auth = TokenAuthenticator()
+        auth.register("bob", "pw")
+        assert auth.authenticate("bob", "pw")
+
+
+class TestServerHandshake:
+    def _server(self, **config):
+        return CoreDriver(ServerCore(ServerConfig(**config), ManualClock()))
+
+    def test_good_token_admitted(self):
+        driver = self._server(authenticator=TokenAuthenticator({"alice": "pw"}))
+        conn = driver.connect()
+        effects = driver.deliver(conn, Hello(client_id="alice", token="pw"))
+        assert any(isinstance(m, HelloReply) for m in driver.sent_to(conn, effects))
+
+    def test_bad_token_rejected_and_closed(self):
+        driver = self._server(authenticator=TokenAuthenticator({"alice": "pw"}))
+        conn = driver.connect()
+        effects = driver.deliver(conn, Hello(client_id="alice", token="nope"))
+        (reply,) = driver.sent_to(conn, effects)
+        assert isinstance(reply, ErrorReply)
+        assert reply.request_id == 0
+        assert reply.code == "corona.not_authorized"
+        assert CloseConnection(conn) in effects
+
+    def test_wrong_protocol_version_rejected(self):
+        driver = self._server()
+        conn = driver.connect()
+        effects = driver.deliver(conn, Hello(client_id="x", protocol_version=99))
+        (reply,) = driver.sent_to(conn, effects)
+        assert reply.code == "corona.protocol"
+        assert CloseConnection(conn) in effects
+
+    def test_default_server_is_open(self):
+        driver = self._server()
+        conn = driver.connect()
+        effects = driver.deliver(conn, Hello(client_id="anyone"))
+        assert any(isinstance(m, HelloReply) for m in driver.sent_to(conn, effects))
+
+
+class TestEndToEnd:
+    def test_authenticated_session_in_sim(self):
+        world = CoronaWorld()
+        auth = TokenAuthenticator({"alice": "pw", "bob": "bобpw"})
+        world.add_server(config=ServerConfig(server_id="server", authenticator=auth))
+        alice = world.add_client(client_id="alice", token="pw")
+        mallory = world.add_client(client_id="mallory", token="guess")
+        world.run()
+        assert alice.core.connected
+        assert not mallory.core.connected
+        errors = mallory.events_of_kind("error")
+        assert errors and isinstance(errors[0], NotAuthorizedError)
+
+    def test_auth_plus_acl_compose(self):
+        """Authentication says who you are; the session manager says what
+        you may do — together they are the paper's 'security mechanisms
+        and access control'."""
+        world = CoronaWorld()
+        auth = TokenAuthenticator({"admin": "root", "user": "pw"})
+        acl = AclSessionManager()
+        acl.restrict("ops", GroupAction.CREATE, {"admin"})
+        world.add_server(config=ServerConfig(
+            server_id="server", authenticator=auth, session_manager=acl,
+        ))
+        admin = world.add_client(client_id="admin", token="root")
+        user = world.add_client(client_id="user", token="pw")
+        world.run()
+        denied = user.call("create_group", "ops")
+        world.run()
+        assert denied.error.code == "corona.not_authorized"
+        allowed = admin.call("create_group", "ops")
+        world.run()
+        assert allowed.ok
+
+    def test_runtime_rejects_bad_token(self):
+        from repro.net.memory import MemoryNetwork
+        from repro.runtime import CoronaClient, CoronaServer
+
+        async def main():
+            net = MemoryNetwork()
+            server = CoronaServer(
+                config=ServerConfig(authenticator=TokenAuthenticator({"a": "pw"})),
+                transport=net,
+            )
+            await server.start("corona", 0)
+            client = await CoronaClient.connect(
+                ("corona", 0), "a", transport=net, token="pw"
+            )
+            assert client.core.connected
+            await client.close()
+            with pytest.raises(NotAuthorizedError):
+                await CoronaClient.connect(
+                    ("corona", 0), "a", transport=net, token="wrong"
+                )
+            await server.stop()
+
+        asyncio.run(main())

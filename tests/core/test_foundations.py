@@ -1,0 +1,110 @@
+"""Tests for foundation modules: errors, ids, clocks, the effect buffer."""
+
+import pytest
+
+from repro.core import errors
+from repro.core.clock import ManualClock, MonotonicClock
+from repro.core.errors import (
+    CoronaError,
+    GroupExistsError,
+    LockHeldError,
+    NoSuchGroupError,
+    error_from_code,
+)
+from repro.core.events import Notify, ProtocolCore, SendMessage
+from repro.core.ids import NO_SEQNO, IdGenerator
+from repro.wire.messages import Ack
+
+
+class TestErrors:
+    def test_every_error_has_a_unique_code(self):
+        codes = [
+            getattr(errors, name).code
+            for name in errors.__all__
+            if isinstance(getattr(errors, name), type)
+            and issubclass(getattr(errors, name), CoronaError)
+        ]
+        assert len(codes) == len(set(codes))
+
+    def test_error_from_code_roundtrip(self):
+        for cls in (NoSuchGroupError, GroupExistsError, LockHeldError):
+            rebuilt = error_from_code(cls.code, "details here")
+            assert type(rebuilt) is cls
+            assert str(rebuilt) == "details here"
+
+    def test_unknown_code_degrades_to_base(self):
+        err = error_from_code("corona.from-the-future", "hm")
+        assert type(err) is CoronaError
+
+    def test_empty_message_uses_code(self):
+        assert str(error_from_code("corona.no_such_group")) == "corona.no_such_group"
+
+    def test_all_errors_catchable_as_corona_error(self):
+        with pytest.raises(CoronaError):
+            raise NoSuchGroupError("x")
+
+
+class TestIds:
+    def test_generator_is_deterministic(self):
+        a, b = IdGenerator("srv"), IdGenerator("srv")
+        assert [a.next_id() for _ in range(3)] == [b.next_id() for _ in range(3)]
+        assert a.next_id() == "srv-3"
+
+    def test_next_int(self):
+        gen = IdGenerator()
+        assert gen.next_int() == 0
+        assert gen.next_int() == 1
+
+    def test_sentinel(self):
+        assert NO_SEQNO == -1
+
+
+class TestClocks:
+    def test_monotonic_clock_advances(self):
+        clock = MonotonicClock()
+        assert clock.now() <= clock.now()
+
+    def test_manual_clock(self):
+        clock = ManualClock(start=5.0)
+        assert clock.now() == 5.0
+        clock.advance(2.5)
+        assert clock.now() == 7.5
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_manual_clock_never_goes_backwards(self):
+        clock = ManualClock(start=5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.set(1.0)
+
+
+class TestProtocolCore:
+    def test_effects_drain_per_event(self):
+        class Chatty(ProtocolCore):
+            def handle_message(self, conn, message):
+                self.send(conn, message)
+                self.emit(Notify("saw", message))
+
+        core = Chatty()
+        first = core.on_message(1, Ack(1))
+        assert [type(e) for e in first] == [SendMessage, Notify]
+        # the buffer was drained: the next event starts clean
+        assert core.on_message(1, Ack(2)) != first
+        assert len(core.on_timer("t")) == 0
+
+    def test_drain_collects_out_of_band_emissions(self):
+        core = ProtocolCore()
+        core.emit(Notify("a", 1))
+        core.emit(Notify("b", 2))
+        drained = core.drain()
+        assert [e.kind for e in drained] == ["a", "b"]
+        assert core.drain() == []
+
+    def test_default_handlers_are_noops(self):
+        core = ProtocolCore()
+        assert core.on_connected(1, peer="x") == []
+        assert core.on_message(1, Ack(1)) == []
+        assert core.on_timer("k") == []
+        assert core.on_closed(1) == []

@@ -1,0 +1,83 @@
+"""Tests for the per-object lock service."""
+
+import pytest
+
+from repro.core.errors import LockNotHeldError
+from repro.core.locks import LockGrant, LockTable
+
+
+@pytest.fixture
+def table():
+    return LockTable()
+
+
+class TestAcquire:
+    def test_free_lock_granted(self, table):
+        assert table.acquire("o", "alice", 1, blocking=True) is True
+        assert table.holder("o") == "alice"
+
+    def test_reacquire_own_lock_granted(self, table):
+        table.acquire("o", "alice", 1, blocking=True)
+        assert table.acquire("o", "alice", 2, blocking=True) is True
+
+    def test_nonblocking_denied_when_held(self, table):
+        table.acquire("o", "alice", 1, blocking=True)
+        assert table.acquire("o", "bob", 2, blocking=False) is False
+        assert table.waiting("o") == 0
+
+    def test_blocking_queues_when_held(self, table):
+        table.acquire("o", "alice", 1, blocking=True)
+        assert table.acquire("o", "bob", 2, blocking=True) is None
+        assert table.waiting("o") == 1
+
+    def test_independent_objects(self, table):
+        table.acquire("a", "alice", 1, blocking=True)
+        assert table.acquire("b", "bob", 2, blocking=True) is True
+
+
+class TestRelease:
+    def test_release_frees_lock(self, table):
+        table.acquire("o", "alice", 1, blocking=True)
+        assert table.release("o", "alice") is None
+        assert table.holder("o") is None
+
+    def test_release_hands_to_next_waiter_fifo(self, table):
+        table.acquire("o", "alice", 1, blocking=True)
+        table.acquire("o", "bob", 2, blocking=True)
+        table.acquire("o", "carol", 3, blocking=True)
+        grant = table.release("o", "alice")
+        assert grant == LockGrant("o", "bob", 2)
+        assert table.holder("o") == "bob"
+        grant = table.release("o", "bob")
+        assert grant == LockGrant("o", "carol", 3)
+
+    def test_release_not_held_raises(self, table):
+        with pytest.raises(LockNotHeldError):
+            table.release("o", "alice")
+
+    def test_release_by_non_holder_raises(self, table):
+        table.acquire("o", "alice", 1, blocking=True)
+        with pytest.raises(LockNotHeldError):
+            table.release("o", "bob")
+
+
+class TestReleaseAll:
+    def test_strips_held_locks_and_grants(self, table):
+        table.acquire("a", "alice", 1, blocking=True)
+        table.acquire("b", "alice", 2, blocking=True)
+        table.acquire("a", "bob", 3, blocking=True)
+        grants = table.release_all("alice")
+        assert grants == [LockGrant("a", "bob", 3)]
+        assert table.holder("a") == "bob"
+        assert table.holder("b") is None
+
+    def test_removes_client_from_wait_queues(self, table):
+        table.acquire("o", "alice", 1, blocking=True)
+        table.acquire("o", "bob", 2, blocking=True)
+        table.acquire("o", "carol", 3, blocking=True)
+        table.release_all("bob")
+        grant = table.release("o", "alice")
+        assert grant == LockGrant("o", "carol", 3)
+
+    def test_noop_for_unknown_client(self, table):
+        assert table.release_all("ghost") == []

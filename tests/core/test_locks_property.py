@@ -1,0 +1,98 @@
+"""Property test: lock FIFO fairness and safety under random operations."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.errors import LockNotHeldError
+from repro.core.locks import LockTable
+
+CLIENTS = ["a", "b", "c", "d"]
+OBJECTS = ["x", "y"]
+
+
+class LockMachine(RuleBasedStateMachine):
+    """Model: per object, a holder plus a FIFO waiter queue."""
+
+    def __init__(self):
+        super().__init__()
+        self.table = LockTable()
+        self.holder = {o: None for o in OBJECTS}
+        self.waiters = {o: [] for o in OBJECTS}
+        self.rid = 0
+
+    def _next_rid(self):
+        self.rid += 1
+        return self.rid
+
+    @rule(obj=st.sampled_from(OBJECTS), client=st.sampled_from(CLIENTS),
+          blocking=st.booleans())
+    def acquire(self, obj, client, blocking):
+        if any(c == client for c, _r in self.waiters[obj]):
+            return  # a well-behaved client does not double-queue
+        rid = self._next_rid()
+        outcome = self.table.acquire(obj, client, rid, blocking)
+        if self.holder[obj] is None or self.holder[obj] == client:
+            assert outcome is True
+            self.holder[obj] = client
+        elif blocking:
+            assert outcome is None
+            self.waiters[obj].append((client, rid))
+        else:
+            assert outcome is False
+
+    @rule(obj=st.sampled_from(OBJECTS), client=st.sampled_from(CLIENTS))
+    def release(self, obj, client):
+        if self.holder[obj] == client:
+            grant = self.table.release(obj, client)
+            if self.waiters[obj]:
+                expected_client, expected_rid = self.waiters[obj].pop(0)
+                assert grant is not None
+                assert grant.client == expected_client
+                assert grant.request_id == expected_rid
+                self.holder[obj] = expected_client
+            else:
+                assert grant is None
+                self.holder[obj] = None
+        else:
+            try:
+                self.table.release(obj, client)
+                assert False, "release by non-holder must raise"
+            except LockNotHeldError:
+                pass
+
+    @rule(client=st.sampled_from(CLIENTS))
+    def client_fails(self, client):
+        grants = self.table.release_all(client)
+        granted = {}
+        for obj in OBJECTS:
+            self.waiters[obj] = [
+                (c, r) for c, r in self.waiters[obj] if c != client
+            ]
+            if self.holder[obj] == client:
+                if self.waiters[obj]:
+                    next_client, next_rid = self.waiters[obj].pop(0)
+                    self.holder[obj] = next_client
+                    granted[obj] = (next_client, next_rid)
+                else:
+                    self.holder[obj] = None
+        assert {
+            g.object_id: (g.client, g.request_id) for g in grants
+        } == granted
+
+    @invariant()
+    def table_matches_model(self):
+        for obj in OBJECTS:
+            assert self.table.holder(obj) == self.holder[obj]
+            assert self.table.waiting(obj) == len(self.waiters[obj])
+
+    @invariant()
+    def holder_never_waits_on_own_lock(self):
+        for obj in OBJECTS:
+            assert all(c != self.holder[obj] for c, _r in self.waiters[obj])
+
+
+TestLockFairness = LockMachine.TestCase
+TestLockFairness.settings = settings(
+    max_examples=80, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,127 @@
+"""Tests for the in-memory state log: ordering, suffixes, trimming."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import StaleStateError
+from repro.core.log import StateLog
+from repro.wire.messages import UpdateKind, UpdateRecord
+
+
+def _record(seqno, data=b"x"):
+    return UpdateRecord(seqno, UpdateKind.UPDATE, "o", data, "c", 0.0)
+
+
+def _filled(n):
+    log = StateLog()
+    for i in range(n):
+        log.append(_record(i, data=bytes([i])))
+    return log
+
+
+class TestAppend:
+    def test_empty_log(self):
+        log = StateLog()
+        assert len(log) == 0
+        assert log.next_seqno == 0
+        assert log.last_seqno == -1
+        assert log.size_bytes() == 0
+
+    def test_contiguous_appends(self):
+        log = _filled(3)
+        assert len(log) == 3
+        assert log.next_seqno == 3
+        assert [r.seqno for r in log.records()] == [0, 1, 2]
+
+    def test_gap_rejected(self):
+        log = _filled(2)
+        with pytest.raises(ValueError):
+            log.append(_record(5))
+
+    def test_duplicate_rejected(self):
+        log = _filled(2)
+        with pytest.raises(ValueError):
+            log.append(_record(1))
+
+    def test_size_bytes_tracks_payloads(self):
+        log = StateLog()
+        log.append(_record(0, b"12345"))
+        log.append(_record(1, b"678"))
+        assert log.size_bytes() == 8
+
+
+class TestQueries:
+    def test_since_returns_suffix(self):
+        log = _filled(5)
+        suffix = log.since(2)
+        assert [r.seqno for r in suffix] == [3, 4]
+
+    def test_since_minus_one_returns_everything(self):
+        log = _filled(3)
+        assert len(log.since(-1)) == 3
+
+    def test_since_beyond_tip_is_empty(self):
+        log = _filled(3)
+        assert log.since(10) == ()
+
+    def test_latest_n(self):
+        log = _filled(5)
+        assert [r.seqno for r in log.latest(2)] == [3, 4]
+
+    def test_latest_more_than_available(self):
+        log = _filled(2)
+        assert len(log.latest(10)) == 2
+
+    def test_latest_zero_or_negative(self):
+        log = _filled(3)
+        assert log.latest(0) == ()
+        assert log.latest(-1) == ()
+
+
+class TestTrim:
+    def test_trim_drops_prefix(self):
+        log = _filled(5)
+        dropped = log.trim_to(2)
+        assert dropped == 3
+        assert len(log) == 2
+        assert log.first_seqno == 3
+        assert log.next_seqno == 5
+
+    def test_trim_everything(self):
+        log = _filled(3)
+        log.trim_to(2)
+        assert len(log) == 0
+        assert log.next_seqno == 3  # seqnos keep counting after reduction
+
+    def test_append_continues_after_full_trim(self):
+        log = _filled(3)
+        log.trim_to(2)
+        log.append(_record(3))
+        assert [r.seqno for r in log.records()] == [3]
+
+    def test_since_raises_for_trimmed_history(self):
+        log = _filled(5)
+        log.trim_to(2)
+        with pytest.raises(StaleStateError):
+            log.since(0)
+
+    def test_since_at_trim_boundary_is_ok(self):
+        log = _filled(5)
+        log.trim_to(2)
+        assert [r.seqno for r in log.since(2)] == [3, 4]
+
+    def test_trim_updates_size(self):
+        log = StateLog()
+        log.append(_record(0, b"aaaa"))
+        log.append(_record(1, b"bb"))
+        log.trim_to(0)
+        assert log.size_bytes() == 2
+
+    @given(st.integers(0, 30), st.integers(-1, 35))
+    def test_trim_invariants(self, n, trim_at):
+        log = _filled(n)
+        log.trim_to(trim_at)
+        assert log.next_seqno == max(n, trim_at + 1)
+        assert all(r.seqno > trim_at for r in log.records())
+        assert log.first_seqno == max(0, trim_at + 1)

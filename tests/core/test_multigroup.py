@@ -1,0 +1,126 @@
+"""Scenarios with clients in several groups at once (paper Figure 2:
+"Clients may belong to different groups")."""
+
+import pytest
+
+from repro.sim.harness import CoronaWorld
+
+
+@pytest.fixture
+def world():
+    return CoronaWorld()
+
+
+class TestMultiGroupClients:
+    def test_client_in_two_groups_keeps_streams_separate(self, world):
+        world.add_server()
+        alice = world.add_client(client_id="alice")
+        bob = world.add_client(client_id="bob")
+        world.run()
+        alice.call("create_group", "g1", True)
+        alice.call("create_group", "g2", True)
+        world.run()
+        alice.call("join_group", "g1")
+        alice.call("join_group", "g2")
+        bob.call("join_group", "g1")
+        world.run()
+        alice.call("bcast_update", "g1", "o", b"one")
+        alice.call("bcast_update", "g2", "o", b"two")
+        world.run()
+        assert alice.core.views["g1"].state.get("o").materialized() == b"one"
+        assert alice.core.views["g2"].state.get("o").materialized() == b"two"
+        # bob is only in g1: no g2 leakage
+        assert "g2" not in bob.core.views
+        assert bob.core.views["g1"].state.get("o").materialized() == b"one"
+
+    def test_seqnos_are_per_group(self, world):
+        server = world.add_server()
+        alice = world.add_client(client_id="alice")
+        world.run()
+        alice.call("create_group", "g1", True)
+        alice.call("create_group", "g2", True)
+        world.run()
+        alice.call("join_group", "g1")
+        alice.call("join_group", "g2")
+        world.run()
+        for _ in range(3):
+            alice.call("bcast_update", "g1", "o", b"x")
+        alice.call("bcast_update", "g2", "o", b"y")
+        world.run()
+        assert server.core.groups["g1"].log.next_seqno == 3
+        assert server.core.groups["g2"].log.next_seqno == 1
+
+    def test_leaving_one_group_keeps_the_other(self, world):
+        world.add_server()
+        alice = world.add_client(client_id="alice")
+        world.run()
+        alice.call("create_group", "g1", True)
+        alice.call("create_group", "g2", True)
+        world.run()
+        alice.call("join_group", "g1")
+        alice.call("join_group", "g2")
+        world.run()
+        alice.call("leave_group", "g1")
+        world.run()
+        up = alice.call("bcast_update", "g2", "o", b"still-works")
+        world.run()
+        assert up.ok
+        denied = alice.call("bcast_update", "g1", "o", b"nope")
+        world.run()
+        assert denied.error.code == "corona.not_a_member"
+
+    def test_disconnect_removes_client_from_every_group(self, world):
+        server = world.add_server()
+        doomed = world.add_client(client_id="doomed")
+        world.run()
+        for name in ("a", "b", "c"):
+            doomed.call("create_group", name, True)
+        world.run()
+        for name in ("a", "b", "c"):
+            doomed.call("join_group", name)
+        world.run()
+        doomed.host.crash()
+        world.run()
+        for name in ("a", "b", "c"):
+            assert len(server.core.groups[name]) == 0
+            assert name in server.core.groups  # persistent: group survives
+
+    def test_locks_are_per_group(self, world):
+        world.add_server()
+        alice = world.add_client(client_id="alice")
+        bob = world.add_client(client_id="bob")
+        world.run()
+        alice.call("create_group", "g1", True)
+        alice.call("create_group", "g2", True)
+        world.run()
+        for client in (alice, bob):
+            client.call("join_group", "g1")
+            client.call("join_group", "g2")
+        world.run()
+        got1 = alice.call("acquire_lock", "g1", "doc")
+        world.run_for(1.0)
+        assert got1.ok
+        # same object id in the other group is an independent lock
+        got2 = bob.call("acquire_lock", "g2", "doc")
+        world.run_for(1.0)
+        assert got2.ok
+
+    def test_replicated_client_in_groups_on_different_servers(self, world):
+        world.add_replicated_cluster(3, heartbeat_interval=0.5, suspicion_timeout=1.0)
+        world.run_for(1.0)
+        alice = world.add_client(client_id="alice", server="srv-1")
+        bob = world.add_client(client_id="bob", server="srv-2")
+        world.run_for(0.5)
+        alice.call("create_group", "shared", True)
+        alice.call("create_group", "mine", True)
+        world.run_for(0.5)
+        alice.call("join_group", "shared")
+        alice.call("join_group", "mine")
+        bob.call("join_group", "shared")
+        world.run_for(1.0)
+        alice.call("bcast_update", "shared", "o", b"both")
+        alice.call("bcast_update", "mine", "o", b"solo")
+        world.run_for(1.0)
+        assert bob.core.views["shared"].state.get("o").materialized() == b"both"
+        assert "mine" not in bob.core.views
+        assert alice.core.views["mine"].state.get("o").materialized() == b"solo"

@@ -1,0 +1,112 @@
+"""Tests for sequencer, FIFO checker, and vector clocks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ordering import FifoChecker, Sequencer, VectorClock
+
+
+class TestSequencer:
+    def test_monotone_allocation(self):
+        seq = Sequencer()
+        assert [seq.allocate() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_fast_forward(self):
+        seq = Sequencer()
+        seq.fast_forward(10)
+        assert seq.allocate() == 11
+
+    def test_fast_forward_never_goes_back(self):
+        seq = Sequencer(next_seqno=20)
+        seq.fast_forward(5)
+        assert seq.allocate() == 20
+
+
+class TestFifoChecker:
+    def test_in_order_ok(self):
+        checker = FifoChecker()
+        checker.observe("a", 1)
+        checker.observe("a", 5)
+        checker.observe("b", 2)
+        assert checker.last_from("a") == 5
+
+    def test_regression_raises(self):
+        checker = FifoChecker()
+        checker.observe("a", 5)
+        with pytest.raises(AssertionError):
+            checker.observe("a", 3)
+
+    def test_duplicate_raises(self):
+        checker = FifoChecker()
+        checker.observe("a", 5)
+        with pytest.raises(AssertionError):
+            checker.observe("a", 5)
+
+    def test_unknown_sender(self):
+        assert FifoChecker().last_from("nobody") is None
+
+
+class TestVectorClock:
+    def test_tick_advances_component(self):
+        clock = VectorClock().tick("p").tick("p").tick("q")
+        assert clock.counters["p"] == 2
+        assert clock.counters["q"] == 1
+
+    def test_merge_is_componentwise_max(self):
+        a = VectorClock({"p": 3, "q": 1})
+        b = VectorClock({"q": 5, "r": 2})
+        merged = a.merge(b)
+        assert merged == VectorClock({"p": 3, "q": 5, "r": 2})
+
+    def test_dominates(self):
+        a = VectorClock({"p": 2, "q": 1})
+        b = VectorClock({"p": 1, "q": 1})
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_missing_components_are_zero(self):
+        a = VectorClock({"p": 1})
+        b = VectorClock({})
+        assert a.dominates(b)
+        assert a == VectorClock({"p": 1, "q": 0})
+
+    def test_concurrency(self):
+        a = VectorClock({"p": 2, "q": 0})
+        b = VectorClock({"p": 0, "q": 2})
+        assert a.concurrent_with(b)
+        assert not a.dominates(b)
+
+    def test_hash_ignores_zero_components(self):
+        assert hash(VectorClock({"p": 1, "q": 0})) == hash(VectorClock({"p": 1}))
+
+    def test_ordered_trace_accepted(self):
+        c1 = VectorClock({"p": 1})
+        c2 = c1.tick("p")
+        c3 = c2.tick("q")
+        assert VectorClock.ordered([(c1, "a"), (c2, "b"), (c3, "c")])
+
+    def test_causality_violation_detected(self):
+        c1 = VectorClock({"p": 1})
+        c2 = c1.tick("p")
+        assert not VectorClock.ordered([(c2, "late"), (c1, "early")])
+
+    def test_concurrent_events_any_order(self):
+        a = VectorClock({"p": 1})
+        b = VectorClock({"q": 1})
+        assert VectorClock.ordered([(a, "x"), (b, "y")])
+        assert VectorClock.ordered([(b, "y"), (a, "x")])
+
+    @given(
+        st.lists(
+            st.sampled_from(["p", "q", "r"]), min_size=1, max_size=30
+        )
+    )
+    def test_single_timeline_always_ordered(self, processes):
+        """Events produced sequentially on one causal chain stay ordered."""
+        clock = VectorClock()
+        trace = []
+        for process in processes:
+            clock = clock.tick(process)
+            trace.append((clock, process))
+        assert VectorClock.ordered(trace)

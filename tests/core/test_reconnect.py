@@ -1,0 +1,101 @@
+"""Client reconnection: redial, rejoin, and incremental resync.
+
+The paper's companion work ([15], referenced in §4.2) covers "client or
+link failures and how to maintain state consistency through client
+reconnection"; Corona's SINCE_SEQNO transfer is the mechanism.  These
+tests cut the client's link mid-session and verify the replica catches
+up with exactly the missed suffix.
+"""
+
+import pytest
+
+from repro.sim.harness import CoronaWorld
+
+
+@pytest.fixture
+def world():
+    return CoronaWorld()
+
+
+def _link_cut(world, client, duration):
+    world.network.partition({client.host_id}, {"server"})
+    world.run_for(duration)
+    world.network.heal()
+
+
+def _setup(world, **client_kwargs):
+    world.add_server()
+    writer = world.add_client(client_id="writer")
+    flaky = world.add_client(client_id="flaky", **client_kwargs)
+    world.run()
+    writer.call("create_group", "g", True)
+    world.run()
+    writer.call("join_group", "g")
+    flaky.call("join_group", "g")
+    world.run()
+    writer.call("bcast_update", "g", "doc", b"before;")
+    world.run()
+    return writer, flaky
+
+
+class TestAutoReconnect:
+    def test_rejoin_resyncs_missed_suffix(self, world):
+        writer, flaky = _setup(world, auto_reconnect=True)
+        _link_cut(world, flaky, duration=2.0)
+        # while flaky is gone, the world moves on
+        writer.call("bcast_update", "g", "doc", b"missed;")
+        world.run_for(1.0)
+        world.run_for(10.0)  # give the backoff timer room to redial
+        assert flaky.core.connected
+        assert flaky.events_of_kind("rejoined")
+        assert flaky.core.views["g"].state.get("doc").materialized() == b"before;missed;"
+
+    def test_updates_flow_again_after_rejoin(self, world):
+        writer, flaky = _setup(world, auto_reconnect=True)
+        _link_cut(world, flaky, duration=2.0)
+        world.run_for(10.0)
+        writer.call("bcast_update", "g", "doc", b"after;")
+        world.run_for(1.0)
+        assert flaky.core.views["g"].state.get("doc").materialized() == b"before;after;"
+        # and flaky can publish again
+        up = flaky.call("bcast_update", "g", "doc", b"mine;")
+        world.run_for(1.0)
+        assert up.ok
+        assert writer.core.views["g"].state.get("doc").materialized() == b"before;after;mine;"
+
+    def test_backoff_retries_until_server_is_reachable(self, world):
+        writer, flaky = _setup(world, auto_reconnect=True)
+        _link_cut(world, flaky, duration=8.0)  # several failed attempts
+        world.run_for(20.0)
+        assert flaky.core.connected
+        assert flaky.events_of_kind("reconnect_failed")  # it did struggle
+
+    def test_rejoin_after_reduction_falls_back_to_full(self, world):
+        writer, flaky = _setup(world, auto_reconnect=True)
+        world.network.partition({flaky.host_id}, {"server"})
+        world.run_for(1.0)
+        writer.call("bcast_update", "g", "doc", b"lost-history;")
+        world.run_for(0.5)
+        writer.call("reduce_log", "g")  # the suffix flaky needs is trimmed
+        world.run_for(0.5)
+        world.network.heal()
+        world.run_for(10.0)
+        assert flaky.core.views["g"].state.get("doc").materialized() == b"before;lost-history;"
+
+    def test_membership_recovers(self, world):
+        writer, flaky = _setup(world, auto_reconnect=True)
+        _link_cut(world, flaky, duration=2.0)
+        world.run_for(10.0)
+        reply = writer.call("get_membership", "g")
+        world.run_for(0.5)
+        assert sorted(m.client_id for m in reply.value) == ["flaky", "writer"]
+
+
+class TestNoAutoReconnect:
+    def test_default_client_stays_disconnected(self, world):
+        writer, flaky = _setup(world)  # auto_reconnect=False (default)
+        _link_cut(world, flaky, duration=2.0)
+        world.run_for(10.0)
+        assert not flaky.core.connected
+        assert flaky.events_of_kind("disconnected")
+        assert not flaky.events_of_kind("rejoined")

@@ -1,0 +1,59 @@
+"""Tests for state-log reduction policies."""
+
+from repro.core.log import StateLog
+from repro.core.reduction import (
+    CompositeReduce,
+    NeverReduce,
+    ReduceByBytes,
+    ReduceByCount,
+)
+from repro.core.state import SharedState
+from repro.wire.messages import UpdateKind, UpdateRecord
+
+
+def _log_with(n, payload=b"x"):
+    log = StateLog()
+    state = SharedState()
+    for i in range(n):
+        record = UpdateRecord(i, UpdateKind.UPDATE, "o", payload, "c", 0.0)
+        log.append(record)
+        state.apply(record)
+    return log, state
+
+
+def test_never_reduce():
+    log, state = _log_with(10_000)
+    assert not NeverReduce().should_reduce(log, state)
+
+
+def test_reduce_by_count_below_threshold():
+    log, state = _log_with(10)
+    assert not ReduceByCount(max_records=10).should_reduce(log, state)
+
+
+def test_reduce_by_count_above_threshold():
+    log, state = _log_with(11)
+    assert ReduceByCount(max_records=10).should_reduce(log, state)
+
+
+def test_reduce_by_bytes():
+    log, state = _log_with(4, payload=b"abc")  # 12 bytes retained
+    assert not ReduceByBytes(max_bytes=12).should_reduce(log, state)
+    assert ReduceByBytes(max_bytes=11).should_reduce(log, state)
+
+
+def test_composite_any_triggers():
+    log, state = _log_with(5, payload=b"1234")
+    policy = CompositeReduce((ReduceByCount(100), ReduceByBytes(10)))
+    assert policy.should_reduce(log, state)
+
+
+def test_composite_none_triggers():
+    log, state = _log_with(5)
+    policy = CompositeReduce((ReduceByCount(100), ReduceByBytes(1000)))
+    assert not policy.should_reduce(log, state)
+
+
+def test_composite_empty_never_triggers():
+    log, state = _log_with(5)
+    assert not CompositeReduce(()).should_reduce(log, state)

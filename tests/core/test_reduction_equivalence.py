@@ -1,0 +1,76 @@
+"""Property: state-log reduction never changes observable state.
+
+Random mixtures of bcastState/bcastUpdate across several objects, with
+reductions injected at arbitrary points, must leave the server's
+materialized state — and what a FULL-transfer joiner receives — identical
+to a reference server that never reduces.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import ManualClock
+from repro.core.server import ServerConfig, ServerCore
+from repro.wire.messages import (
+    BcastStateRequest,
+    BcastUpdateRequest,
+    CreateGroupRequest,
+    Hello,
+    JoinGroupRequest,
+    JoinReply,
+    ReduceLogRequest,
+)
+from tests.core.helpers import CoreDriver
+
+# an op is (is_state, object_index, payload, reduce_after)
+_OPS = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(0, 2),
+        st.binary(min_size=1, max_size=6),
+        st.booleans(),
+    ),
+    max_size=25,
+)
+
+
+def _run(ops, with_reduction):
+    driver = CoreDriver(ServerCore(ServerConfig(persist=False), ManualClock()))
+    conn = driver.connect()
+    driver.deliver(conn, Hello(client_id="w"))
+    rid = iter(range(1, 10_000))
+    driver.deliver(conn, CreateGroupRequest(next(rid), "g", True))
+    driver.deliver(conn, JoinGroupRequest(next(rid), "g"))
+    for is_state, obj_idx, payload, reduce_after in ops:
+        obj = f"obj-{obj_idx}"
+        if is_state:
+            driver.deliver(conn, BcastStateRequest(next(rid), "g", obj, payload))
+        else:
+            driver.deliver(conn, BcastUpdateRequest(next(rid), "g", obj, payload))
+        if with_reduction and reduce_after:
+            driver.deliver(conn, ReduceLogRequest(next(rid), "g"))
+    # what a fresh FULL joiner would see
+    joiner = driver.connect()
+    driver.deliver(joiner, Hello(client_id="j"))
+    effects = driver.deliver(joiner, JoinGroupRequest(next(rid), "g"))
+    (reply,) = [
+        m for m in driver.sent_to(joiner, effects) if isinstance(m, JoinReply)
+    ]
+    group = driver.core.groups["g"]
+    materialized = {
+        oid: group.state.get(oid).materialized()
+        for oid in group.state.object_ids()
+    }
+    return materialized, reply.snapshot
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS)
+def test_reduction_is_observably_transparent(ops):
+    plain_state, plain_snapshot = _run(ops, with_reduction=False)
+    reduced_state, reduced_snapshot = _run(ops, with_reduction=True)
+    assert reduced_state == plain_state
+    assert {o.object_id: o.data for o in reduced_snapshot.objects} == {
+        o.object_id: o.data for o in plain_snapshot.objects
+    }
+    assert reduced_snapshot.next_seqno == plain_snapshot.next_seqno

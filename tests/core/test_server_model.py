@@ -1,0 +1,171 @@
+"""Model-based property test: the server core vs a reference model.
+
+Hypothesis drives random operation sequences (joins, leaves, both kinds
+of broadcast, reductions, disconnects) against a ServerCore, while a
+simple in-test model tracks what the shared state and membership *should*
+be.  After every step the core must agree with the model, and at the end
+every connected member's delivered stream must reconstruct the model
+state byte-for-byte.
+"""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.clock import ManualClock
+from repro.core.server import ServerConfig, ServerCore
+from repro.wire.messages import (
+    BcastStateRequest,
+    BcastUpdateRequest,
+    CreateGroupRequest,
+    Delivery,
+    Hello,
+    JoinGroupRequest,
+    LeaveGroupRequest,
+    ReduceLogRequest,
+)
+from tests.core.helpers import CoreDriver
+
+CLIENTS = ["c0", "c1", "c2", "c3"]
+OBJECTS = ["alpha", "beta"]
+
+
+class ServerModelMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.clock = ManualClock()
+        self.driver = CoreDriver(ServerCore(ServerConfig(persist=False), self.clock))
+        self.conns = {}
+        self.request_id = 100
+        # the reference model
+        self.members: set[str] = set()
+        self.objects: dict[str, bytes] = {}
+        self.deliveries: dict[str, list] = defaultdict(list)
+        self.joined_at: dict[str, int] = {}
+        self.seqno = 0
+
+    def _rid(self):
+        self.request_id += 1
+        return self.request_id
+
+    @initialize()
+    def setup(self):
+        for client in CLIENTS:
+            conn = self.driver.connect()
+            self.driver.deliver(conn, Hello(client_id=client))
+            self.conns[client] = conn
+        first = CLIENTS[0]
+        self.driver.deliver(self.conns[first], CreateGroupRequest(self._rid(), "g", True))
+
+    # -- rules ---------------------------------------------------------------
+
+    @rule(client=st.sampled_from(CLIENTS))
+    def join(self, client):
+        effects = self.driver.deliver(
+            self.conns[client], JoinGroupRequest(self._rid(), "g")
+        )
+        if client in self.members:
+            assert any(
+                getattr(m, "code", "") == "corona.already_member"
+                for m in self.driver.sent_to(self.conns[client], effects)
+            )
+        else:
+            self.members.add(client)
+            self.joined_at[client] = self.seqno
+
+    @rule(client=st.sampled_from(CLIENTS))
+    def leave(self, client):
+        effects = self.driver.deliver(
+            self.conns[client], LeaveGroupRequest(self._rid(), "g")
+        )
+        if client in self.members:
+            self.members.discard(client)
+        else:
+            assert any(
+                getattr(m, "code", "") == "corona.not_a_member"
+                for m in self.driver.sent_to(self.conns[client], effects)
+            )
+
+    @rule(
+        client=st.sampled_from(CLIENTS),
+        obj=st.sampled_from(OBJECTS),
+        data=st.binary(min_size=1, max_size=8),
+    )
+    def bcast_update(self, client, obj, data):
+        effects = self.driver.deliver(
+            self.conns[client],
+            BcastUpdateRequest(self._rid(), "g", obj, data),
+        )
+        if client in self.members:
+            self.objects[obj] = self.objects.get(obj, b"") + data
+            self._record_deliveries(effects)
+            self.seqno += 1
+
+    @rule(
+        client=st.sampled_from(CLIENTS),
+        obj=st.sampled_from(OBJECTS),
+        data=st.binary(min_size=1, max_size=8),
+    )
+    def bcast_state(self, client, obj, data):
+        effects = self.driver.deliver(
+            self.conns[client],
+            BcastStateRequest(self._rid(), "g", obj, data),
+        )
+        if client in self.members:
+            self.objects[obj] = data
+            self._record_deliveries(effects)
+            self.seqno += 1
+
+    @rule(client=st.sampled_from(CLIENTS))
+    def reduce(self, client):
+        self.driver.deliver(self.conns[client], ReduceLogRequest(self._rid(), "g"))
+
+    def _record_deliveries(self, effects):
+        for send in self.driver.all_sends(effects):
+            if isinstance(send.message, Delivery):
+                self.deliveries[send.conn].append(send.message.update)
+
+    # -- invariants ---------------------------------------------------------------
+
+    @invariant()
+    def membership_matches(self):
+        group = self.driver.core.groups.get("g")
+        assert group is not None  # persistent: survives null membership
+        assert {m.client_id for m in group.members()} == self.members
+
+    @invariant()
+    def state_matches_model(self):
+        group = self.driver.core.groups["g"]
+        for obj, expected in self.objects.items():
+            assert group.state.get(obj).materialized() == expected
+
+    @invariant()
+    def log_contiguous(self):
+        group = self.driver.core.groups["g"]
+        records = group.log.records()
+        for a, b in zip(records, records[1:]):
+            assert b.seqno == a.seqno + 1
+        assert group.log.next_seqno == self.seqno
+
+    @invariant()
+    def deliveries_are_gapless_per_member(self):
+        # every member's delivered seqnos are the contiguous range from
+        # its join point onward (while it stayed a member)
+        for client in self.members:
+            conn = self.conns[client]
+            seqnos = [u.seqno for u in self.deliveries[conn]]
+            tail = [s for s in seqnos if s >= self.joined_at[client]]
+            assert tail == list(range(self.joined_at[client], self.seqno))
+
+
+TestServerModel = ServerModelMachine.TestCase
+TestServerModel.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

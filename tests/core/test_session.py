@@ -1,0 +1,44 @@
+"""Tests for session-manager authorization."""
+
+from repro.core.session import AclSessionManager, AllowAll, GroupAction
+
+
+class TestAllowAll:
+    def test_everything_permitted(self):
+        manager = AllowAll()
+        for action in GroupAction:
+            assert manager.authorize("anyone", action, "any-group")
+
+
+class TestAcl:
+    def test_default_allow(self):
+        manager = AclSessionManager()
+        assert manager.authorize("alice", GroupAction.JOIN, "g")
+
+    def test_default_deny(self):
+        manager = AclSessionManager(default_allow=False)
+        assert not manager.authorize("alice", GroupAction.JOIN, "g")
+
+    def test_restriction_enforced(self):
+        manager = AclSessionManager()
+        manager.restrict("g", GroupAction.DELETE, {"admin"})
+        assert manager.authorize("admin", GroupAction.DELETE, "g")
+        assert not manager.authorize("alice", GroupAction.DELETE, "g")
+
+    def test_restriction_scoped_to_group_and_action(self):
+        manager = AclSessionManager()
+        manager.restrict("g", GroupAction.DELETE, {"admin"})
+        assert manager.authorize("alice", GroupAction.DELETE, "other")
+        assert manager.authorize("alice", GroupAction.JOIN, "g")
+
+    def test_wildcard(self):
+        manager = AclSessionManager(default_allow=False)
+        manager.restrict("g", GroupAction.JOIN, {"*"})
+        assert manager.authorize("anyone", GroupAction.JOIN, "g")
+
+    def test_replacing_restriction(self):
+        manager = AclSessionManager()
+        manager.restrict("g", GroupAction.CREATE, {"a"})
+        manager.restrict("g", GroupAction.CREATE, {"b"})
+        assert not manager.authorize("a", GroupAction.CREATE, "g")
+        assert manager.authorize("b", GroupAction.CREATE, "g")

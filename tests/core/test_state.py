@@ -1,0 +1,140 @@
+"""Tests for the shared-state model: apply, fold, materialize."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import NoSuchObjectError
+from repro.core.state import SharedObject, SharedState
+from repro.wire.messages import ObjectState, UpdateKind, UpdateRecord
+
+
+def _update(seqno, data, object_id="o", kind=UpdateKind.UPDATE, sender="c"):
+    return UpdateRecord(seqno, kind, object_id, data, sender, 0.0)
+
+
+class TestSharedObject:
+    def test_update_appends_to_state(self):
+        obj = SharedObject("o", base=b"base")
+        obj.apply(_update(0, b"+a"))
+        obj.apply(_update(1, b"+b"))
+        assert obj.materialized() == b"base+a+b"
+        assert obj.last_seqno == 1
+
+    def test_state_overrides(self):
+        obj = SharedObject("o", base=b"old")
+        obj.apply(_update(0, b"+a"))
+        obj.apply(_update(1, b"new", kind=UpdateKind.STATE))
+        assert obj.materialized() == b"new"
+        assert obj.base_seqno == 1
+        assert obj.increments == []
+
+    def test_update_after_state_appends_to_new_base(self):
+        obj = SharedObject("o")
+        obj.apply(_update(0, b"v1", kind=UpdateKind.STATE))
+        obj.apply(_update(1, b"+x"))
+        assert obj.materialized() == b"v1+x"
+
+    def test_wrong_object_id_rejected(self):
+        obj = SharedObject("o")
+        with pytest.raises(ValueError):
+            obj.apply(_update(0, b"x", object_id="other"))
+
+    def test_fold_concatenates_prefix(self):
+        obj = SharedObject("o", base=b"B")
+        for i in range(4):
+            obj.apply(_update(i, b"%d" % i))
+        obj.fold(upto_seqno=2)
+        assert obj.base == b"B012"
+        assert obj.base_seqno == 2
+        assert obj.increments == [(3, b"3")]
+        assert obj.materialized() == b"B0123"
+
+    def test_fold_everything(self):
+        obj = SharedObject("o", base=b"B")
+        obj.apply(_update(0, b"x"))
+        obj.fold(upto_seqno=10)
+        assert obj.base == b"Bx"
+        assert obj.increments == []
+
+    def test_fold_nothing_when_no_increments(self):
+        obj = SharedObject("o", base=b"B", base_seqno=5)
+        obj.fold(upto_seqno=10)
+        assert obj.base == b"B"
+        assert obj.base_seqno == 5
+
+    def test_fold_below_first_increment_is_noop(self):
+        obj = SharedObject("o", base=b"B")
+        obj.apply(_update(5, b"x"))
+        obj.fold(upto_seqno=4)
+        assert obj.base == b"B"
+        assert obj.increments == [(5, b"x")]
+
+    def test_size_bytes(self):
+        obj = SharedObject("o", base=b"1234")
+        obj.apply(_update(0, b"56"))
+        assert obj.size_bytes() == 6
+
+    def test_initial_last_seqno(self):
+        assert SharedObject("o").last_seqno == -1
+
+    @given(st.lists(st.binary(max_size=16), max_size=20), st.integers(-1, 25))
+    def test_fold_preserves_materialized_state(self, chunks, fold_at):
+        """Folding never changes the materialized byte stream."""
+        obj = SharedObject("o", base=b"S")
+        for i, chunk in enumerate(chunks):
+            obj.apply(_update(i, chunk))
+        before = obj.materialized()
+        obj.fold(fold_at)
+        assert obj.materialized() == before
+
+
+class TestSharedState:
+    def test_initial_objects(self):
+        state = SharedState((ObjectState("a", b"1"), ObjectState("b", b"2")))
+        assert len(state) == 2
+        assert state.get("a").base == b"1"
+        assert "b" in state and "c" not in state
+
+    def test_apply_creates_object_on_first_touch(self):
+        state = SharedState()
+        state.apply(_update(0, b"x", object_id="new"))
+        assert state.get("new").materialized() == b"x"
+
+    def test_missing_object_raises(self):
+        with pytest.raises(NoSuchObjectError):
+            SharedState().get("ghost")
+
+    def test_materialize_all_in_insertion_order(self):
+        state = SharedState()
+        state.apply(_update(0, b"1", object_id="z"))
+        state.apply(_update(1, b"2", object_id="a"))
+        objects = state.materialize_all()
+        assert [o.object_id for o in objects] == ["z", "a"]
+
+    def test_materialize_selected(self):
+        state = SharedState((ObjectState("a", b"1"), ObjectState("b", b"2")))
+        selected = state.materialize_selected(("b",))
+        assert selected == (ObjectState("b", b"2"),)
+
+    def test_materialize_selected_missing_raises(self):
+        with pytest.raises(NoSuchObjectError):
+            SharedState().materialize_selected(("nope",))
+
+    def test_fold_all_objects(self):
+        state = SharedState()
+        state.apply(_update(0, b"a", object_id="x"))
+        state.apply(_update(1, b"b", object_id="y"))
+        state.fold(1)
+        assert state.get("x").increments == []
+        assert state.get("y").increments == []
+
+    def test_size_bytes_totals(self):
+        state = SharedState((ObjectState("a", b"1234"),))
+        state.apply(_update(0, b"56", object_id="a"))
+        state.apply(_update(1, b"789", object_id="b"))
+        assert state.size_bytes() == 9
+
+    def test_object_ids(self):
+        state = SharedState((ObjectState("a", b""), ObjectState("b", b"")))
+        assert state.object_ids() == ["a", "b"]

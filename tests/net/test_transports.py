@@ -1,0 +1,97 @@
+"""Tests for the async transports (memory pipes and TCP sockets)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import NotConnectedError
+from repro.net.memory import MemoryConnection, MemoryNetwork
+from repro.net.tcp import TcpTransport
+from repro.wire.messages import Ack, BcastUpdateRequest, DeliveryMode
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestMemoryTransport:
+    def test_dial_accept_roundtrip(self):
+        async def main():
+            net = MemoryNetwork()
+            listener = await net.listen("server")
+            dialed = await net.dial("server")
+            accepted = await listener.accept()
+            await dialed.send(Ack(1))
+            assert await accepted.receive() == Ack(1)
+            await accepted.send(Ack(2))
+            assert await dialed.receive() == Ack(2)
+
+        run(main())
+
+    def test_dial_nobody_refused(self):
+        async def main():
+            net = MemoryNetwork()
+            with pytest.raises(ConnectionRefusedError):
+                await net.dial("ghost")
+
+        run(main())
+
+    def test_double_listen_rejected(self):
+        async def main():
+            net = MemoryNetwork()
+            await net.listen("a")
+            with pytest.raises(OSError):
+                await net.listen("a")
+
+        run(main())
+
+    def test_close_signals_eof(self):
+        async def main():
+            a, b = MemoryConnection.pair()
+            await a.close()
+            assert await b.receive() is None
+            with pytest.raises(NotConnectedError):
+                await a.send(Ack(1))
+
+        run(main())
+
+    def test_fifo_order(self):
+        async def main():
+            a, b = MemoryConnection.pair()
+            for i in range(20):
+                await a.send(Ack(i))
+            got = [await b.receive() for _ in range(20)]
+            assert [m.request_id for m in got] == list(range(20))
+
+        run(main())
+
+
+class TestTcpTransport:
+    def test_roundtrip_over_sockets(self):
+        async def main():
+            transport = TcpTransport()
+            listener = await transport.listen(("127.0.0.1", 0))
+            address = listener.address
+            dialed = await transport.dial(address)
+            accepted = await listener.accept()
+            big = BcastUpdateRequest(1, "g", "o", b"x" * 200_000, DeliveryMode.INCLUSIVE)
+            await dialed.send(big)
+            assert await accepted.receive() == big
+            await dialed.close()
+            assert await accepted.receive() is None
+            await listener.close()
+
+        run(main())
+
+    def test_peer_identity(self):
+        async def main():
+            transport = TcpTransport()
+            listener = await transport.listen(("127.0.0.1", 0))
+            dialed = await transport.dial(listener.address)
+            accepted = await listener.accept()
+            assert accepted.peer.startswith("127.0.0.1:")
+            await dialed.close()
+            await accepted.close()
+            await listener.close()
+
+        run(main())

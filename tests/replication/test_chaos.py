@@ -1,0 +1,95 @@
+"""Chaos tests: random failures against the replicated service.
+
+Property: whatever sequence of replica/coordinator crashes the fleet
+suffers, every broadcast that was ACKNOWLEDGED to a client is delivered,
+in the same total order, to every member that stays alive — and the
+surviving cluster converges to one state.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.harness import CoronaWorld
+
+
+def _cluster_world(n_servers=4):
+    world = CoronaWorld()
+    cluster = world.add_replicated_cluster(
+        n_servers, heartbeat_interval=0.4, suspicion_timeout=0.9
+    )
+    world.run_for(1.0)
+    return world, cluster
+
+
+def _run_chaos(seed: int, n_crashes: int) -> None:
+    rng = random.Random(seed)
+    world, cluster = _cluster_world()
+    # two observer clients on the last (never-crashed) server
+    writer = world.add_client(client_id="writer", server="srv-3")
+    reader = world.add_client(client_id="reader", server="srv-3")
+    world.run_for(0.5)
+    writer.call("create_group", "g", True)
+    world.run_for(0.5)
+    writer.call("join_group", "g")
+    reader.call("join_group", "g")
+    world.run_for(0.5)
+
+    acknowledged = []
+    crashable = cluster[:-1]  # srv-3 hosts the observers
+    crashed = []
+    payload_counter = 0
+
+    for round_no in range(12):
+        # maybe crash somebody (up to n_crashes total)
+        if crashed.__len__() < n_crashes and rng.random() < 0.4:
+            victim = rng.choice([s for s in crashable if s.host.alive])
+            victim.host.crash()
+            crashed.append(victim)
+            world.run_for(rng.uniform(0.1, 2.0))
+        payload = f"m{payload_counter};".encode()
+        payload_counter += 1
+        attempt = writer.call("bcast_update", "g", "doc", payload)
+        world.run_for(3.0)
+        if attempt.done and attempt.ok:
+            acknowledged.append(payload)
+
+    world.run_for(8.0)
+
+    # every acknowledged update reached both observers, in order
+    expected = b"".join(acknowledged)
+    for client in (writer, reader):
+        view = client.core.views["g"]
+        materialized = view.state.get("doc").materialized() if "doc" in view.state else b""
+        assert materialized == expected, (
+            f"seed={seed}: {materialized!r} != {expected!r}"
+        )
+    # the survivors agree on one coordinator
+    alive = [s for s in cluster if s.host.alive]
+    coordinators = [s for s in alive if s.core.is_coordinator]
+    assert len(coordinators) == 1
+    # and every surviving state holder converged
+    states = {
+        s.core.groups["g"].state.get("doc").materialized()
+        for s in alive
+        if "g" in s.core.groups and "doc" in s.core.groups["g"].state
+    }
+    assert states == {expected}
+
+
+@pytest.mark.parametrize("seed", [1, 2, 7, 13, 42, 99])
+def test_single_crash_chaos(seed):
+    _run_chaos(seed, n_crashes=1)
+
+
+@pytest.mark.parametrize("seed", [3, 11, 21, 77])
+def test_double_crash_chaos(seed):
+    _run_chaos(seed, n_crashes=2)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_chaos_property(seed):
+    _run_chaos(seed, n_crashes=2)

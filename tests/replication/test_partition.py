@@ -1,0 +1,208 @@
+"""Tests for partition reconciliation (paper §4.2).
+
+Pure-logic tests for the policy helpers, plus full simulations: split a
+four-server cluster, let both sides diverge, heal, reconcile under each
+policy, and verify the cluster converges.
+"""
+
+import pytest
+
+from repro.core.state import SharedState
+from repro.replication.partition import (
+    adopt_longest_branch,
+    adopt_senior,
+    common_point,
+    fork_branches,
+    prefer_rollback,
+    rollback_state,
+)
+from repro.sim.harness import CoronaWorld
+from repro.wire.messages import (
+    ObjectState,
+    ReconcileOffer,
+    ReconcilePolicy,
+    UpdateKind,
+    UpdateRecord,
+)
+
+
+def _offer(branch, tip, base=-2, ckpt=-1):
+    return ReconcileOffer("g", branch, ckpt, tip, base)
+
+
+class TestCommonPoint:
+    def test_uses_takeover_base_of_junior(self):
+        senior = _offer("a", tip=9)          # never took over
+        junior = _offer("b", tip=7, base=4)  # took over at seqno 4
+        assert common_point(senior, junior) == 4
+
+    def test_both_took_over_uses_min(self):
+        a = _offer("a", tip=9, base=5)
+        b = _offer("b", tip=7, base=3)
+        assert common_point(a, b) == 3
+
+    def test_no_takeover_uses_min_tip(self):
+        assert common_point(_offer("a", tip=9), _offer("b", tip=7)) == 7
+
+
+class TestChoosers:
+    def test_adopt_senior(self):
+        policy, adopted = adopt_senior(_offer("snr", 9), _offer("jnr", 20, base=5))
+        assert policy is ReconcilePolicy.ADOPT_ONE and adopted == "snr"
+
+    def test_adopt_longest(self):
+        policy, adopted = adopt_longest_branch(
+            _offer("snr", 6, base=-2), _offer("jnr", 20, base=5)
+        )
+        assert adopted == "jnr"
+        policy, adopted = adopt_longest_branch(
+            _offer("snr", 30, base=-2), _offer("jnr", 7, base=5)
+        )
+        assert adopted == "snr"
+
+    def test_rollback_and_fork(self):
+        assert prefer_rollback(_offer("a", 1), _offer("b", 2))[0] is ReconcilePolicy.ROLL_BACK
+        assert fork_branches(_offer("a", 1), _offer("b", 2))[0] is ReconcilePolicy.FORK
+
+
+class TestRollbackState:
+    def _state(self):
+        state = SharedState((ObjectState("o", b"base"),))
+        for seqno, data in [(0, b"0"), (1, b"1"), (2, b"2")]:
+            state.apply(UpdateRecord(seqno, UpdateKind.UPDATE, "o", data, "c", 0.0))
+        return state
+
+    def test_rollback_drops_later_increments(self):
+        state = self._state()
+        result = rollback_state(state, 1)
+        assert result.ok
+        assert state.get("o").materialized() == b"base01"
+
+    def test_rollback_to_everything_is_noop(self):
+        state = self._state()
+        assert rollback_state(state, 10).ok
+        assert state.get("o").materialized() == b"base012"
+
+    def test_rollback_blocked_by_bcast_state(self):
+        state = self._state()
+        state.apply(UpdateRecord(3, UpdateKind.STATE, "o", b"NEW", "c", 0.0))
+        result = rollback_state(state, 1)
+        assert not result.ok
+        # and nothing was modified
+        assert state.get("o").materialized() == b"NEW"
+
+
+def _split_world(chooser=None):
+    """Four servers; partition {srv-0, srv-1} vs {srv-2, srv-3};
+    alice on srv-1, bob on srv-3, both in 'room' with a shared prefix."""
+    world = CoronaWorld()
+    kwargs = {"heartbeat_interval": 0.5, "suspicion_timeout": 1.0}
+    cluster = world.add_replicated_cluster(4, **kwargs)
+    if chooser is not None:
+        for server in cluster:
+            server.core.rconfig.reconcile_chooser = chooser
+    world.run_for(1.0)
+    alice = world.add_client(client_id="alice", server="srv-1")
+    bob = world.add_client(client_id="bob", server="srv-3")
+    world.run_for(0.5)
+    alice.call("create_group", "room", True)
+    world.run_for(0.5)
+    alice.call("join_group", "room")
+    world.run_for(0.5)
+    bob.call("join_group", "room")
+    world.run_for(0.5)
+    alice.call("bcast_update", "room", "doc", b"common;")
+    world.run_for(1.0)
+
+    side_a = {"srv-0", "srv-1", "alice"}
+    side_b = {"srv-2", "srv-3", "bob"}
+    world.network.partition(side_a, side_b)
+    world.run_for(8.0)  # side B elects srv-2; side A drops the others
+    assert cluster[0].core.is_coordinator
+    assert cluster[2].core.is_coordinator
+
+    # both sides diverge
+    a_up = alice.call("bcast_update", "room", "doc", b"sideA;")
+    b_up = bob.call("bcast_update", "room", "doc", b"sideB;")
+    world.run_for(3.0)
+    assert a_up.ok and b_up.ok
+
+    world.network.heal()
+    return world, cluster, alice, bob
+
+
+def _reconcile(world, cluster):
+    junior = cluster[2]
+    senior_info = cluster[0].core.rconfig.info
+    junior.host.invoke(
+        lambda: junior.core.initiate_reconciliation(senior_info) or []
+    )
+    world.run_for(5.0)
+
+
+class TestPartitionScenarios:
+    def test_sides_diverge_during_partition(self):
+        world, cluster, alice, bob = _split_world()
+        assert alice.core.views["room"].state.get("doc").materialized() == b"common;sideA;"
+        assert bob.core.views["room"].state.get("doc").materialized() == b"common;sideB;"
+
+    def test_adopt_senior_converges_to_side_a(self):
+        world, cluster, alice, bob = _split_world(chooser=adopt_senior)
+        _reconcile(world, cluster)
+        assert cluster[2].core.is_coordinator is False
+        assert cluster[0].core.server_list.ids()[0] == "srv-0"
+        # bob's replica was rebased onto the senior branch
+        assert bob.core.views["room"].state.get("doc").materialized() == b"common;sideA;"
+        assert bob.events_of_kind("rebased")
+        # the merged cluster serves everyone again
+        up = bob.call("bcast_update", "room", "doc", b"merged;")
+        world.run_for(3.0)
+        assert up.ok
+        assert alice.core.views["room"].state.get("doc").materialized() == b"common;sideA;merged;"
+        assert bob.core.views["room"].state.get("doc").materialized() == b"common;sideA;merged;"
+
+    def test_rollback_rewinds_both_sides(self):
+        world, cluster, alice, bob = _split_world(chooser=prefer_rollback)
+        _reconcile(world, cluster)
+        for client in (alice, bob):
+            assert (
+                client.core.views["room"].state.get("doc").materialized()
+                == b"common;"
+            )
+        up = alice.call("bcast_update", "room", "doc", b"fresh;")
+        world.run_for(3.0)
+        assert up.ok
+        assert bob.core.views["room"].state.get("doc").materialized() == b"common;fresh;"
+
+    def test_fork_splits_into_two_groups(self):
+        world, cluster, alice, bob = _split_world(chooser=fork_branches)
+        _reconcile(world, cluster)
+        # alice continues in 'room'; bob's branch became a new group
+        forked = bob.events_of_kind("forked")
+        assert forked and forked[0][0] == "room"
+        new_name = forked[0][1]
+        assert new_name in bob.core.views
+        assert bob.core.views[new_name].state.get("doc").materialized() == b"common;sideB;"
+        assert alice.core.views["room"].state.get("doc").materialized() == b"common;sideA;"
+        # both groups exist cluster-wide after the merge
+        world.run_for(2.0)
+        assert new_name in cluster[0].core.known_groups
+        assert "room" in cluster[0].core.known_groups
+
+    def test_membership_restored_after_merge(self):
+        world, cluster, alice, bob = _split_world(chooser=adopt_senior)
+        _reconcile(world, cluster)
+        world.run_for(2.0)
+        reply = alice.call("get_membership", "room")
+        world.run_for(2.0)
+        assert sorted(m.client_id for m in reply.value) == ["alice", "bob"]
+
+    def test_junior_only_group_survives_merge(self):
+        world, cluster, alice, bob = _split_world(chooser=adopt_senior)
+        # a group born during the partition, on the junior side
+        born = bob.call("create_group", "wartime", True)
+        world.run_for(2.0)
+        assert born.ok
+        _reconcile(world, cluster)
+        world.run_for(3.0)
+        assert "wartime" in cluster[0].core.known_groups

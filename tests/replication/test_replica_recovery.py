@@ -1,0 +1,151 @@
+"""Replica crash/restart: recover from disk, catch up the missed suffix.
+
+Paper §4.1: "although a server saves the state on stable storage, the
+information may be unavailable during the time the server is down" — so
+when it comes back it must resynchronize before serving.
+"""
+
+import pytest
+
+from repro.core.server import ServerConfig
+from repro.replication.node import ReplicatedServerCore, ReplicationConfig
+from repro.sim.harness import CoronaWorld
+from repro.sim.host import SimHost
+from repro.sim.profiles import ULTRASPARC_1
+from repro.storage.store import GroupStore
+from repro.wire.messages import ServerInfo
+
+
+def _cluster_with_stores(world, tmp_path, n=3):
+    infos = tuple(ServerInfo(f"srv-{i}", f"srv-{i}", 0) for i in range(n))
+    servers = []
+    for i, info in enumerate(infos):
+        store = GroupStore(tmp_path / info.server_id)
+        host = SimHost(
+            world.kernel, world.network, info.server_id, "lan", ULTRASPARC_1,
+            store=store,
+        )
+        core = ReplicatedServerCore(
+            ServerConfig(server_id=info.server_id),
+            ReplicationConfig(info=info, initial_servers=infos,
+                              heartbeat_interval=0.5, suspicion_timeout=1.5),
+            clock=world.kernel,
+        )
+        host.set_core(core)
+        from repro.sim.harness import SimServer
+
+        server = SimServer(host, core)
+        world.servers[info.server_id] = server
+        servers.append(server)
+        host.invoke(core.start)
+    world.run_for(1.0)
+    return infos, servers
+
+
+def _restart_replica(world, tmp_path, infos, server):
+    """Bring a crashed replica back from its on-disk state."""
+    info = next(i for i in infos if i.server_id == server.host_id)
+    store = GroupStore(tmp_path / info.server_id)
+    core = ReplicatedServerCore(
+        ServerConfig(server_id=info.server_id),
+        ReplicationConfig(info=info, initial_servers=infos,
+                          heartbeat_interval=0.5, suspicion_timeout=1.5),
+        clock=world.kernel,
+        recovered=store.recover_all(),
+    )
+    server.host.store = store
+    server.host.restart(core)
+    server.core = core
+    server.host.invoke(core.start)
+    return core
+
+
+class TestReplicaRestart:
+    def test_restarted_replica_catches_up_missed_updates(self, tmp_path):
+        world = CoronaWorld()
+        infos, servers = _cluster_with_stores(world, tmp_path)
+        alice = world.add_client(client_id="alice", server="srv-1")
+        bob = world.add_client(client_id="bob", server="srv-2")
+        world.run_for(0.5)
+        alice.call("create_group", "g", True)
+        world.run_for(0.5)
+        alice.call("join_group", "g")
+        bob.call("join_group", "g")
+        world.run_for(0.5)
+        alice.call("bcast_update", "g", "doc", b"before;")
+        world.run_for(1.0)
+
+        # srv-2 (bob's server) dies; bob's client dies with the link
+        servers[2].host.crash()
+        bob.host.crash()
+        world.run_for(3.0)
+
+        # the world moves on without them
+        alice.call("bcast_update", "g", "doc", b"while-down;")
+        world.run_for(1.0)
+
+        core = _restart_replica(world, tmp_path, infos, servers[2])
+        world.run_for(3.0)
+        # recovered from disk AND caught up the missed suffix
+        assert "g" in core.groups
+        assert core.groups["g"].state.get("doc").materialized() == b"before;while-down;"
+        assert core.groups["g"].log.next_seqno == 2
+
+        # a new client on the restarted replica gets correct state
+        carol = world.add_client(client_id="carol", server="srv-2")
+        world.run_for(0.5)
+        join = carol.call("join_group", "g")
+        world.run_for(1.0)
+        assert join.ok
+        assert join.value.state.get("doc").materialized() == b"before;while-down;"
+
+        # and live traffic flows to it again without seqno gaps
+        alice.call("bcast_update", "g", "doc", b"after;")
+        world.run_for(1.0)
+        assert carol.core.views["g"].state.get("doc").materialized() == b"before;while-down;after;"
+
+    def test_restart_with_no_missed_updates(self, tmp_path):
+        world = CoronaWorld()
+        infos, servers = _cluster_with_stores(world, tmp_path)
+        alice = world.add_client(client_id="alice", server="srv-2")
+        world.run_for(0.5)
+        alice.call("create_group", "g", True)
+        world.run_for(0.5)
+        alice.call("join_group", "g")
+        world.run_for(0.5)
+        alice.call("bcast_update", "g", "doc", b"data;")
+        world.run_for(1.0)
+        servers[2].host.crash()
+        alice.host.crash()
+        world.run_for(2.0)
+        core = _restart_replica(world, tmp_path, infos, servers[2])
+        world.run_for(3.0)
+        assert core.groups["g"].state.get("doc").materialized() == b"data;"
+        assert core.groups["g"].log.next_seqno == 1
+
+    def test_restart_after_reduction_rebases(self, tmp_path):
+        world = CoronaWorld()
+        infos, servers = _cluster_with_stores(world, tmp_path)
+        alice = world.add_client(client_id="alice", server="srv-1")
+        bob = world.add_client(client_id="bob", server="srv-2")
+        world.run_for(0.5)
+        alice.call("create_group", "g", True)
+        world.run_for(0.5)
+        alice.call("join_group", "g")
+        bob.call("join_group", "g")
+        world.run_for(0.5)
+        alice.call("bcast_update", "g", "doc", b"a;")
+        world.run_for(1.0)
+        servers[2].host.crash()
+        bob.host.crash()
+        world.run_for(3.0)
+        # updates + a reduction while the replica is down: the suffix the
+        # replica will ask for is gone
+        alice.call("bcast_update", "g", "doc", b"b;")
+        world.run_for(0.5)
+        alice.call("reduce_log", "g")
+        world.run_for(1.0)
+        core = _restart_replica(world, tmp_path, infos, servers[2])
+        world.run_for(3.0)
+        assert core.groups["g"].state.get("doc").materialized() == b"a;b;"
+        assert core.groups["g"].log.next_seqno == 2

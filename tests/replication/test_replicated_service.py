@@ -1,0 +1,465 @@
+"""Scenario tests for the replicated Corona service (paper §4).
+
+Every test runs real `ReplicatedServerCore`s over the simulated network:
+a coordinator (srv-0) plus replicas, with clients attached to different
+servers.
+"""
+
+import pytest
+
+from repro.sim.harness import CoronaWorld
+from repro.wire.messages import DeliveryMode, ObjectState, TransferPolicy, TransferSpec
+
+
+@pytest.fixture
+def world():
+    return CoronaWorld()
+
+
+def _cluster(world, n=3, **kwargs):
+    kwargs.setdefault("heartbeat_interval", 0.5)
+    kwargs.setdefault("suspicion_timeout", 1.0)
+    cluster = world.add_replicated_cluster(n, **kwargs)
+    world.run_for(1.0)
+    return cluster
+
+
+def _collab(world, cluster):
+    """Alice on srv-1, Bob on srv-2, both in persistent group 'room'."""
+    alice = world.add_client(client_id="alice", server="srv-1")
+    bob = world.add_client(client_id="bob", server="srv-2")
+    world.run_for(0.5)
+    alice.call("create_group", "room", True)
+    world.run_for(0.5)
+    alice.call("join_group", "room", notify_membership=True)
+    world.run_for(0.5)
+    bob.call("join_group", "room", notify_membership=True)
+    world.run_for(0.5)
+    return alice, bob
+
+
+class TestClusterFormation:
+    def test_all_servers_learn_the_list(self, world):
+        cluster = _cluster(world, n=4)
+        for server in cluster:
+            assert server.core.server_list.ids() == ["srv-0", "srv-1", "srv-2", "srv-3"]
+        assert cluster[0].core.is_coordinator
+        assert not any(s.core.is_coordinator for s in cluster[1:])
+
+    def test_heartbeats_flow(self, world):
+        cluster = _cluster(world, n=3)
+        world.run_for(3.0)
+        coordinator = cluster[0].core
+        assert set(coordinator._hb_acks) == {"srv-1", "srv-2"}
+
+
+class TestCrossServerCollaboration:
+    def test_create_on_replica_visible_everywhere(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        for server in cluster:
+            assert "room" in server.core.known_groups
+
+    def test_duplicate_create_rejected_across_servers(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        again = bob.call("create_group", "room")
+        world.run_for(0.5)
+        assert not again.ok
+        assert again.error.code == "corona.group_exists"
+
+    def test_bcast_crosses_servers_with_state(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        alice.call("bcast_update", "room", "doc", b"from-alice;")
+        bob.call("bcast_update", "room", "doc", b"from-bob;")
+        world.run_for(1.0)
+        views = {
+            c.core.views["room"].state.get("doc").materialized()
+            for c in (alice, bob)
+        }
+        assert len(views) == 1  # identical replicas
+        # the coordinator holds the state too (it sequences everything)
+        coord_group = cluster[0].core.groups["room"]
+        assert coord_group.state.get("doc").materialized() in views
+
+    def test_total_order_across_servers(self, world):
+        cluster = _cluster(world)
+        clients = [
+            world.add_client(client_id=f"c{i}", server=f"srv-{i % 3}")
+            for i in range(3)
+        ]
+        world.run_for(0.5)
+        clients[0].call("create_group", "g", True)
+        world.run_for(0.5)
+        for client in clients:
+            client.call("join_group", "g")
+        world.run_for(0.5)
+        for i, client in enumerate(clients):
+            for j in range(4):
+                client.call("bcast_update", "g", "o", f"{i}.{j};".encode())
+        world.run_for(2.0)
+        streams = [[d.record.seqno for _t, d in c.deliveries] for c in clients]
+        assert all(len(s) == 12 for s in streams)
+        assert streams[0] == streams[1] == streams[2] == sorted(streams[0])
+        states = {
+            c.core.views["g"].state.get("o").materialized() for c in clients
+        }
+        assert len(states) == 1
+
+    def test_exclusive_mode_across_servers(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        before = len(alice.deliveries)
+        ex = alice.call("bcast_update", "room", "doc", b"mine", DeliveryMode.EXCLUSIVE)
+        world.run_for(1.0)
+        assert ex.ok
+        assert len(alice.deliveries) == before
+        assert bob.core.views["room"].state.get("doc").materialized() == b"mine"
+        bob.call("bcast_update", "room", "doc", b"!")
+        world.run_for(1.0)
+        assert alice.core.views["room"].state.get("doc").materialized() == b"mine!"
+
+    def test_membership_notices_cross_servers(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        notices = alice.events_of_kind("membership")
+        assert notices and notices[-1].joined[0].client_id == "bob"
+        carol = world.add_client(client_id="carol", server="srv-0")
+        world.run_for(0.5)
+        carol.call("join_group", "room")
+        world.run_for(1.0)
+        assert alice.events_of_kind("membership")[-1].joined[0].client_id == "carol"
+        bob.call("leave_group", "room")
+        world.run_for(1.0)
+        assert alice.events_of_kind("membership")[-1].left[0].client_id == "bob"
+
+    def test_observer_role_enforced_at_the_replica(self, world):
+        from repro.wire.messages import MemberRole
+
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        watcher = world.add_client(client_id="watcher", server="srv-2")
+        world.run_for(0.5)
+        join = watcher.call("join_group", "room", role=MemberRole.OBSERVER)
+        world.run_for(1.0)
+        assert join.ok
+        denied = watcher.call("bcast_update", "room", "doc", b"x")
+        world.run_for(0.5)
+        assert denied.error.code == "corona.not_authorized"
+        # but the observer still receives deliveries
+        alice.call("bcast_update", "room", "doc", b"seen")
+        world.run_for(1.0)
+        assert watcher.core.views["room"].state.get("doc").materialized() == b"seen"
+
+    def test_exclusive_mode_same_replica(self, world):
+        cluster = _cluster(world)
+        alice = world.add_client(client_id="alice", server="srv-1")
+        amy = world.add_client(client_id="amy", server="srv-1")
+        world.run_for(0.5)
+        alice.call("create_group", "g", True)
+        world.run_for(0.5)
+        alice.call("join_group", "g")
+        amy.call("join_group", "g")
+        world.run_for(0.5)
+        before = len(alice.deliveries)
+        ex = alice.call("bcast_update", "g", "o", b"quiet", DeliveryMode.EXCLUSIVE)
+        world.run_for(1.0)
+        assert ex.ok
+        assert len(alice.deliveries) == before
+        assert amy.core.views["g"].state.get("o").materialized() == b"quiet"
+        amy.call("bcast_update", "g", "o", b"!")
+        world.run_for(1.0)
+        assert alice.core.views["g"].state.get("o").materialized() == b"quiet!"
+
+    def test_get_membership_is_global(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        reply = alice.call("get_membership", "room")
+        world.run_for(0.5)
+        assert sorted(m.client_id for m in reply.value) == ["alice", "bob"]
+
+    def test_state_transfer_policy_respected_across_servers(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        for i in range(5):
+            alice.call("bcast_update", "room", "doc", b"%d" % i)
+        world.run_for(1.0)
+        late = world.add_client(client_id="late", server="srv-0")
+        world.run_for(0.5)
+        join = late.call(
+            "join_group", "room",
+            transfer=TransferSpec(policy=TransferPolicy.LATEST_N, last_n=2),
+        )
+        world.run_for(1.0)
+        assert join.ok
+        assert join.value.state.get("doc").materialized() == b"34"
+
+    def test_list_groups_shows_global_registry(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        listing = bob.call("list_groups")
+        world.run_for(0.5)
+        (info,) = listing.value
+        assert info.name == "room"
+        assert info.member_count == 2
+
+    def test_delete_group_cluster_wide(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        alice.call("delete_group", "room")
+        world.run_for(1.0)
+        assert bob.events_of_kind("group_deleted") == ["room"]
+        for server in cluster:
+            assert "room" not in server.core.known_groups
+            assert "room" not in server.core.groups
+
+    def test_transient_group_dies_cluster_wide(self, world):
+        cluster = _cluster(world)
+        alice = world.add_client(client_id="alice", server="srv-1")
+        bob = world.add_client(client_id="bob", server="srv-2")
+        world.run_for(0.5)
+        alice.call("create_group", "temp", False)
+        world.run_for(0.5)
+        alice.call("join_group", "temp")
+        bob.call("join_group", "temp")
+        world.run_for(0.5)
+        alice.call("leave_group", "temp")
+        world.run_for(0.5)
+        assert "temp" in cluster[0].core.known_groups  # bob still in
+        bob.call("leave_group", "temp")
+        world.run_for(1.0)
+        for server in cluster:
+            assert "temp" not in server.core.known_groups
+
+
+class TestInterestRouting:
+    def test_uninterested_server_gets_no_broadcast_traffic(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)  # members on srv-1, srv-2
+        world.run_for(0.5)
+        # srv-0's group copy exists only at the coordinator; the group is
+        # NOT installed at any other uninvolved server.  Add srv-3? the
+        # cluster has exactly 3, so check message counters instead: after
+        # settling, bcast and count sequenced deliveries at each server.
+        recv_before = {s.host_id: s.stats.messages_received for s in cluster}
+        alice.call("bcast_update", "room", "doc", b"x")
+        world.run_for(1.0)
+        # coordinator (sequencer) and srv-2 (bob) must see traffic
+        assert cluster[0].stats.messages_received > recv_before["srv-0"]
+        assert cluster[2].stats.messages_received > recv_before["srv-2"]
+
+    def test_replica_drops_interest_when_last_member_leaves(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        assert "room" in cluster[2].core.groups
+        bob.call("leave_group", "room")
+        world.run_for(1.0)
+        assert "room" not in cluster[2].core.groups
+        coordinator = cluster[0].core
+        assert "srv-2" not in coordinator._interest["room"]
+
+    def test_backup_assigned_when_no_replica_interested(self, world):
+        cluster = _cluster(world)
+        alice = world.add_client(client_id="alice", server="srv-0")
+        world.run_for(0.5)
+        alice.call("create_group", "solo", True)
+        world.run_for(0.5)
+        coordinator = cluster[0].core
+        # nobody but the coordinator holds the state: a backup is drafted
+        backups = coordinator._backups.get("solo", set())
+        assert len(backups) == 1
+        backup_id = next(iter(backups))
+        world.run_for(1.0)
+        backup = world.servers[backup_id].core
+        assert "solo" in backup.groups
+
+    def test_backup_receives_broadcasts(self, world):
+        cluster = _cluster(world)
+        alice = world.add_client(client_id="alice", server="srv-0")
+        world.run_for(0.5)
+        alice.call("create_group", "solo", True)
+        world.run_for(0.5)
+        alice.call("join_group", "solo")
+        world.run_for(0.5)
+        alice.call("bcast_update", "solo", "o", b"data")
+        world.run_for(1.0)
+        coordinator = cluster[0].core
+        backup_id = next(iter(coordinator._backups["solo"]))
+        backup = world.servers[backup_id].core
+        assert backup.groups["solo"].state.get("o").materialized() == b"data"
+
+
+class TestGlobalLocks:
+    def test_lock_exclusive_across_servers(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        got_a = alice.call("acquire_lock", "room", "doc")
+        world.run_for(0.5)
+        assert got_a.ok
+        got_b = bob.call("acquire_lock", "room", "doc", blocking=False)
+        world.run_for(0.5)
+        assert not got_b.ok
+        assert got_b.error.code == "corona.lock_held"
+
+    def test_queued_lock_granted_across_servers(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        got_a = alice.call("acquire_lock", "room", "doc")
+        world.run_for(0.5)
+        got_b = bob.call("acquire_lock", "room", "doc")
+        world.run_for(0.5)
+        assert not got_b.done
+        rel = alice.call("release_lock", "room", "doc")
+        world.run_for(1.0)
+        assert rel.ok and got_b.ok
+
+    def test_leaving_client_releases_global_lock(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        alice.call("acquire_lock", "room", "doc")
+        world.run_for(0.5)
+        got_b = bob.call("acquire_lock", "room", "doc")
+        world.run_for(0.5)
+        alice.call("leave_group", "room")
+        world.run_for(1.0)
+        assert got_b.ok
+
+
+class TestReductionClusterWide:
+    def test_reduce_order_reaches_every_state_holder(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        for i in range(4):
+            alice.call("bcast_update", "room", "doc", b"%d" % i)
+        world.run_for(1.0)
+        reduce = bob.call("reduce_log", "room")
+        world.run_for(1.0)
+        assert reduce.ok
+        for server in cluster:
+            group = server.core.groups.get("room")
+            if group is not None:
+                assert len(group.log) == 0
+                assert group.state.get("doc").base == b"0123"
+
+
+class TestFailover:
+    def test_rightful_successor_takes_over(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        cluster[0].host.crash()
+        world.run_for(5.0)
+        assert cluster[1].core.is_coordinator
+        assert not cluster[2].core.is_coordinator
+        assert cluster[1].core.server_list.ids() == ["srv-1", "srv-2"]
+        assert cluster[2].core.server_list.ids() == ["srv-1", "srv-2"]
+
+    def test_service_continues_after_failover(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        alice.call("bcast_update", "room", "doc", b"before;")
+        world.run_for(1.0)
+        cluster[0].host.crash()
+        world.run_for(5.0)
+        up = bob.call("bcast_update", "room", "doc", b"after;")
+        world.run_for(2.0)
+        assert up.ok
+        for client in (alice, bob):
+            assert (
+                client.core.views["room"].state.get("doc").materialized()
+                == b"before;after;"
+            )
+
+    def test_seqnos_continue_monotonically_after_failover(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        alice.call("bcast_update", "room", "doc", b"a")
+        world.run_for(1.0)
+        last_before = alice.deliveries[-1][1].record.seqno
+        cluster[0].host.crash()
+        world.run_for(5.0)
+        bob.call("bcast_update", "room", "doc", b"b")
+        world.run_for(2.0)
+        assert alice.deliveries[-1][1].record.seqno == last_before + 1
+
+    def test_two_crashes_tolerated_with_four_servers(self, world):
+        cluster = _cluster(world, n=4)
+        alice = world.add_client(client_id="alice", server="srv-3")
+        world.run_for(0.5)
+        alice.call("create_group", "g", True)
+        world.run_for(0.5)
+        alice.call("join_group", "g")
+        world.run_for(0.5)
+        cluster[0].host.crash()  # coordinator
+        cluster[1].host.crash()  # rightful successor too
+        world.run_for(10.0)
+        assert cluster[2].core.is_coordinator
+        up = alice.call("bcast_update", "g", "o", b"still-alive")
+        world.run_for(2.0)
+        assert up.ok
+
+    def test_request_during_outage_fails_cleanly(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        cluster[0].host.crash()
+        # immediately, before the election settles:
+        up = alice.call("bcast_update", "room", "doc", b"x")
+        world.run_for(0.3)
+        if up.done:  # either failed fast with the partition error...
+            assert up.error is not None
+        world.run_for(5.0)
+        retry = alice.call("bcast_update", "room", "doc", b"x")
+        world.run_for(2.0)
+        assert retry.ok  # ...or the retry after failover succeeds
+
+    def test_dead_servers_clients_removed_from_membership(self, world):
+        cluster = _cluster(world)
+        alice, bob = _collab(world, cluster)
+        # crash bob's *server*; bob's membership should evaporate
+        cluster[2].host.crash()
+        world.run_for(3.0)
+        reply = alice.call("get_membership", "room")
+        world.run_for(1.0)
+        assert [m.client_id for m in reply.value] == ["alice"]
+        notices = alice.events_of_kind("membership")
+        assert notices[-1].left[0].client_id == "bob"
+
+    def test_replica_crash_removed_from_list(self, world):
+        cluster = _cluster(world)
+        cluster[2].host.crash()
+        world.run_for(3.0)
+        assert cluster[0].core.server_list.ids() == ["srv-0", "srv-1"]
+        assert cluster[1].core.server_list.ids() == ["srv-0", "srv-1"]
+
+
+class TestLateServerJoin:
+    def test_new_server_registers_with_coordinator(self, world):
+        from repro.core.server import ServerConfig
+        from repro.replication.node import ReplicatedServerCore, ReplicationConfig
+        from repro.sim.host import SimHost
+        from repro.sim.harness import SimServer
+        from repro.sim.profiles import ULTRASPARC_1
+        from repro.wire.messages import ServerInfo
+
+        cluster = _cluster(world)
+        known = tuple(cluster[0].core.server_list.servers)
+        info = ServerInfo("srv-late", "srv-late", 0)
+        host = SimHost(world.kernel, world.network, "srv-late", "lan", ULTRASPARC_1)
+        core = ReplicatedServerCore(
+            ServerConfig(server_id="srv-late", persist=False),
+            ReplicationConfig(info=info, initial_servers=known + (info,),
+                              heartbeat_interval=0.5, suspicion_timeout=1.0),
+            clock=world.kernel,
+        )
+        host.set_core(core)
+        world.servers["srv-late"] = SimServer(host, core)
+        host.invoke(core.start)
+        world.run_for(2.0)
+        assert cluster[0].core.server_list.ids()[-1] == "srv-late"
+        assert core.server_list.ids() == ["srv-0", "srv-1", "srv-2", "srv-late"]
+        # and it can serve clients right away
+        carol = world.add_client(client_id="carol", server="srv-late")
+        world.run_for(0.5)
+        carol.call("create_group", "fresh", True)
+        world.run_for(1.0)
+        assert "fresh" in cluster[0].core.known_groups

@@ -1,0 +1,82 @@
+"""Tests for server-list management and succession order."""
+
+import pytest
+
+from repro.replication.topology import ServerList
+from repro.wire.messages import ServerInfo
+
+
+def _info(i):
+    return ServerInfo(f"s{i}", f"host{i}", 7000 + i)
+
+
+@pytest.fixture
+def trio():
+    return ServerList([_info(0), _info(1), _info(2)])
+
+
+class TestMembership:
+    def test_contains_and_ids(self, trio):
+        assert "s1" in trio
+        assert "s9" not in trio
+        assert trio.ids() == ["s0", "s1", "s2"]
+        assert len(trio) == 3
+
+    def test_add_bumps_version(self, trio):
+        v = trio.version
+        assert trio.add(_info(3))
+        assert trio.version == v + 1
+        assert trio.ids()[-1] == "s3"
+
+    def test_add_duplicate_rejected(self, trio):
+        v = trio.version
+        assert not trio.add(_info(1))
+        assert trio.version == v
+
+    def test_remove(self, trio):
+        assert trio.remove("s1")
+        assert trio.ids() == ["s0", "s2"]
+        assert not trio.remove("s1")
+
+    def test_get(self, trio):
+        assert trio.get("s2") == _info(2)
+        assert trio.get("nope") is None
+
+
+class TestReplace:
+    def test_newer_version_adopted(self, trio):
+        assert trio.replace((_info(5),), version=trio.version + 1)
+        assert trio.ids() == ["s5"]
+
+    def test_stale_version_rejected(self, trio):
+        trio.version = 10
+        assert not trio.replace((_info(5),), version=3)
+        assert trio.ids() == ["s0", "s1", "s2"]
+
+    def test_empty_list_accepts_any_version(self):
+        empty = ServerList()
+        assert empty.replace((_info(1),), version=0)
+
+
+class TestSuccession:
+    def test_coordinator_is_head(self, trio):
+        assert trio.coordinator() == _info(0)
+        assert ServerList().coordinator() is None
+
+    def test_position(self, trio):
+        assert trio.position("s0") == 0
+        assert trio.position("s2") == 2
+        assert trio.position("nope") == -1
+
+    def test_successor_after_failures(self, trio):
+        assert trio.successor_after({"s0"}) == _info(1)
+        assert trio.successor_after({"s0", "s1"}) == _info(2)
+        assert trio.successor_after({"s0", "s1", "s2"}) is None
+
+    def test_peers_of(self, trio):
+        assert [s.server_id for s in trio.peers_of("s1")] == ["s0", "s2"]
+
+    def test_majority(self, trio):
+        assert trio.majority() == 2
+        trio.add(_info(3))
+        assert trio.majority() == 3

@@ -1,0 +1,199 @@
+"""Unit tests for the AsyncioHost effect executor (toy cores, memory
+transport)."""
+
+import asyncio
+
+import pytest
+
+from repro.core.events import (
+    CancelTimer,
+    CloseConnection,
+    Notify,
+    OpenConnection,
+    ProtocolCore,
+    SendMessage,
+    SendMulticast,
+    StartTimer,
+)
+from repro.net.memory import MemoryNetwork
+from repro.runtime.host import AsyncioHost
+from repro.wire.messages import Ack
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class EchoCore(ProtocolCore):
+    def __init__(self):
+        super().__init__()
+        self.closed = []
+        self.connected = []
+
+    def handle_connected(self, conn, peer, key):
+        self.connected.append((conn, key))
+
+    def handle_message(self, conn, message):
+        self.send(conn, message)
+
+    def handle_closed(self, conn):
+        self.closed.append(conn)
+
+
+class TimerCore(ProtocolCore):
+    def __init__(self):
+        super().__init__()
+        self.fired = []
+
+    def handle_timer(self, key):
+        self.fired.append(key)
+
+
+class TestConnections:
+    def test_echo_over_memory_transport(self):
+        async def main():
+            net = MemoryNetwork()
+            server_host = AsyncioHost(EchoCore(), net)
+            await server_host.listen("echo")
+            conn = await net.dial("echo")
+            await conn.send(Ack(7))
+            assert await asyncio.wait_for(conn.receive(), 2) == Ack(7)
+            await server_host.stop()
+
+        run(main())
+
+    def test_dial_failure_surfaces_as_closed_conn(self):
+        async def main():
+            net = MemoryNetwork()
+            core = EchoCore()
+            host = AsyncioHost(core, net)
+            host.dispatch([OpenConnection("nobody-home", key="dial")])
+            await asyncio.sleep(0.05)
+            assert core.connected and core.connected[0][1] == "dial"
+            assert core.closed == [core.connected[0][0]]
+            await host.stop()
+
+        run(main())
+
+    def test_close_connection_effect(self):
+        async def main():
+            net = MemoryNetwork()
+            core = EchoCore()
+            host = AsyncioHost(core, net)
+            await host.listen("svc")
+            conn = await net.dial("svc")
+            await asyncio.sleep(0.05)
+            server_conn_id = core.connected[0][0]
+            host.dispatch([CloseConnection(server_conn_id)])
+            assert await asyncio.wait_for(conn.receive(), 2) is None
+            await host.stop()
+
+        run(main())
+
+    def test_peer_close_delivers_on_closed(self):
+        async def main():
+            net = MemoryNetwork()
+            core = EchoCore()
+            host = AsyncioHost(core, net)
+            await host.listen("svc")
+            conn = await net.dial("svc")
+            await asyncio.sleep(0.05)
+            await conn.close()
+            await asyncio.sleep(0.05)
+            assert core.closed == [core.connected[0][0]]
+            await host.stop()
+
+        run(main())
+
+    def test_send_to_unknown_conn_is_dropped(self):
+        async def main():
+            net = MemoryNetwork()
+            host = AsyncioHost(EchoCore(), net)
+            host.dispatch([SendMessage(999, Ack(1))])  # must not raise
+            await host.stop()
+
+        run(main())
+
+    def test_multicast_fallback_unicasts_to_each(self):
+        async def main():
+            net = MemoryNetwork()
+            core = EchoCore()
+            host = AsyncioHost(core, net)
+            await host.listen("svc")
+            a = await net.dial("svc")
+            b = await net.dial("svc")
+            await asyncio.sleep(0.05)
+            conn_ids = tuple(conn for conn, _k in core.connected)
+            host.dispatch([SendMulticast(conn_ids, Ack(5))])
+            assert await asyncio.wait_for(a.receive(), 2) == Ack(5)
+            assert await asyncio.wait_for(b.receive(), 2) == Ack(5)
+            await host.stop()
+
+        run(main())
+
+
+class TestTimersAndNotify:
+    def test_timer_fires(self):
+        async def main():
+            core = TimerCore()
+            host = AsyncioHost(core, MemoryNetwork())
+            host.dispatch([StartTimer("tick", 0.02)])
+            await asyncio.sleep(0.08)
+            assert core.fired == ["tick"]
+            await host.stop()
+
+        run(main())
+
+    def test_rearm_replaces(self):
+        async def main():
+            core = TimerCore()
+            host = AsyncioHost(core, MemoryNetwork())
+            host.dispatch([StartTimer("t", 0.02), StartTimer("t", 0.06)])
+            await asyncio.sleep(0.04)
+            assert core.fired == []
+            await asyncio.sleep(0.06)
+            assert core.fired == ["t"]
+            await host.stop()
+
+        run(main())
+
+    def test_cancel_timer(self):
+        async def main():
+            core = TimerCore()
+            host = AsyncioHost(core, MemoryNetwork())
+            host.dispatch([StartTimer("t", 0.02), CancelTimer("t")])
+            await asyncio.sleep(0.05)
+            assert core.fired == []
+            await host.stop()
+
+        run(main())
+
+    def test_notify_reaches_handler_and_unknown_effect_raises(self):
+        async def main():
+            host = AsyncioHost(ProtocolCore(), MemoryNetwork())
+            seen = []
+            host.on_notify(lambda kind, payload: seen.append((kind, payload)))
+            host.dispatch([Notify("hello", 42)])
+            assert seen == [("hello", 42)]
+            with pytest.raises(TypeError):
+                host.dispatch([object()])
+            await host.stop()
+
+        run(main())
+
+    def test_invoke_drains_core_buffer(self):
+        async def main():
+            core = ProtocolCore()
+            host = AsyncioHost(core, MemoryNetwork())
+            seen = []
+            host.on_notify(lambda kind, payload: seen.append(kind))
+
+            def action():
+                core.emit(Notify("from-invoke", None))
+                return "result"
+
+            assert host.invoke(action) == "result"
+            assert seen == ["from-invoke"]
+            await host.stop()
+
+        run(main())

@@ -1,0 +1,53 @@
+"""Tests for the simulated disk model."""
+
+import pytest
+
+from repro.sim.disk import DiskProfile, SimDisk
+from repro.sim.kernel import SimKernel
+
+
+@pytest.fixture
+def kernel():
+    return SimKernel()
+
+
+class TestDiskProfile:
+    def test_write_time(self):
+        profile = DiskProfile(bytes_per_sec=1_000_000, op_latency=0.001)
+        assert profile.write_time(0) == pytest.approx(0.001)
+        assert profile.write_time(1_000_000) == pytest.approx(1.001)
+
+
+class TestSimDisk:
+    def test_idle_disk_starts_immediately(self, kernel):
+        disk = SimDisk(kernel, DiskProfile(bytes_per_sec=1_000_000, op_latency=0.0))
+        done = disk.write(500_000)
+        assert done == pytest.approx(0.5)
+
+    def test_writes_queue_fifo(self, kernel):
+        disk = SimDisk(kernel, DiskProfile(bytes_per_sec=1_000_000, op_latency=0.0))
+        first = disk.write(1_000_000)
+        second = disk.write(1_000_000)
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+        assert disk.busy_until == pytest.approx(2.0)
+
+    def test_earliest_defers_start(self, kernel):
+        disk = SimDisk(kernel, DiskProfile(bytes_per_sec=1_000_000, op_latency=0.0))
+        done = disk.write(100_000, earliest=5.0)
+        assert done == pytest.approx(5.1)
+
+    def test_counters(self, kernel):
+        disk = SimDisk(kernel, DiskProfile())
+        disk.write(100)
+        disk.write(200)
+        assert disk.ops == 2
+        assert disk.bytes_written == 300
+
+    def test_utilization_bounds(self, kernel):
+        disk = SimDisk(kernel, DiskProfile(bytes_per_sec=1_000, op_latency=0.0))
+        assert disk.utilization() == 0.0
+        disk.write(10_000)  # 10 s of work at t=0
+        kernel.run_until(5.0)
+        util = disk.utilization()
+        assert 0.0 < util <= 1.0

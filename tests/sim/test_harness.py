@@ -1,0 +1,83 @@
+"""Tests for the CoronaWorld harness itself, plus simulation determinism."""
+
+import pytest
+
+from repro.sim.harness import CoronaWorld, PendingCall
+
+
+class TestPendingCall:
+    def test_value_before_reply_raises(self):
+        call = PendingCall("join_group")
+        assert not call.done and not call.ok
+        assert call.error is None
+        with pytest.raises(AssertionError):
+            _ = call.value
+
+
+class TestWorldBasics:
+    def test_client_autonaming_and_connection(self):
+        world = CoronaWorld()
+        world.add_server()
+        a = world.add_client()
+        b = world.add_client()
+        assert a.host_id != b.host_id
+        world.run()
+        assert a.core.connected and b.core.connected
+        assert a.connected_at is not None
+
+    def test_at_schedules_future_call(self):
+        world = CoronaWorld()
+        world.add_server()
+        client = world.add_client(client_id="c")
+        world.run()
+        call = client.at(5.0, "create_group", "g")
+        world.run_until(4.0)
+        assert not call.done
+        world.run()
+        assert call.ok
+        assert world.now >= 5.0
+
+    def test_events_of_kind_filters(self):
+        world = CoronaWorld()
+        world.add_server()
+        client = world.add_client(client_id="c")
+        world.run()
+        assert client.events_of_kind("connected") == ["server"]
+        assert client.events_of_kind("nonexistent") == []
+
+    def test_client_without_server_target(self):
+        world = CoronaWorld()
+        loner = world.add_client(server=None)
+        world.run()
+        assert not loner.core.connected
+
+
+class TestDeterminism:
+    def _trace(self):
+        world = CoronaWorld()
+        server = world.add_server()
+        clients = [world.add_client(client_id=f"c{i}") for i in range(4)]
+        world.run()
+        clients[0].call("create_group", "g", True)
+        world.run()
+        for client in clients:
+            client.call("join_group", "g")
+        world.run()
+        for i, client in enumerate(clients):
+            for j in range(3):
+                client.call("bcast_update", "g", "o", f"{i}/{j};".encode())
+        world.run()
+        return (
+            world.now,
+            world.kernel.processed,
+            world.network.bytes_sent,
+            server.stats.cpu_busy,
+            [
+                (t, d.record.seqno, d.record.data)
+                for t, d in clients[0].deliveries
+            ],
+        )
+
+    def test_identical_runs_produce_identical_traces(self):
+        """The whole point of the simulator: runs are bit-reproducible."""
+        assert self._trace() == self._trace()

@@ -1,0 +1,134 @@
+"""Tests for the discrete-event kernel: ordering, cancellation, determinism."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.kernel import SimKernel
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule(2.0, fired.append, "b")
+        kernel.schedule(1.0, fired.append, "a")
+        kernel.schedule(3.0, fired.append, "c")
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        kernel = SimKernel()
+        fired = []
+        for tag in ("x", "y", "z"):
+            kernel.schedule(1.0, fired.append, tag)
+        kernel.run()
+        assert fired == ["x", "y", "z"]
+
+    def test_now_advances_to_event_time(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.schedule(5.0, lambda: seen.append(kernel.now()))
+        kernel.run()
+        assert seen == [5.0]
+        assert kernel.now() == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimKernel().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        kernel = SimKernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        with pytest.raises(ValueError):
+            kernel.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule(1.0, lambda: kernel.schedule(1.0, fired.append, "nested"))
+        kernel.run()
+        assert fired == ["nested"]
+        assert kernel.now() == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        kernel = SimKernel()
+        fired = []
+        handle = kernel.schedule(1.0, fired.append, "no")
+        handle.cancel()
+        kernel.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        kernel = SimKernel()
+        handle = kernel.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert kernel.run() == 0
+
+    def test_pending_excludes_cancelled(self):
+        kernel = SimKernel()
+        keep = kernel.schedule(1.0, lambda: None)
+        kernel.schedule(2.0, lambda: None).cancel()
+        assert kernel.pending == 1
+        assert keep.time == 1.0
+
+
+class TestRunBounds:
+    def test_run_until_stops_at_boundary(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule(1.0, fired.append, "in")
+        kernel.schedule(2.0, fired.append, "boundary")
+        kernel.schedule(3.0, fired.append, "out")
+        kernel.run_until(2.0)
+        assert fired == ["in", "boundary"]
+        assert kernel.now() == 2.0
+        assert kernel.pending == 1
+
+    def test_run_until_advances_clock_without_events(self):
+        kernel = SimKernel()
+        kernel.run_until(10.0)
+        assert kernel.now() == 10.0
+
+    def test_run_until_backwards_rejected(self):
+        kernel = SimKernel()
+        kernel.run_until(5.0)
+        with pytest.raises(ValueError):
+            kernel.run_until(1.0)
+
+    def test_run_for(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule(4.0, fired.append, "later")
+        kernel.run_for(3.0)
+        assert fired == []
+        kernel.run_for(1.0)
+        assert fired == ["later"]
+
+    def test_run_max_events(self):
+        kernel = SimKernel()
+        for _ in range(5):
+            kernel.schedule(1.0, lambda: None)
+        assert kernel.run(max_events=3) == 3
+        assert kernel.pending == 2
+        assert kernel.processed == 3
+
+
+@given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=40))
+def test_execution_is_sorted_and_deterministic(delays):
+    def trace(run_delays):
+        kernel = SimKernel()
+        fired = []
+        for i, d in enumerate(run_delays):
+            kernel.schedule(d, fired.append, (d, i))
+        kernel.run()
+        return fired
+
+    first, second = trace(delays), trace(delays)
+    assert first == second
+    assert [d for d, _ in first] == sorted(d for d in delays)

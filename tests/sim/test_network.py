@@ -1,0 +1,231 @@
+"""Tests for the simulated network: delivery, contention, partitions."""
+
+import pytest
+
+from repro.sim.kernel import SimKernel
+from repro.sim.network import SimNetwork
+
+
+class Recorder:
+    """Minimal HostAdapter that records everything it sees."""
+
+    def __init__(self, network=None, auto_accept=True):
+        self.connected = []
+        self.failed = []
+        self.messages = []
+        self.closed = []
+
+    def network_connected(self, channel, inbound, key):
+        self.connected.append((channel, inbound, key))
+
+    def network_connect_failed(self, peer, key):
+        self.failed.append((peer, key))
+
+    def network_message(self, channel, message, size):
+        self.messages.append((message, size, channel))
+
+    def network_closed(self, channel):
+        self.closed.append(channel)
+
+
+@pytest.fixture
+def net():
+    kernel = SimKernel()
+    network = SimNetwork(kernel)
+    network.add_segment("lan", bytes_per_sec=1_000_000, latency=0.001)
+    return kernel, network
+
+
+def _host(network, name, segment="lan"):
+    adapter = Recorder()
+    network.attach(name, segment, adapter)
+    return adapter
+
+
+class TestConnect:
+    def test_connect_notifies_both_ends(self, net):
+        kernel, network = net
+        a, b = _host(network, "a"), _host(network, "b")
+        network.connect("a", "b", key="dial-1")
+        kernel.run()
+        assert len(a.connected) == 1 and len(b.connected) == 1
+        chan_a, inbound_a, key_a = a.connected[0]
+        chan_b, inbound_b, _ = b.connected[0]
+        assert chan_a is chan_b
+        assert not inbound_a and key_a == "dial-1"
+        assert inbound_b
+
+    def test_connect_to_missing_host_fails(self, net):
+        kernel, network = net
+        a = _host(network, "a")
+        network.connect("a", "ghost", key="k")
+        kernel.run()
+        assert a.failed == [("ghost", "k")]
+
+    def test_connect_takes_time(self, net):
+        kernel, network = net
+        _host(network, "a"), _host(network, "b")
+        network.connect("a", "b")
+        assert kernel.run() >= 1
+        assert kernel.now() > 0
+
+
+class TestTransfer:
+    def test_message_delivered_with_size(self, net):
+        kernel, network = net
+        a, b = _host(network, "a"), _host(network, "b")
+        network.connect("a", "b")
+        kernel.run()
+        channel = a.connected[0][0]
+        network.send(channel, "a", "hello", 500)
+        kernel.run()
+        assert b.messages == [("hello", 500, channel)]
+
+    def test_fifo_order_preserved(self, net):
+        kernel, network = net
+        a, b = _host(network, "a"), _host(network, "b")
+        network.connect("a", "b")
+        kernel.run()
+        channel = a.connected[0][0]
+        for i in range(10):
+            network.send(channel, "a", f"m{i}", 100)
+        kernel.run()
+        assert [m for m, _, _ in b.messages] == [f"m{i}" for i in range(10)]
+
+    def test_bandwidth_serialization_delays_delivery(self, net):
+        kernel, network = net
+        a, b = _host(network, "a"), _host(network, "b")
+        network.connect("a", "b")
+        kernel.run()
+        channel = a.connected[0][0]
+        start = kernel.now()
+        arrival = network.send(channel, "a", "big", 1_000_000)  # 1 s at 1 MB/s
+        assert arrival - start == pytest.approx(1.0 + 0.001)
+
+    def test_shared_medium_contention(self, net):
+        kernel, network = net
+        a, b = _host(network, "a"), _host(network, "b")
+        c, d = _host(network, "c"), _host(network, "d")
+        network.connect("a", "b")
+        network.connect("c", "d")
+        kernel.run()
+        chan_ab = a.connected[0][0]
+        chan_cd = c.connected[0][0]
+        t0 = kernel.now()
+        first = network.send(chan_ab, "a", "x", 100_000)   # 0.1 s on the wire
+        second = network.send(chan_cd, "c", "y", 100_000)  # queues behind it
+        assert first - t0 == pytest.approx(0.1 + 0.001)
+        assert second - t0 == pytest.approx(0.2 + 0.001)
+
+    def test_cross_segment_adds_hop_latency(self, net):
+        kernel, network = net
+        network.add_segment("lan2", bytes_per_sec=1_000_000, latency=0.001)
+        network.set_hop_latency("lan", "lan2", 0.05)
+        a = _host(network, "a", "lan")
+        b = _host(network, "b", "lan2")
+        network.connect("a", "b")
+        kernel.run()
+        channel = a.connected[0][0]
+        t0 = kernel.now()
+        arrival = network.send(channel, "a", "m", 1000)
+        assert arrival - t0 == pytest.approx(0.001 + 0.001 + 0.001 + 0.05)
+
+    def test_traffic_counters(self, net):
+        kernel, network = net
+        a, _b = _host(network, "a"), _host(network, "b")
+        network.connect("a", "b")
+        kernel.run()
+        channel = a.connected[0][0]
+        network.send(channel, "a", "m1", 300)
+        network.send(channel, "a", "m2", 200)
+        kernel.run()
+        assert network.messages_sent == 2
+        assert network.bytes_sent == 500
+
+
+class TestFailures:
+    def test_explicit_close_notifies_peer(self, net):
+        kernel, network = net
+        a, b = _host(network, "a"), _host(network, "b")
+        network.connect("a", "b")
+        kernel.run()
+        channel = a.connected[0][0]
+        network.close(channel, "a")
+        kernel.run()
+        assert b.closed == [channel]
+        assert not channel.open
+
+    def test_detach_closes_peer_channels(self, net):
+        kernel, network = net
+        a, b = _host(network, "a"), _host(network, "b")
+        network.connect("a", "b")
+        kernel.run()
+        network.detach("b")
+        kernel.run()
+        assert len(a.closed) == 1
+
+    def test_send_on_closed_channel_is_dropped(self, net):
+        kernel, network = net
+        a, b = _host(network, "a"), _host(network, "b")
+        network.connect("a", "b")
+        kernel.run()
+        channel = a.connected[0][0]
+        network.close(channel, "a")
+        network.send(channel, "a", "late", 100)
+        kernel.run()
+        assert b.messages == []
+
+    def test_partition_closes_crossing_channels(self, net):
+        kernel, network = net
+        a, b = _host(network, "a"), _host(network, "b")
+        network.connect("a", "b")
+        kernel.run()
+        network.partition({"a"}, {"b"})
+        kernel.run()
+        assert len(a.closed) == 1 and len(b.closed) == 1
+
+    def test_partition_blocks_new_connects_until_heal(self, net):
+        kernel, network = net
+        a, b = _host(network, "a"), _host(network, "b")
+        network.partition({"a"}, {"b"})
+        network.connect("a", "b", key="k1")
+        kernel.run()
+        assert a.failed == [("b", "k1")]
+        network.heal()
+        network.connect("a", "b", key="k2")
+        kernel.run()
+        assert len(a.connected) == 1 and len(b.connected) == 1
+
+    def test_in_flight_message_dropped_by_partition(self, net):
+        kernel, network = net
+        a, b = _host(network, "a"), _host(network, "b")
+        network.connect("a", "b")
+        kernel.run()
+        channel = a.connected[0][0]
+        network.send(channel, "a", "doomed", 1_000_000)  # 1 s in flight
+        network.partition({"a"}, {"b"})
+        kernel.run()
+        assert b.messages == []
+
+    def test_reattach_after_detach(self, net):
+        kernel, network = net
+        a = _host(network, "a")
+        _host(network, "b")
+        network.detach("b")
+        fresh = Recorder()
+        network.reattach("b", "lan", fresh)
+        network.connect("a", "b")
+        kernel.run()
+        assert len(fresh.connected) == 1
+        assert len(a.connected) == 1
+
+    def test_duplicate_attach_rejected(self, net):
+        _kernel, network = net
+        _host(network, "a")
+        with pytest.raises(ValueError):
+            network.attach("a", "lan", Recorder())
+
+    def test_duplicate_segment_rejected(self, net):
+        _kernel, network = net
+        with pytest.raises(ValueError):
+            network.add_segment("lan", 1.0, 1.0)

@@ -1,0 +1,85 @@
+"""Tests for the checkpoint store: atomicity, pruning, damage fallback."""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.checkpoint import CheckpointStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CheckpointStore(tmp_path / "g")
+
+
+class TestSaveLoad:
+    def test_empty_store_has_no_checkpoint(self, store):
+        assert store.load_latest() is None
+        assert store.seqnos() == []
+
+    def test_save_then_load(self, store):
+        store.save(10, b"snapshot-bytes")
+        assert store.load_latest() == (10, b"snapshot-bytes")
+
+    def test_latest_wins(self, store):
+        store.save(10, b"old")
+        store.save(20, b"new")
+        assert store.load_latest() == (20, b"new")
+
+    def test_empty_snapshot_is_valid(self, store):
+        store.save(0, b"")
+        assert store.load_latest() == (0, b"")
+
+    def test_negative_seqno_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.save(-1, b"x")
+
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointStore(tmp_path, keep=0)
+
+
+class TestPruning:
+    def test_old_checkpoints_pruned(self, store):
+        for seqno in (1, 2, 3, 4):
+            store.save(seqno, bytes([seqno]))
+        assert store.seqnos() == [3, 4]
+
+    def test_keep_parameter_respected(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=3)
+        for seqno in range(5):
+            store.save(seqno, b"s")
+        assert store.seqnos() == [2, 3, 4]
+
+
+class TestDamage:
+    def test_corrupt_latest_falls_back(self, store):
+        store.save(10, b"good-old")
+        path = store.save(20, b"good-new")
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert store.load_latest() == (10, b"good-old")
+
+    def test_truncated_checkpoint_skipped(self, store):
+        store.save(10, b"good")
+        path = store.save(20, b"will-truncate")
+        path.write_bytes(path.read_bytes()[:4])
+        assert store.load_latest() == (10, b"good")
+
+    def test_all_damaged_returns_none(self, store):
+        path = store.save(5, b"only")
+        path.write_bytes(b"")
+        assert store.load_latest() is None
+
+    def test_tmp_files_ignored(self, store):
+        store.save(5, b"real")
+        (store.directory / ".ckpt.9.tmp").write_bytes(b"partial")
+        assert store.load_latest() == (5, b"real")
+        assert store.seqnos() == [5]
+
+    def test_seqno_mismatch_in_header_skipped(self, store):
+        # a checkpoint renamed to the wrong seqno must not be trusted
+        store.save(10, b"good")
+        src = store.directory / "ckpt.10.bin"
+        (store.directory / "ckpt.99.bin").write_bytes(src.read_bytes())
+        assert store.load_latest() == (10, b"good")

@@ -1,0 +1,82 @@
+"""Tests for the command-line entry points."""
+
+import asyncio
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cli import _BENCHES, bench_main, server_main
+
+
+class TestBenchCli:
+    @pytest.mark.parametrize("name", ["join", "reduction", "failover"])
+    def test_quick_runs_print_a_table(self, name, capsys):
+        assert bench_main([name, "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "(reproduced)" in out
+        assert "---" in out  # table separator rendered
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            bench_main(["definitely-not-a-bench"])
+
+    def test_every_registered_bench_resolves(self):
+        from repro.bench import experiments
+
+        for func_name, _variants in _BENCHES.values():
+            assert callable(getattr(experiments, func_name))
+
+
+class TestServerCli:
+    def test_bad_port_rejected(self):
+        with pytest.raises(SystemExit):
+            server_main(["--port", "not-a-number"])
+
+    def test_server_starts_and_accepts_tcp(self, tmp_path):
+        """Boot the real CLI server in a thread, poke it over TCP."""
+        # pick a free port first
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+        ready = threading.Event()
+        stop_loop: list = []
+
+        def run_server():
+            async def main():
+                from repro.core.server import ServerConfig
+                from repro.runtime.server import CoronaServer
+                from repro.storage.store import GroupStore
+
+                server = CoronaServer(
+                    config=ServerConfig(server_id="cli-test"),
+                    store=GroupStore(tmp_path / "data"),
+                )
+                await server.start("127.0.0.1", port)
+                ready.set()
+                while not stop_loop:
+                    await asyncio.sleep(0.05)
+                await server.stop()
+
+            asyncio.run(main())
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        try:
+
+            async def client_side():
+                from repro.runtime.client import CoronaClient
+
+                client = await CoronaClient.connect(("127.0.0.1", port), "cli-probe")
+                assert client.core.server_id == "cli-test"
+                server_time = await client.ping()
+                assert isinstance(server_time, float)
+                await client.close()
+
+            asyncio.run(client_side())
+        finally:
+            stop_loop.append(True)
+            thread.join(timeout=10)

@@ -1,0 +1,85 @@
+"""Consistency checks tying the message catalogue to its documentation:
+type-code partitions, naming conventions, request/reply pairing."""
+
+import dataclasses
+
+from repro.wire import codec, messages as m
+
+_CATALOGUE = {
+    name: obj
+    for name in m.__all__
+    if isinstance(obj := getattr(m, name), type)
+    and dataclasses.is_dataclass(obj)
+    and obj is not m.Message
+}
+
+
+def _code(cls):
+    return codec.type_code_of(cls)
+
+
+CLIENT_TO_SERVER = {
+    m.Hello, m.CreateGroupRequest, m.DeleteGroupRequest, m.JoinGroupRequest,
+    m.LeaveGroupRequest, m.GetMembershipRequest, m.ListGroupsRequest,
+    m.BcastStateRequest, m.BcastUpdateRequest, m.AcquireLockRequest,
+    m.ReleaseLockRequest, m.ReduceLogRequest, m.PingRequest,
+}
+
+SERVER_TO_CLIENT = {
+    m.HelloReply, m.Ack, m.ErrorReply, m.JoinReply, m.MembershipReply,
+    m.GroupListReply, m.Delivery, m.MembershipNotice, m.GroupDeletedNotice,
+    m.LockGranted, m.PingReply, m.RebaseNotice, m.ForkNotice,
+}
+
+
+def test_type_code_partitions_match_protocol_doc():
+    """docs/protocol.md §2: structs 1-19, c->s 20-49, s->c 50-79,
+    s<->s 80-119."""
+    for cls in CLIENT_TO_SERVER:
+        assert 20 <= _code(cls) <= 49, cls.__name__
+    for cls in SERVER_TO_CLIENT:
+        assert 50 <= _code(cls) <= 79, cls.__name__
+    inter_server = set(_CATALOGUE.values()) - CLIENT_TO_SERVER - SERVER_TO_CLIENT
+    for cls in inter_server:
+        code = _code(cls)
+        assert 1 <= code <= 19 or 80 <= code <= 119, (
+            f"{cls.__name__} has code {code} outside struct/server ranges"
+        )
+
+
+def test_every_catalogued_class_is_registered():
+    for name, cls in _CATALOGUE.items():
+        assert codec.class_for_code(_code(cls)) is cls, name
+
+
+def test_requests_carry_request_ids():
+    for cls in CLIENT_TO_SERVER - {m.Hello}:
+        fields = {f.name for f in dataclasses.fields(cls)}
+        assert "request_id" in fields, cls.__name__
+
+
+def test_replies_echo_request_ids():
+    for cls in (m.Ack, m.ErrorReply, m.JoinReply, m.MembershipReply,
+                m.GroupListReply, m.LockGranted, m.PingReply):
+        fields = {f.name for f in dataclasses.fields(cls)}
+        assert "request_id" in fields, cls.__name__
+
+
+def test_unsolicited_messages_have_no_request_id():
+    for cls in (m.Delivery, m.MembershipNotice, m.GroupDeletedNotice,
+                m.RebaseNotice, m.ForkNotice):
+        fields = {f.name for f in dataclasses.fields(cls)}
+        assert "request_id" not in fields, cls.__name__
+
+
+def test_all_messages_are_frozen():
+    for name, cls in _CATALOGUE.items():
+        params = cls.__dataclass_params__
+        assert params.frozen, f"{name} must be immutable"
+
+
+def test_public_api_imports():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None

@@ -1,0 +1,75 @@
+"""Tests for stream framing: chunked feeds, batching, limits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import FrameTooLargeError
+from repro.wire import framing
+from repro.wire.framing import FrameDecoder, frame_message
+from repro.wire.messages import Ack, BcastUpdateRequest, DeliveryMode, PingRequest
+
+
+def test_single_frame_roundtrip():
+    msg = Ack(7)
+    dec = FrameDecoder()
+    assert list(dec.feed(frame_message(msg))) == [msg]
+    assert dec.buffered == 0
+
+
+def test_byte_at_a_time_feed():
+    msg = BcastUpdateRequest(3, "g", "o", b"payload", DeliveryMode.EXCLUSIVE)
+    data = frame_message(msg)
+    dec = FrameDecoder()
+    out = []
+    for i in range(len(data)):
+        out.extend(dec.feed(data[i : i + 1]))
+    assert out == [msg]
+
+
+def test_multiple_frames_in_one_chunk():
+    msgs = [Ack(i) for i in range(10)]
+    blob = b"".join(frame_message(x) for x in msgs)
+    dec = FrameDecoder()
+    assert list(dec.feed(blob)) == msgs
+
+
+def test_partial_then_rest():
+    msgs = [PingRequest(1), PingRequest(2)]
+    blob = b"".join(frame_message(x) for x in msgs)
+    dec = FrameDecoder()
+    first = list(dec.feed(blob[:5]))
+    rest = list(dec.feed(blob[5:]))
+    assert first + rest == msgs
+
+
+def test_incoming_frame_too_large():
+    dec = FrameDecoder(max_frame_size=8)
+    oversized = frame_message(BcastUpdateRequest(1, "g", "o", b"x" * 64, DeliveryMode.INCLUSIVE))
+    with pytest.raises(FrameTooLargeError):
+        list(dec.feed(oversized))
+
+
+def test_outgoing_frame_too_large(monkeypatch):
+    monkeypatch.setattr(framing, "MAX_FRAME_SIZE", 1)
+    with pytest.raises(FrameTooLargeError):
+        frame_message(Ack(1))
+
+
+def test_buffered_reports_pending_bytes():
+    dec = FrameDecoder()
+    data = frame_message(Ack(1))
+    assert len(data) == 6  # 4-byte prefix + 2-byte payload
+    list(dec.feed(data[:5]))
+    assert dec.buffered == 1  # length prefix consumed, 1 payload byte held
+
+
+@given(st.lists(st.integers(0, 2**31), max_size=20), st.integers(1, 64))
+def test_arbitrary_chunking_property(request_ids, chunk):
+    msgs = [Ack(i) for i in request_ids]
+    blob = b"".join(frame_message(x) for x in msgs)
+    dec = FrameDecoder()
+    out = []
+    for i in range(0, len(blob), chunk):
+        out.extend(dec.feed(blob[i : i + chunk]))
+    assert out == msgs

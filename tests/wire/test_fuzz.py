@@ -1,0 +1,70 @@
+"""Fuzz tests: hostile bytes must fail cleanly, never crash.
+
+A server reading from the network can receive anything; every decode
+failure must surface as CodecError / FrameTooLargeError — no other
+exception type, no hang, no partial mutation."""
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import CodecError, FrameTooLargeError
+from repro.wire import codec
+from repro.wire.framing import FrameDecoder, frame_message
+from repro.wire.messages import Ack, Hello
+
+
+@given(st.binary(max_size=256))
+@example(b"")
+@example(b"\x00")
+@example(b"\xff" * 64)
+def test_decode_arbitrary_bytes_never_crashes(data):
+    try:
+        codec.decode(data)
+    except CodecError:
+        pass  # the only acceptable failure
+
+
+@given(st.binary(max_size=256))
+def test_framing_arbitrary_bytes_never_crashes(data):
+    decoder = FrameDecoder(max_frame_size=1024)
+    try:
+        list(decoder.feed(data))
+    except (CodecError, FrameTooLargeError):
+        pass
+
+
+@given(st.binary(max_size=64), st.integers(0, 60))
+def test_bitflipped_frames_fail_cleanly(noise, position):
+    frame = bytearray(frame_message(Hello(client_id="fuzz")))
+    if position < len(frame):
+        frame[position] ^= 0x5A
+    decoder = FrameDecoder(max_frame_size=4096)
+    try:
+        decoded = list(decoder.feed(bytes(frame) + noise))
+    except (CodecError, FrameTooLargeError):
+        return
+    # if it decoded, it must be a registered message object
+    for message in decoded:
+        assert codec.type_code_of(type(message)) >= 0
+
+
+@given(st.lists(st.binary(min_size=1, max_size=32), max_size=8))
+def test_valid_stream_with_garbage_prefix_rejected(chunks):
+    """A stream that starts mid-frame cannot silently resync."""
+    garbage = b"\x00\x00\x00\x02\xff\xff"  # claims a 2-byte frame of junk
+    blob = garbage + frame_message(Ack(1))
+    decoder = FrameDecoder()
+    with pytest.raises(CodecError):
+        consumed = []
+        for chunk in [blob]:
+            consumed.extend(decoder.feed(chunk))
+
+
+@settings(max_examples=200)
+@given(st.binary(min_size=1, max_size=128))
+def test_truncated_valid_messages_fail_cleanly(data):
+    full = frame_message(Hello(client_id=data.hex()))
+    for cut in (1, len(full) // 2, len(full) - 1):
+        decoder = FrameDecoder()
+        assert list(decoder.feed(full[:cut])) == []  # incomplete: no output
