@@ -1,0 +1,31 @@
+"""Static analysis and trace validation for the Corona reproduction.
+
+Two independent guards over the repo's fragile guarantees:
+
+* :mod:`repro.analysis.lint` — **coronalint**, an AST linter with
+  repo-specific determinism/protocol rules (DET001-003, NET001, LOCK001,
+  WIRE001), run as ``repro lint``;
+* :mod:`repro.analysis.tracecheck` — **tracecheck**, a dynamic checker
+  that replays simulation traces and verifies the paper's §4.1 ordering
+  contract (ORD001-004), run as ``repro tracecheck`` and on every traced
+  sim world in the test suite.
+
+See ``docs/static-analysis.md`` for the rule catalogue.
+"""
+
+from repro.analysis.findings import Finding, Severity, format_findings
+from repro.analysis.lint import LintConfig, lint_paths, lint_source, load_config
+from repro.analysis.tracecheck import TraceEvent, check_trace, check_world
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "format_findings",
+    "LintConfig",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "TraceEvent",
+    "check_trace",
+    "check_world",
+]

@@ -1,0 +1,63 @@
+"""Findings: the common currency of the analysis subsystem.
+
+Both halves of :mod:`repro.analysis` — the static linter and the dynamic
+trace checker — report problems as :class:`Finding` values rather than
+raising, so callers (CLI, pytest fixture, CI) decide how to present and
+how hard to fail.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+
+__all__ = ["Severity", "Finding", "format_findings", "findings_to_json"]
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering allows ``max(severities)``."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One problem located by a rule or invariant check.
+
+    ``path``/``line``/``col`` locate static findings in source; dynamic
+    (trace) findings reuse ``path`` for the trace name and leave
+    ``line``/``col`` at zero.
+    """
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        location = f"{self.path}:{self.line}:{self.col}"
+        text = f"{location}: {self.severity} {self.rule_id}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+def format_findings(findings: list[Finding]) -> str:
+    """Human-readable report, one finding per line (plus hints)."""
+    return "\n".join(f.render() for f in findings)
+
+
+def findings_to_json(findings: list[Finding]) -> str:
+    """Machine-readable report (the ``--format json`` CLI output)."""
+    payload = [
+        {**asdict(f), "severity": str(f.severity)} for f in findings
+    ]
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,197 @@
+"""coronalint driver: config, file walking, suppression, reporting.
+
+Usage from the CLI (``repro lint src/ --strict``), from tests
+(:func:`lint_source`), and from CI.  Configuration lives in
+``[tool.corona-lint]`` in ``pyproject.toml``:
+
+.. code-block:: toml
+
+    [tool.corona-lint]
+    exclude = ["tests", "benchmarks"]        # path substrings to skip
+    rules = ["DET001", "DET002", ...]        # enable list (default: all)
+
+    [tool.corona-lint.per-rule-exclude]      # replaces built-in scopes
+    DET001 = ["repro.core.clock", "repro.runtime"]
+
+Suppression is per line: ``# corona: noqa`` silences every rule on that
+line, ``# corona: noqa(DET003)`` (comma-separated ids allowed) silences
+only the named rules.  Suppressions should carry a justifying comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field as dc_field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import (
+    DEFAULT_EXCLUDES,
+    RULE_DOCS,
+    ModuleInfo,
+    check_module,
+)
+from repro.analysis.wirecheck import check_wire_module, module_defines_messages
+
+__all__ = ["LintConfig", "load_config", "lint_paths", "lint_source", "ALL_RULES"]
+
+ALL_RULES: tuple[str, ...] = tuple(sorted(RULE_DOCS))
+
+_NOQA = re.compile(r"#\s*corona:\s*noqa(?:\(([A-Za-z0-9_,\s]*)\))?")
+
+
+@dataclass
+class LintConfig:
+    """Effective linter configuration."""
+
+    rules: tuple[str, ...] = ALL_RULES
+    #: Path substrings that exclude a file entirely.
+    exclude_paths: tuple[str, ...] = ()
+    #: rule id -> module-name prefixes the rule does not apply to.
+    per_rule_exclude: dict[str, tuple[str, ...]] = dc_field(
+        default_factory=lambda: dict(DEFAULT_EXCLUDES)
+    )
+
+
+def load_config(pyproject: Path | None = None) -> LintConfig:
+    """Build a :class:`LintConfig` from ``[tool.corona-lint]``.
+
+    Missing file or section (or a Python without ``tomllib``) yields the
+    built-in defaults, so the linter always runs.
+    """
+    config = LintConfig()
+    if pyproject is None or not pyproject.is_file():
+        return config
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - py3.10 fallback
+        return config
+    try:
+        table = tomllib.loads(pyproject.read_text()).get("tool", {}).get(
+            "corona-lint", {}
+        )
+    except tomllib.TOMLDecodeError:
+        return config
+    if "rules" in table:
+        config.rules = tuple(
+            rule for rule in table["rules"] if rule in RULE_DOCS
+        )
+    if "exclude" in table:
+        config.exclude_paths = tuple(table["exclude"])
+    for rule_id, prefixes in table.get("per-rule-exclude", {}).items():
+        if rule_id in RULE_DOCS:
+            config.per_rule_exclude[rule_id] = tuple(prefixes)
+    return config
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name used for rule scoping.
+
+    The name starts at the ``repro`` package when the path contains one
+    (``src/repro/core/state.py`` -> ``repro.core.state``); otherwise it is
+    just the file stem, which makes every rule apply to loose files.
+    """
+    parts = list(path.parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = [path.name]
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def _scoped_rules(config: LintConfig, module: str) -> list[str]:
+    scoped = []
+    for rule_id in config.rules:
+        excludes = config.per_rule_exclude.get(rule_id, ())
+        if any(module == p or module.startswith(p + ".") for p in excludes):
+            continue
+        scoped.append(rule_id)
+    return scoped
+
+
+def _suppressed(finding: Finding, lines: list[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    match = _NOQA.search(lines[finding.line - 1])
+    if match is None:
+        return False
+    named = match.group(1)
+    if named is None or not named.strip():
+        return True  # bare "# corona: noqa" silences everything
+    rule_ids = {part.strip() for part in named.split(",")}
+    return finding.rule_id in rule_ids
+
+
+def lint_source(source: str, path: str, config: LintConfig | None = None) -> list[Finding]:
+    """Lint one in-memory module; *path* drives rule scoping."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id="PARSE",
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"cannot parse module: {exc.msg}",
+            )
+        ]
+    module = _module_name(Path(path))
+    info = ModuleInfo(path=path, module=module, tree=tree, source=source)
+    rule_ids = _scoped_rules(config, module)
+    findings = check_module(info, rule_ids)
+    if "WIRE001" in rule_ids and module_defines_messages(tree):
+        findings.extend(check_wire_module(info))
+    lines = source.splitlines()
+    findings = [f for f in findings if not _suppressed(f, lines)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def _iter_py_files(paths: list[Path], config: LintConfig) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    out = []
+    for file in files:
+        posix = file.as_posix()
+        if any(part.startswith(".") for part in file.parts):
+            continue
+        if any(pattern in posix for pattern in config.exclude_paths):
+            continue
+        out.append(file)
+    return out
+
+
+def lint_paths(paths: list[Path], config: LintConfig | None = None) -> list[Finding]:
+    """Lint every ``.py`` file under *paths*; returns sorted findings."""
+    config = config or LintConfig()
+    findings: list[Finding] = []
+    for file in _iter_py_files(paths, config):
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    rule_id="PARSE",
+                    severity=Severity.ERROR,
+                    path=file.as_posix(),
+                    line=0,
+                    col=0,
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, file.as_posix(), config))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings

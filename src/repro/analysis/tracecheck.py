@@ -1,0 +1,290 @@
+"""tracecheck: independent verification of the §4.1 ordering contract.
+
+The sequencer *provides* total order, causal order and per-sender FIFO;
+this module *verifies* those guarantees on a recorded simulation trace,
+using primitives (:class:`FifoChecker`) and bookkeeping entirely separate
+from the delivery machinery — trace validation in the spirit of
+optimistic state-machine-replication checkers.
+
+A trace is a list of :class:`TraceEvent` in simulation execution order,
+recorded by :class:`~repro.sim.harness.CoronaWorld` when built with
+``trace=True``.  Four invariants are checked:
+
+* **ORD001 total order** — every receiver delivers a group's messages in
+  strictly increasing sequence number, and all receivers agree on which
+  message owns each sequence number;
+* **ORD002 causal order** — a message is never delivered before another
+  message its sender had already delivered when it sent (per group);
+* **ORD003 per-sender FIFO** — one sender's messages arrive in the order
+  they were sequenced (checked with :class:`FifoChecker`);
+* **ORD004 checkpoint monotonicity** — state-log reductions fold a
+  group's log at non-decreasing sequence numbers.
+
+Rebase / fork / rejoin notifications appear as ``reset`` events: they
+start a fresh per-receiver epoch (the service deliberately rewrites
+history there), and disable cross-receiver agreement and causal checks
+for that group from that point on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from repro.analysis.findings import Finding, Severity
+from repro.core.ids import NO_SEQNO
+from repro.core.ordering import FifoChecker
+
+__all__ = [
+    "TraceEvent",
+    "check_trace",
+    "check_world",
+    "trace_to_jsonl",
+    "trace_from_jsonl",
+    "seeded_sim_trace",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable step of a simulated run."""
+
+    kind: str            # "send" | "deliver" | "reset" | "checkpoint"
+    time: float
+    process: str         # the process recording the event
+    group: str
+    sender: str = ""     # originating client (deliver/send)
+    seqno: int = NO_SEQNO
+    object_id: str = ""
+    payload: bytes = b""
+
+
+def _trace_finding(
+    rule_id: str, index: int, message: str, name: str, hint: str = ""
+) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        severity=Severity.ERROR,
+        path=name,
+        line=index + 1,  # 1-based event index stands in for a line number
+        col=0,
+        message=message,
+        hint=hint,
+    )
+
+
+def check_trace(events: list[TraceEvent], name: str = "sim-trace") -> list[Finding]:
+    """Verify the ordering invariants on *events*; returns violations."""
+    findings: list[Finding] = []
+
+    # Per-(receiver, group) epoch: bumped by reset events.
+    epoch: dict[tuple[str, str], int] = {}
+    # ORD003: an independent FifoChecker per (receiver, group, epoch).
+    fifo: dict[tuple[str, str, int], FifoChecker] = {}
+    # ORD001a: last seqno delivered per (receiver, group, epoch).
+    last_seqno: dict[tuple[str, str, int], int] = {}
+    # ORD001b: (group, seqno) -> (sender, object_id, payload) identity.
+    identity: dict[tuple[str, int], tuple[str, str, bytes]] = {}
+    # Groups where a reset happened: history was rewritten, so global
+    # identity/causality bookkeeping no longer applies.
+    reset_groups: set[str] = set()
+
+    # ORD002 bookkeeping.  delivered_order keeps each receiver's per-group
+    # delivery sequence; a send snapshots its sender's current prefix
+    # length, so dependencies are recovered without copying sets.
+    delivered_order: dict[tuple[str, str], list[int]] = {}
+    delivered_set: dict[tuple[str, str], set[int]] = {}
+    pending_sends: dict[tuple[str, str], list[tuple[str, bytes, int]]] = {}
+    deps: dict[tuple[str, int], tuple[str, int]] = {}  # msg -> (sender, prefix)
+    delivered_ever: dict[tuple[str, str], set[int]] = {}
+
+    for event in events:
+        if event.kind == "deliver":
+            delivered_ever.setdefault((event.process, event.group), set()).add(
+                event.seqno
+            )
+
+    # ORD004: last checkpoint seqno per (server, group).
+    last_ckpt: dict[tuple[str, str], int] = {}
+
+    for index, event in enumerate(events):
+        key = (event.process, event.group)
+        if event.kind == "reset":
+            epoch[key] = epoch.get(key, 0) + 1
+            reset_groups.add(event.group)
+        elif event.kind == "send":
+            order = delivered_order.setdefault(key, [])
+            pending_sends.setdefault(key, []).append(
+                (event.object_id, event.payload, len(order))
+            )
+        elif event.kind == "checkpoint":
+            previous = last_ckpt.get(key)
+            if previous is not None and event.seqno < previous:
+                findings.append(_trace_finding(
+                    "ORD004", index,
+                    f"checkpoint for group {event.group!r} on {event.process!r} "
+                    f"folded at seqno {event.seqno} after an earlier fold at "
+                    f"{previous}",
+                    name,
+                    hint="log reduction must never rewind a fold point",
+                ))
+            else:
+                last_ckpt[key] = event.seqno
+        elif event.kind == "deliver":
+            ep = epoch.get(key, 0)
+            # -- ORD003: per-sender FIFO ---------------------------------
+            checker = fifo.setdefault((event.process, event.group, ep), FifoChecker())
+            try:
+                checker.observe(event.sender, event.seqno)
+            except AssertionError as exc:
+                findings.append(_trace_finding(
+                    "ORD003", index,
+                    f"receiver {event.process!r}, group {event.group!r}: {exc}",
+                    name,
+                    hint="per-sender FIFO broken: messages from one sender "
+                    "arrived out of sequencing order",
+                ))
+            # -- ORD001a: strictly increasing delivery order -------------
+            seq_key = (event.process, event.group, ep)
+            previous = last_seqno.get(seq_key)
+            if previous is not None and event.seqno <= previous:
+                findings.append(_trace_finding(
+                    "ORD001", index,
+                    f"receiver {event.process!r}, group {event.group!r} "
+                    f"delivered seqno {event.seqno} after {previous}",
+                    name,
+                    hint="total order requires strictly increasing seqnos "
+                    "at every receiver",
+                ))
+            else:
+                last_seqno[seq_key] = event.seqno
+            if event.group not in reset_groups:
+                # -- ORD001b: cross-receiver agreement -------------------
+                ident = (event.sender, event.object_id, event.payload)
+                msg_key = (event.group, event.seqno)
+                known = identity.get(msg_key)
+                if known is None:
+                    identity[msg_key] = ident
+                    # First global delivery: bind the message to its send.
+                    sender_key = (event.sender, event.group)
+                    queue = pending_sends.get(sender_key, [])
+                    for i, (obj, payload, prefix) in enumerate(queue):
+                        if obj == event.object_id and payload == event.payload:
+                            deps[msg_key] = (event.sender, prefix)
+                            del queue[i]
+                            break
+                elif known != ident:
+                    findings.append(_trace_finding(
+                        "ORD001", index,
+                        f"group {event.group!r} seqno {event.seqno} names two "
+                        f"different messages ({known[0]!r} vs {event.sender!r})",
+                        name,
+                        hint="two sequencers allocated the same seqno — "
+                        "total order is forked",
+                    ))
+                # -- ORD002: causal delivery -----------------------------
+                dep = deps.get(msg_key)
+                if dep is not None:
+                    dep_sender, prefix = dep
+                    sender_history = delivered_order.get((dep_sender, event.group), [])
+                    my_delivered = delivered_set.setdefault(key, set())
+                    ever = delivered_ever.get(key, set())
+                    for dep_seqno in sender_history[:prefix]:
+                        if dep_seqno in ever and dep_seqno not in my_delivered:
+                            findings.append(_trace_finding(
+                                "ORD002", index,
+                                f"receiver {event.process!r} got group "
+                                f"{event.group!r} seqno {event.seqno} before "
+                                f"its causal dependency {dep_seqno}",
+                                name,
+                                hint="a message overtook one its sender had "
+                                "already delivered when sending",
+                            ))
+            delivered_order.setdefault(key, []).append(event.seqno)
+            delivered_set.setdefault(key, set()).add(event.seqno)
+    return findings
+
+
+def check_world(world, name: str = "sim-trace") -> list[Finding]:
+    """Run :func:`check_trace` on a traced :class:`CoronaWorld`.
+
+    Worlds whose network was ever partitioned are skipped: during a
+    partition the service explicitly gives up the single-sequencer
+    contract and reconciles afterwards (paper §4.2), so the invariants do
+    not apply to the raw trace.
+    """
+    trace = getattr(world, "trace", None)
+    if not trace:
+        return []
+    if getattr(world.network, "ever_partitioned", False):
+        return []
+    return check_trace(trace, name)
+
+
+# --------------------------------------------------------------------------
+# serialization (CLI --dump / --check)
+# --------------------------------------------------------------------------
+
+def trace_to_jsonl(events: list[TraceEvent]) -> str:
+    lines = []
+    for event in events:
+        record = asdict(event)
+        record["payload"] = event.payload.hex()
+        lines.append(json.dumps(record, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def trace_from_jsonl(text: str) -> list[TraceEvent]:
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        record["payload"] = bytes.fromhex(record["payload"])
+        events.append(TraceEvent(**record))
+    return events
+
+
+# --------------------------------------------------------------------------
+# canned seeded workload (the `repro tracecheck` default)
+# --------------------------------------------------------------------------
+
+def seeded_sim_trace(
+    n_clients: int = 3,
+    n_updates: int = 30,
+    n_groups: int = 2,
+    reduce_every: int = 10,
+) -> list[TraceEvent]:
+    """Run a small deterministic multi-group workload; return its trace.
+
+    Pure virtual time and counter-based ids: two calls with equal
+    arguments produce identical traces.
+    """
+    from repro.core.server import ServerConfig
+    from repro.sim.harness import CoronaWorld
+
+    world = CoronaWorld(trace=True)
+    world.add_server(config=ServerConfig(server_id="server", persist=False))
+    clients = [world.add_client(client_id=f"c{i}") for i in range(n_clients)]
+    world.run()
+    groups = [f"g{i}" for i in range(n_groups)]
+    for group in groups:
+        clients[0].call("create_group", group, True)
+    world.run()
+    for client in clients:
+        for group in groups:
+            client.call("join_group", group)
+    world.run()
+
+    start = world.now + 1.0
+    for k in range(n_updates):
+        client = clients[k % n_clients]
+        group = groups[k % n_groups]
+        client.at(start + 0.05 * k, "bcast_update", group, "obj", f"u{k}".encode())
+        if reduce_every and k and k % reduce_every == 0:
+            clients[0].at(
+                start + 0.05 * k + 0.01, "reduce_log", groups[k % n_groups]
+            )
+    world.run()
+    return list(world.trace)

@@ -1,0 +1,222 @@
+"""WIRE001: wire-message schema-drift detection.
+
+The codec (:mod:`repro.wire.codec`) derives field encoders from dataclass
+type hints at first use, which means a schema mistake — an unregistered
+message class, a duplicated type code, or a field annotated with a type
+the codec cannot encode — only explodes at runtime, possibly deep inside
+a benchmark.  This module finds the same mistakes statically, from the
+AST of any module that defines wire messages.
+
+Checks per message-defining module:
+
+* every dataclass deriving from ``Message`` carries ``@register(N)``;
+* every ``@register``-decorated class is a dataclass;
+* register codes are unique within the module;
+* every non-``wire_skip`` field annotation is a type the codec supports
+  (primitives, id aliases, IntEnums, other message classes,
+  ``X | None``, ``list[X]``, ``tuple[X, ...]``, ``dict[K, V]``);
+* ``tuple`` fields use the homogeneous ``tuple[X, ...]`` form — the only
+  one the codec implements.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleInfo, _finding, _import_map
+
+__all__ = ["check_wire_module", "module_defines_messages"]
+
+#: Builtin scalars the codec encodes directly.
+_PRIMITIVES = {"int", "float", "str", "bytes", "bytearray", "memoryview", "bool"}
+#: ``str``/``int`` aliases from repro.core.ids.
+_ID_ALIASES = {
+    "GroupId", "ObjectId", "ClientId", "ServerId", "ConnId", "RequestId", "SeqNo",
+}
+_CONTAINER_HEADS = {"list", "tuple", "dict", "List", "Tuple", "Dict", "Optional"}
+
+
+def _is_dataclass_decorated(node: ast.ClassDef, imports: dict[str, str]) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+        if isinstance(target, ast.Name):
+            # Resolve aliases such as ``from dataclasses import dataclass as _dc``.
+            if target.id == "dataclass":
+                return True
+            if imports.get(target.id) == "dataclasses.dataclass":
+                return True
+    return False
+
+
+def _register_code(node: ast.ClassDef) -> int | None:
+    """The N of a ``@register(N)`` decorator, if present."""
+    for deco in node.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        target = deco.func
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None
+        )
+        if name == "register" and deco.args:
+            arg = deco.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+                return arg.value
+            return -1  # register() with a non-literal code: still registered
+    return None
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _is_wire_skip(value: ast.expr | None) -> bool:
+    """True for ``field(..., metadata={"wire_skip": True, ...})`` defaults."""
+    if not isinstance(value, ast.Call):
+        return False
+    for kw in value.keywords:
+        if kw.arg == "metadata" and isinstance(kw.value, ast.Dict):
+            for key in kw.value.keys:
+                if isinstance(key, ast.Constant) and key.value == "wire_skip":
+                    return True
+    return False
+
+
+def module_defines_messages(tree: ast.Module) -> bool:
+    """Whether WIRE001 applies: the module registers wire dataclasses or
+    derives classes from ``Message``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            if _register_code(node) is not None or "Message" in _base_names(node):
+                return True
+    return False
+
+
+def _annotation_ok(node: ast.expr, known: set[str]) -> tuple[bool, str]:
+    """Whether the codec can encode annotation *node*; (ok, reason)."""
+    if isinstance(node, ast.Constant):
+        if node.value is None:
+            return True, ""
+        if isinstance(node.value, str):  # forward reference
+            try:
+                parsed = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return False, f"unparseable forward reference {node.value!r}"
+            return _annotation_ok(parsed, known)
+        return False, f"unsupported literal annotation {node.value!r}"
+    if isinstance(node, ast.Name):
+        if node.id in _PRIMITIVES or node.id in _ID_ALIASES or node.id in known:
+            return True, ""
+        return False, f"type {node.id!r} is not codec-encodable"
+    if isinstance(node, ast.Attribute):
+        if node.attr in known:
+            return True, ""
+        return False, f"type {ast.unparse(node)!r} is not codec-encodable"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        for side in (node.left, node.right):
+            ok, reason = _annotation_ok(side, known)
+            if not ok:
+                return ok, reason
+        return True, ""
+    if isinstance(node, ast.Subscript):
+        head = node.value
+        head_name = head.id if isinstance(head, ast.Name) else (
+            head.attr if isinstance(head, ast.Attribute) else None
+        )
+        if head_name not in _CONTAINER_HEADS:
+            return False, f"container {head_name!r} is not codec-encodable"
+        args = node.slice.elts if isinstance(node.slice, ast.Tuple) else [node.slice]
+        if head_name in ("tuple", "Tuple"):
+            if len(args) != 2 or not (
+                isinstance(args[1], ast.Constant) and args[1].value is Ellipsis
+            ):
+                return False, "codec only supports homogeneous tuple[X, ...]"
+            args = args[:1]
+        for arg in args:
+            ok, reason = _annotation_ok(arg, known)
+            if not ok:
+                return ok, reason
+        return True, ""
+    return False, f"annotation {ast.unparse(node)!r} is not codec-encodable"
+
+
+def check_wire_module(info: ModuleInfo) -> list[Finding]:
+    """Run WIRE001 over one message-defining module."""
+    return list(_iter_wire_findings(info))
+
+
+def _iter_wire_findings(info: ModuleInfo) -> Iterator[Finding]:
+    imports = _import_map(info.tree)
+    classes = [
+        node for node in info.tree.body if isinstance(node, ast.ClassDef)
+    ]
+    enum_names = {
+        c.name for c in classes
+        if _base_names(c) & {"IntEnum", "Enum", "IntFlag"}
+    }
+    message_names = {
+        c.name for c in classes
+        if _register_code(c) is not None or "Message" in _base_names(c)
+        or c.name == "Message"
+    }
+    # Types imported from the catalogue module are registered over there.
+    imported_messages = {
+        local for local, qualified in imports.items()
+        if qualified.startswith("repro.wire.messages.")
+    }
+    known = enum_names | message_names | imported_messages
+
+    seen_codes: dict[int, str] = {}
+    for cls in classes:
+        code = _register_code(cls)
+        is_message = "Message" in _base_names(cls)
+        if code is None:
+            if is_message and _is_dataclass_decorated(cls, imports):
+                yield _finding(
+                    info, "WIRE001", cls,
+                    f"{cls.name} derives from Message but is not @register-ed "
+                    "with a wire type code",
+                )
+            continue
+        if not _is_dataclass_decorated(cls, imports):
+            yield _finding(
+                info, "WIRE001", cls,
+                f"{cls.name} is @register-ed but is not a dataclass",
+            )
+        if code >= 0:
+            if code in seen_codes:
+                yield _finding(
+                    info, "WIRE001", cls,
+                    f"{cls.name} reuses wire type code {code} "
+                    f"already taken by {seen_codes[code]}",
+                )
+            else:
+                seen_codes[code] = cls.name
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                stmt.target, ast.Name
+            ):
+                continue
+            if isinstance(stmt.annotation, ast.Name) and stmt.annotation.id == "ClassVar":
+                continue
+            if isinstance(stmt.annotation, ast.Subscript) and isinstance(
+                stmt.annotation.value, ast.Name
+            ) and stmt.annotation.value.id == "ClassVar":
+                continue
+            if _is_wire_skip(stmt.value):
+                continue
+            ok, reason = _annotation_ok(stmt.annotation, known)
+            if not ok:
+                yield _finding(
+                    info, "WIRE001", stmt,
+                    f"field {cls.name}.{stmt.target.id}: {reason}",
+                )

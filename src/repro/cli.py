@@ -8,6 +8,11 @@
 
     corona-bench figure3
     corona-bench table2 --quick
+
+``repro`` hosts the analysis tooling (and wraps the two above)::
+
+    repro lint src/ --strict
+    repro tracecheck --updates 50 --dump trace.jsonl
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ import argparse
 import asyncio
 import sys
 
-__all__ = ["server_main", "bench_main"]
+__all__ = ["server_main", "bench_main", "lint_main", "tracecheck_main", "main"]
 
 
 def server_main(argv: list[str] | None = None) -> int:
@@ -117,5 +122,172 @@ def bench_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def lint_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro lint``: the coronalint static analyzer."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Run the determinism/protocol lint rules over source trees.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all enabled rules)",
+    )
+    parser.add_argument(
+        "--config", default="pyproject.toml",
+        help="pyproject.toml holding [tool.corona-lint] (default: ./pyproject.toml)",
+    )
+    parser.add_argument(
+        "--no-config", action="store_true", help="ignore pyproject configuration"
+    )
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from repro.analysis.findings import Severity, findings_to_json, format_findings
+    from repro.analysis.lint import lint_paths, load_config
+
+    from repro.analysis.rules import RULE_DOCS
+
+    config = load_config(None if args.no_config else Path(args.config))
+    if args.rules:
+        config.rules = tuple(
+            rule.strip() for rule in args.rules.split(",") if rule.strip()
+        )
+    unknown = [r for r in config.rules if r not in RULE_DOCS]
+    if unknown:
+        print(f"repro lint: unknown rule id(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print("repro lint: no such path(s): "
+              + ", ".join(str(p) for p in missing), file=sys.stderr)
+        return 2
+    findings = lint_paths(paths, config)
+    if args.fmt == "json":
+        print(findings_to_json(findings))
+    elif findings:
+        print(format_findings(findings))
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    warnings = len(findings) - errors
+    if args.fmt == "text":
+        print(f"coronalint: {errors} error(s), {warnings} warning(s)")
+    if errors or (args.strict and findings):
+        return 1
+    return 0
+
+
+def tracecheck_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro tracecheck``: the ordering-invariant checker."""
+    parser = argparse.ArgumentParser(
+        prog="repro tracecheck",
+        description="Verify total/causal/FIFO/checkpoint invariants on a "
+        "seeded simulation trace (or a recorded trace file).",
+    )
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--updates", type=int, default=30)
+    parser.add_argument("--groups", type=int, default=2)
+    parser.add_argument(
+        "--check", default=None, metavar="PATH",
+        help="check a JSONL trace file instead of running the seeded sim",
+    )
+    parser.add_argument(
+        "--dump", default=None, metavar="PATH",
+        help="write the generated trace as JSONL before checking it",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from repro.analysis.findings import findings_to_json, format_findings
+    from repro.analysis.tracecheck import (
+        check_trace,
+        seeded_sim_trace,
+        trace_from_jsonl,
+        trace_to_jsonl,
+    )
+
+    if args.check:
+        try:
+            text = Path(args.check).read_text()
+        except OSError as exc:
+            print(f"repro tracecheck: cannot read {args.check}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            events = trace_from_jsonl(text)
+        except (ValueError, TypeError, KeyError) as exc:
+            print(f"repro tracecheck: malformed trace {args.check}: {exc}",
+                  file=sys.stderr)
+            return 2
+        name = args.check
+    else:
+        events = seeded_sim_trace(
+            n_clients=args.clients, n_updates=args.updates, n_groups=args.groups
+        )
+        name = "sim-trace"
+    if args.dump:
+        Path(args.dump).write_text(trace_to_jsonl(events))
+    findings = check_trace(events, name=name)
+    if args.fmt == "json":
+        print(findings_to_json(findings))
+    elif findings:
+        print(format_findings(findings))
+    if args.fmt == "text":
+        deliveries = sum(1 for e in events if e.kind == "deliver")
+        print(
+            f"tracecheck: {len(events)} events ({deliveries} deliveries), "
+            f"{len(findings)} violation(s)"
+        )
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro``: dispatch to the tool subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Corona reproduction tooling.",
+    )
+    parser.add_argument(
+        "command",
+        choices=("lint", "tracecheck", "server", "bench"),
+        help="tool to run; arguments after it are passed through",
+    )
+    if argv is None:
+        argv = sys.argv[1:]
+    args = parser.parse_args(argv[:1])
+    rest = argv[1:]
+    dispatch = {
+        "lint": lint_main,
+        "tracecheck": tracecheck_main,
+        "server": server_main,
+        "bench": bench_main,
+    }
+    try:
+        return dispatch[args.command](rest)
+    except BrokenPipeError:
+        # Downstream of a closed pipe (`repro lint --format json | head`):
+        # not an error, but the interpreter would print a traceback on exit
+        # while flushing stdout unless we detach it first.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(server_main())
+    sys.exit(main())

@@ -138,9 +138,7 @@ class GroupView:
     pending_exclusive: deque[tuple[UpdateKind, str, bytes]] = field(default_factory=deque)
 
     def apply_snapshot(self, snapshot: StateSnapshot) -> None:
-        self.state = SharedState(snapshot.objects)
-        for obj_id in self.state.object_ids():
-            self.state.get(obj_id).base_seqno = snapshot.base_seqno
+        self.state = SharedState(snapshot.objects, base_seqno=snapshot.base_seqno)
         for record in snapshot.updates:
             self.state.apply(record)
         self.next_seqno = snapshot.next_seqno

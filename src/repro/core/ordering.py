@@ -76,10 +76,15 @@ class VectorClock:
         return VectorClock(updated)
 
     def merge(self, other: "VectorClock") -> "VectorClock":
-        """Component-wise maximum of the two clocks."""
+        """Component-wise maximum of the two clocks.
+
+        Keys are sorted so the merged mapping has a deterministic order
+        no matter which processes contributed them (DET003).
+        """
         keys = set(self.counters) | set(other.counters)
         return VectorClock(
-            {k: max(self.counters.get(k, 0), other.counters.get(k, 0)) for k in keys}
+            {k: max(self.counters.get(k, 0), other.counters.get(k, 0))
+             for k in sorted(keys)}
         )
 
     def dominates(self, other: "VectorClock") -> bool:

@@ -132,6 +132,9 @@ class ServerCore(ProtocolCore):
         #: Observers (the replication layer) notified of each sequenced
         #: record after local processing: ``fn(group, record, mode, sender_conn)``.
         self.on_local_sequence: Callable[[Group, UpdateRecord, DeliveryMode, ConnId], None] | None = None
+        #: Observer (trace validation) notified after each state-log
+        #: reduction: ``fn(group_name, fold_seqno)``.
+        self.on_checkpoint: Callable[[GroupId, int], None] | None = None
         self._dispatch: dict[type, Callable[[ConnId, Any], None]] = {
             Hello: self._on_hello,
             CreateGroupRequest: self._on_create,
@@ -506,6 +509,8 @@ class ServerCore(ProtocolCore):
             return
         group.state.fold(tip)
         group.log.trim_to(tip)
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(group.name, tip)
         if self.config.persist:
             snapshot = StateSnapshot(
                 group=group.name,
@@ -548,9 +553,7 @@ def state_from_snapshot(snapshot: StateSnapshot) -> "SharedState":
     """Rebuild a SharedState from a folded checkpoint snapshot."""
     from repro.core.state import SharedState
 
-    state = SharedState(snapshot.objects)
-    for obj_id in state.object_ids():
-        state.get(obj_id).base_seqno = snapshot.base_seqno
+    state = SharedState(snapshot.objects, base_seqno=snapshot.base_seqno)
     for record in snapshot.updates:
         state.apply(record)
     return state

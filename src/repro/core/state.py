@@ -75,6 +75,23 @@ class SharedObject:
             self.base_seqno = self.increments[keep_from - 1][0]
             del self.increments[:keep_from]
 
+    def truncate(self, upto_seqno: SeqNo) -> None:
+        """Drop every unfolded increment with seqno above *upto_seqno*.
+
+        The rollback primitive of partition reconciliation; the inverse
+        direction of :meth:`fold`.  The base is never touched — callers
+        must check ``base_seqno <= upto_seqno`` first.
+        """
+        if self.base_seqno > upto_seqno:
+            raise ValueError(
+                f"cannot truncate {self.object_id!r} to {upto_seqno}: base "
+                f"already advanced to {self.base_seqno}"
+            )
+        self.increments = [
+            (seqno, data) for seqno, data in self.increments
+            if seqno <= upto_seqno
+        ]
+
     def materialized(self) -> bytes:
         """The object's full current state as one byte stream."""
         if not self.increments:
@@ -94,13 +111,22 @@ class SharedObject:
 
 
 class SharedState:
-    """The full shared state of one group: object id -> shared object."""
+    """The full shared state of one group: object id -> shared object.
 
-    def __init__(self, initial: tuple[ObjectState, ...] = ()) -> None:
+    *base_seqno* stamps every initial object's base; snapshot-restore
+    paths pass the checkpoint's fold point, group creation leaves the
+    default -1 ("initial state").
+    """
+
+    def __init__(
+        self,
+        initial: tuple[ObjectState, ...] = (),
+        base_seqno: SeqNo = -1,
+    ) -> None:
         self._objects: dict[ObjectId, SharedObject] = {}
         for obj in initial:
             self._objects[obj.object_id] = SharedObject(
-                object_id=obj.object_id, base=obj.data
+                object_id=obj.object_id, base=obj.data, base_seqno=base_seqno
             )
 
     def __contains__(self, object_id: ObjectId) -> bool:

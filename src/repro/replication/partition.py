@@ -115,6 +115,5 @@ def rollback_state(state: SharedState, seqno: int) -> RollbackResult:
                 "(bcastState or reduction); cannot rewind",
             )
     for object_id in state.object_ids():
-        obj = state.get(object_id)
-        obj.increments = [(s, d) for s, d in obj.increments if s <= seqno]
+        state.get(object_id).truncate(seqno)
     return RollbackResult(True)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.analysis.tracecheck import TraceEvent
 from repro.core.client import ClientConfig, ClientCore, DeliveryEvent, ReplyEvent
 from repro.core.server import ServerConfig, ServerCore
 from repro.replication.node import ReplicatedServerCore, ReplicationConfig
@@ -89,6 +90,7 @@ class SimClient:
         kernel: SimKernel,
         host: SimHost,
         core: ClientCore,
+        trace: list[TraceEvent] | None = None,
     ) -> None:
         self.kernel = kernel
         self.host = host
@@ -97,6 +99,7 @@ class SimClient:
         self.deliveries: list[tuple[float, DeliveryEvent]] = []
         self.connected_at: float | None = None
         self._calls: dict[int, PendingCall] = {}
+        self._trace = trace
         host.on_notify(self._on_notify)
 
     @property
@@ -114,20 +117,49 @@ class SimClient:
             self.connected_at = now
         elif kind == "delivery":
             self.deliveries.append((now, payload))
+            if self._trace is not None:
+                record = payload.record
+                self._trace.append(TraceEvent(
+                    kind="deliver", time=now, process=self.client_id,
+                    group=payload.group, sender=record.sender,
+                    seqno=record.seqno, object_id=record.object_id,
+                    payload=record.data,
+                ))
         elif kind == "reply":
             call = self._calls.pop(payload.request_id, None)
             if call is not None:
                 call.reply = payload
+        elif kind in ("rejoined", "rebased", "forked") and self._trace is not None:
+            # The service rewrote or re-sent history for this group: a new
+            # tracecheck epoch starts at the receiver.
+            group = payload[0] if kind == "forked" else payload.name
+            self._trace.append(TraceEvent(
+                kind="reset", time=now, process=self.client_id, group=group,
+            ))
 
     def connect(self, server_host: str) -> None:
         """Dial *server_host* (takes effect inside the simulation)."""
         self.host.invoke(lambda: self.core.connect(server_host) or [])
+
+    def _record_send(self, method: str, args: tuple) -> None:
+        """Log a bcast request into the world trace (for causal checking)."""
+        if self._trace is None or method not in ("bcast_state", "bcast_update"):
+            return
+        if len(args) < 3:
+            return
+        group, object_id, data = args[0], args[1], args[2]
+        self._trace.append(TraceEvent(
+            kind="send", time=self.kernel.now(), process=self.client_id,
+            group=group, sender=self.client_id, object_id=object_id,
+            payload=bytes(data),
+        ))
 
     def call(self, method: str, *args: Any, **kwargs: Any) -> PendingCall:
         """Invoke a ClientCore request method from inside the simulation."""
         pending = PendingCall(method)
 
         def action() -> list:
+            self._record_send(method, args)
             pending.request_id = getattr(self.core, method)(*args, **kwargs)
             self._calls[pending.request_id] = pending
             return []
@@ -140,6 +172,7 @@ class SimClient:
         pending = PendingCall(method)
 
         def action() -> list:
+            self._record_send(method, args)
             pending.request_id = getattr(self.core, method)(*args, **kwargs)
             self._calls[pending.request_id] = pending
             return []
@@ -155,12 +188,19 @@ class SimClient:
 class CoronaWorld:
     """One simulated deployment: kernel + network + servers + clients."""
 
-    def __init__(self, default_segment: NetProfile = ETHERNET_10MBPS) -> None:
+    def __init__(
+        self,
+        default_segment: NetProfile = ETHERNET_10MBPS,
+        trace: bool = False,
+    ) -> None:
         self.kernel = SimKernel()
         self.network = SimNetwork(self.kernel)
         self.servers: dict[str, SimServer] = {}
         self.clients: dict[str, SimClient] = {}
         self._client_seq = 0
+        #: Ordering-invariant trace for repro.analysis.tracecheck; None
+        #: keeps benchmarks free of recording overhead.
+        self.trace: list[TraceEvent] | None = [] if trace else None
         self.add_segment("lan", default_segment)
 
     # -- topology -----------------------------------------------------------
@@ -193,9 +233,24 @@ class CoronaWorld:
         )
         core = ServerCore(config, clock=self.kernel)
         host.set_core(core)
+        self._hook_checkpoints(host_id, core)
         server = SimServer(host, core)
         self.servers[host_id] = server
         return server
+
+    def _hook_checkpoints(self, server_id: str, core: ServerCore) -> None:
+        """Record log-reduction fold points into the world trace."""
+        if self.trace is None:
+            return
+        trace = self.trace
+
+        def on_checkpoint(group: str, seqno: int) -> None:
+            trace.append(TraceEvent(
+                kind="checkpoint", time=self.kernel.now(), process=server_id,
+                group=group, seqno=seqno,
+            ))
+
+        core.on_checkpoint = on_checkpoint
 
     def add_replicated_cluster(
         self,
@@ -234,6 +289,7 @@ class CoronaWorld:
                 clock=self.kernel,
             )
             host.set_core(core)
+            self._hook_checkpoints(info.server_id, core)
             server = SimServer(host, core)
             self.servers[info.server_id] = server
             cluster.append(server)
@@ -268,7 +324,7 @@ class CoronaWorld:
             clock=self.kernel,
         )
         host.set_core(core)
-        client = SimClient(self.kernel, host, core)
+        client = SimClient(self.kernel, host, core, trace=self.trace)
         self.clients[host_id] = client
         if server is not None:
             client.connect(server)

@@ -110,6 +110,9 @@ class SimNetwork:
         self._last_arrival: dict[tuple[int, str], float] = {}
         self._next_channel_id = 0
         self._cuts: list[tuple[frozenset[str], frozenset[str]]] = []
+        #: Sticky flag read by repro.analysis.tracecheck: a partitioned
+        #: run is exempt from the single-sequencer ordering contract.
+        self.ever_partitioned = False
         self.bytes_sent = 0
         self.messages_sent = 0
 
@@ -161,6 +164,7 @@ class SimNetwork:
         """
         cut = (frozenset(side_a), frozenset(side_b))
         self._cuts.append(cut)
+        self.ever_partitioned = True
         for channel in list(self._channels.values()):
             if self._blocked(channel.host_a, channel.host_b):
                 self._close_channel(channel, notify=(channel.host_a, channel.host_b))

@@ -1,0 +1,190 @@
+"""Each coronalint rule: fires on a minimal bad example, stays silent on
+the corresponding good example (acceptance criterion of the analysis PR)."""
+
+from repro.analysis.lint import LintConfig, lint_source
+
+#: A path inside the deterministic protocol zone (every rule applies).
+CORE = "src/repro/core/somemodule.py"
+
+
+def rule_ids(source: str, path: str = CORE, config: LintConfig | None = None):
+    return [f.rule_id for f in lint_source(source, path, config)]
+
+
+class TestDET001WallClock:
+    def test_fires_on_time_time(self):
+        src = "import time\n\ndef stamp():\n    return time.time()\n"
+        assert "DET001" in rule_ids(src)
+
+    def test_fires_on_datetime_now(self):
+        src = (
+            "from datetime import datetime\n\n"
+            "def stamp():\n    return datetime.now()\n"
+        )
+        assert "DET001" in rule_ids(src)
+
+    def test_fires_on_from_import_alias(self):
+        src = "from time import monotonic as mono\n\nx = mono()\n"
+        assert "DET001" in rule_ids(src)
+
+    def test_silent_on_injected_clock(self):
+        src = (
+            "def stamp(clock):\n"
+            "    return clock.now()\n"
+        )
+        assert rule_ids(src) == []
+
+    def test_silent_outside_protocol_scope(self):
+        src = "import time\n\ndef stamp():\n    return time.time()\n"
+        assert "DET001" not in rule_ids(src, path="src/repro/runtime/host.py")
+
+
+class TestDET002Randomness:
+    def test_fires_on_module_level_random(self):
+        src = "import random\n\nx = random.random()\n"
+        assert "DET002" in rule_ids(src)
+
+    def test_fires_on_uuid4_and_urandom(self):
+        src = "import os\nimport uuid\n\na = uuid.uuid4()\nb = os.urandom(8)\n"
+        assert rule_ids(src).count("DET002") == 2
+
+    def test_silent_on_seeded_instance(self):
+        src = (
+            "import random\n\n"
+            "rng = random.Random(42)\n"
+            "x = rng.random()\n"
+        )
+        assert rule_ids(src) == []
+
+    def test_silent_in_ids_module(self):
+        src = "import uuid\n\nx = uuid.uuid4()\n"
+        assert "DET002" not in rule_ids(src, path="src/repro/core/ids.py")
+
+
+class TestDET003SetIteration:
+    def test_fires_on_for_over_set(self):
+        src = "items = {1, 2, 3}\nfor item in items:\n    print(item)\n"
+        assert "DET003" in rule_ids(src)
+
+    def test_fires_on_dict_comp_over_set_typed_attr(self):
+        src = (
+            "class Node:\n"
+            "    def __init__(self):\n"
+            "        self._peers: set[str] = set()\n"
+            "    def fanout(self):\n"
+            "        return [p for p in self._peers]\n"
+        )
+        assert "DET003" in rule_ids(src)
+
+    def test_fires_on_set_union(self):
+        src = (
+            "def merge(a, b):\n"
+            "    keys = set(a) | set(b)\n"
+            "    return {k: 1 for k in keys}\n"
+        )
+        assert "DET003" in rule_ids(src)
+
+    def test_silent_on_sorted_iteration(self):
+        src = "items = {1, 2, 3}\nfor item in sorted(items):\n    print(item)\n"
+        assert rule_ids(src) == []
+
+    def test_silent_on_order_free_reducers(self):
+        src = (
+            "def merge(a, b):\n"
+            "    keys = set(a) | set(b)\n"
+            "    return all(k > 0 for k in keys) and sum(k for k in keys)\n"
+        )
+        assert rule_ids(src) == []
+
+    def test_silent_on_membership(self):
+        src = "items = {1, 2, 3}\nok = 2 in items\n"
+        assert rule_ids(src) == []
+
+
+class TestNET001BlockingIO:
+    def test_fires_on_open(self):
+        src = "def load(path):\n    return open(path).read()\n"
+        assert "NET001" in rule_ids(src)
+
+    def test_fires_on_socket(self):
+        src = (
+            "import socket\n\n"
+            "def dial(host):\n"
+            "    return socket.create_connection((host, 7700))\n"
+        )
+        assert "NET001" in rule_ids(src)
+
+    def test_silent_in_storage_and_net(self):
+        src = "def load(path):\n    return open(path).read()\n"
+        assert "NET001" not in rule_ids(src, path="src/repro/storage/wal.py")
+        assert "NET001" not in rule_ids(src, path="src/repro/net/tcp.py")
+
+
+class TestLOCK001GuardedMutation:
+    def test_fires_on_increments_assignment(self):
+        src = "def rollback(obj):\n    obj.increments = []\n"
+        assert "LOCK001" in rule_ids(src)
+
+    def test_fires_on_mutating_call(self):
+        src = "def sneak(obj, x):\n    obj.increments.append(x)\n"
+        assert "LOCK001" in rule_ids(src)
+
+    def test_fires_on_lock_holder_assignment(self):
+        src = "def steal(lock, me):\n    lock.holder = me\n"
+        assert "LOCK001" in rule_ids(src)
+
+    def test_silent_on_reads_and_methods(self):
+        src = (
+            "def peek(obj):\n"
+            "    size = len(obj.increments)\n"
+            "    obj.truncate(3)\n"
+            "    return size, obj.base_seqno\n"
+        )
+        assert rule_ids(src) == []
+
+    def test_silent_in_owning_modules(self):
+        src = "def grant(lock, who):\n    lock.holder = who\n"
+        assert "LOCK001" not in rule_ids(src, path="src/repro/core/locks.py")
+
+
+class TestSuppression:
+    BAD = "import time\nx = time.time()  # corona: noqa(DET001) -- edge code\n"
+
+    def test_named_noqa_silences(self):
+        assert rule_ids(self.BAD) == []
+
+    def test_bare_noqa_silences_everything(self):
+        src = "import time\nx = time.time()  # corona: noqa\n"
+        assert rule_ids(src) == []
+
+    def test_noqa_for_other_rule_does_not_silence(self):
+        src = "import time\nx = time.time()  # corona: noqa(DET002)\n"
+        assert "DET001" in rule_ids(src)
+
+
+class TestConfig:
+    def test_rule_enable_list(self):
+        config = LintConfig(rules=("DET002",))
+        src = "import time\nx = time.time()\n"
+        assert rule_ids(src, config=config) == []
+
+    def test_per_rule_exclude_override(self):
+        config = LintConfig()
+        config.per_rule_exclude["DET001"] = ("somemodule",)
+        src = "import time\nx = time.time()\n"
+        assert rule_ids(src, path="somemodule.py", config=config) == []
+
+    def test_parse_error_is_a_finding(self):
+        findings = lint_source("def broken(:\n", CORE)
+        assert [f.rule_id for f in findings] == ["PARSE"]
+
+
+def test_shipped_tree_is_clean():
+    """The acceptance bar: `repro lint src/ --strict` exits 0."""
+    from pathlib import Path
+
+    from repro.analysis.lint import lint_paths, load_config
+
+    root = Path(__file__).resolve().parents[2]
+    config = load_config(root / "pyproject.toml")
+    assert lint_paths([root / "src"], config) == []

@@ -1,0 +1,227 @@
+"""tracecheck: the seeded sim trace satisfies the §4.1 ordering contract,
+and artificially corrupted traces are flagged with the right invariant."""
+
+from types import SimpleNamespace
+
+from repro.analysis.tracecheck import (
+    TraceEvent,
+    check_trace,
+    check_world,
+    seeded_sim_trace,
+    trace_from_jsonl,
+    trace_to_jsonl,
+)
+from repro.cli import lint_main, tracecheck_main
+
+
+def deliver(process, seqno, sender, *, group="g0", obj="o", payload=b"", t=0.0):
+    return TraceEvent(
+        kind="deliver", time=t, process=process, group=group,
+        sender=sender, seqno=seqno, object_id=obj, payload=payload,
+    )
+
+
+def send(process, obj, payload, *, group="g0", t=0.0):
+    return TraceEvent(
+        kind="send", time=t, process=process, group=group,
+        sender=process, object_id=obj, payload=payload,
+    )
+
+
+# --------------------------------------------------------------------------
+# the seeded workload (what `repro tracecheck` runs)
+# --------------------------------------------------------------------------
+
+class TestSeededTrace:
+    def test_seeded_trace_is_clean(self):
+        events = seeded_sim_trace()
+        assert events, "seeded workload produced no trace"
+        deliveries = [e for e in events if e.kind == "deliver"]
+        checkpoints = [e for e in events if e.kind == "checkpoint"]
+        assert len(deliveries) >= 60  # 30 updates fanned out to 3 clients
+        assert checkpoints, "reduce_log never checkpointed"
+        assert check_trace(events) == []
+
+    def test_seeded_trace_is_deterministic(self):
+        first = seeded_sim_trace(n_clients=2, n_updates=10, n_groups=1)
+        second = seeded_sim_trace(n_clients=2, n_updates=10, n_groups=1)
+        assert first == second
+        assert trace_to_jsonl(first) == trace_to_jsonl(second)
+
+    def test_reordered_trace_is_flagged(self):
+        """Acceptance criterion: swap two same-group deliveries at one
+        receiver and tracecheck must report a total-order violation."""
+        events = seeded_sim_trace()
+        receiver = "c1"
+        idx = [
+            i for i, e in enumerate(events)
+            if e.kind == "deliver" and e.process == receiver and e.group == "g0"
+        ]
+        assert len(idx) >= 2
+        events[idx[0]], events[idx[1]] = events[idx[1]], events[idx[0]]
+        findings = check_trace(events)
+        assert any(f.rule_id == "ORD001" for f in findings)
+        assert any(receiver in f.message for f in findings)
+
+
+# --------------------------------------------------------------------------
+# synthetic traces, one invariant at a time
+# --------------------------------------------------------------------------
+
+class TestSyntheticTraces:
+    def causal_pair(self, c1_sees_dependency_first):
+        """c2 multicasts A; c0 delivers A and then multicasts B (so A is a
+        causal dependency of B); c1 delivers both, in either order."""
+        at_c1 = [deliver("c1", 0, "c2", obj="a", payload=b"A"),
+                 deliver("c1", 1, "c0", obj="b", payload=b"B")]
+        if not c1_sees_dependency_first:
+            at_c1.reverse()
+        return [
+            send("c2", "a", b"A"),
+            deliver("c0", 0, "c2", obj="a", payload=b"A"),
+            deliver("c2", 0, "c2", obj="a", payload=b"A"),
+            send("c0", "b", b"B"),
+            deliver("c0", 1, "c0", obj="b", payload=b"B"),
+            deliver("c2", 1, "c0", obj="b", payload=b"B"),
+            *at_c1,
+        ]
+
+    def test_causal_delivery_passes(self):
+        assert check_trace(self.causal_pair(c1_sees_dependency_first=True)) == []
+
+    def test_causality_violation_fires_ord002(self):
+        findings = check_trace(self.causal_pair(c1_sees_dependency_first=False))
+        ord002 = [f for f in findings if f.rule_id == "ORD002"]
+        assert ord002 and "causal dependency 0" in ord002[0].message
+
+    def test_sender_fifo_violation_fires_ord003(self):
+        events = [
+            deliver("c1", 0, "c0", obj="x"),
+            deliver("c1", 2, "c0", obj="z"),
+            deliver("c1", 1, "c0", obj="y"),  # c0's seqno 1 after its 2
+        ]
+        findings = check_trace(events)
+        assert any(f.rule_id == "ORD003" for f in findings)
+
+    def test_seqno_identity_fork_fires_ord001(self):
+        events = [
+            deliver("c0", 0, "c1", obj="x", payload=b"1"),
+            deliver("c2", 0, "c3", obj="y", payload=b"2"),  # same seqno, other msg
+        ]
+        findings = check_trace(events)
+        assert any(
+            f.rule_id == "ORD001" and "two different messages" in f.message
+            for f in findings
+        )
+
+    def test_checkpoint_rewind_fires_ord004(self):
+        events = [
+            TraceEvent(kind="checkpoint", time=1.0, process="server",
+                       group="g0", seqno=10),
+            TraceEvent(kind="checkpoint", time=2.0, process="server",
+                       group="g0", seqno=5),
+        ]
+        findings = check_trace(events)
+        assert [f.rule_id for f in findings] == ["ORD004"]
+        assert "after an earlier fold at 10" in findings[0].message
+
+    def test_reset_starts_a_fresh_epoch(self):
+        """A rebase/fork/rejoin legitimately restarts seqnos: no findings."""
+        events = [
+            deliver("c1", 0, "c0", obj="x"),
+            deliver("c1", 1, "c0", obj="y"),
+            TraceEvent(kind="reset", time=1.0, process="c1", group="g0"),
+            deliver("c1", 0, "c0", obj="x2"),
+            deliver("c1", 1, "c0", obj="y2"),
+        ]
+        assert check_trace(events) == []
+
+    def test_seqno_regression_without_reset_fires(self):
+        events = [
+            deliver("c1", 0, "c0", obj="x"),
+            deliver("c1", 1, "c0", obj="y"),
+            deliver("c1", 0, "c0", obj="x2"),
+        ]
+        assert any(f.rule_id == "ORD001" for f in check_trace(events))
+
+    def test_finding_line_is_the_event_index(self):
+        events = [
+            TraceEvent(kind="checkpoint", time=1.0, process="s", group="g", seqno=9),
+            TraceEvent(kind="checkpoint", time=2.0, process="s", group="g", seqno=3),
+        ]
+        (finding,) = check_trace(events)
+        assert finding.line == 2  # 1-based index of the offending event
+
+
+# --------------------------------------------------------------------------
+# check_world glue + serialization + CLI
+# --------------------------------------------------------------------------
+
+class TestCheckWorld:
+    BAD = [
+        TraceEvent(kind="checkpoint", time=1.0, process="s", group="g", seqno=9),
+        TraceEvent(kind="checkpoint", time=2.0, process="s", group="g", seqno=3),
+    ]
+
+    def test_untraced_world_is_skipped(self):
+        world = SimpleNamespace(trace=None, network=SimpleNamespace())
+        assert check_world(world) == []
+
+    def test_partitioned_world_is_exempt(self):
+        world = SimpleNamespace(
+            trace=list(self.BAD),
+            network=SimpleNamespace(ever_partitioned=True),
+        )
+        assert check_world(world) == []
+
+    def test_healthy_world_is_checked(self):
+        world = SimpleNamespace(
+            trace=list(self.BAD),
+            network=SimpleNamespace(ever_partitioned=False),
+        )
+        assert [f.rule_id for f in check_world(world)] == ["ORD004"]
+
+
+def test_jsonl_round_trip():
+    events = seeded_sim_trace(n_clients=2, n_updates=6, n_groups=1)
+    text = trace_to_jsonl(events)
+    assert trace_from_jsonl(text) == events
+    assert trace_to_jsonl([]) == ""
+    assert trace_from_jsonl("") == []
+
+
+class TestCli:
+    def test_tracecheck_clean_run_exits_zero(self, capsys):
+        assert tracecheck_main(["--clients", "2", "--updates", "6"]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_tracecheck_flags_corrupt_dump(self, tmp_path, capsys):
+        events = seeded_sim_trace(n_clients=2, n_updates=6, n_groups=1)
+        idx = [
+            i for i, e in enumerate(events)
+            if e.kind == "deliver" and e.process == "c1" and e.group == "g0"
+        ]
+        events[idx[0]], events[idx[1]] = events[idx[1]], events[idx[0]]
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(trace_to_jsonl(events))
+        assert tracecheck_main(["--check", str(bad)]) == 1
+        assert "ORD001" in capsys.readouterr().out
+
+    def test_tracecheck_dump_round_trips(self, tmp_path, capsys):
+        dump = tmp_path / "trace.jsonl"
+        assert tracecheck_main(
+            ["--clients", "2", "--updates", "6", "--dump", str(dump)]
+        ) == 0
+        capsys.readouterr()
+        assert tracecheck_main(["--check", str(dump)]) == 0
+
+    def test_lint_cli_strict_on_shipped_tree(self, capsys):
+        assert lint_main(["src", "--strict"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_lint_cli_flags_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "core" / "evil.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nx = time.time()\n")
+        assert lint_main([str(tmp_path / "src"), "--no-config"]) == 1
+        assert "DET001" in capsys.readouterr().out

@@ -1,0 +1,159 @@
+"""WIRE001 schema-drift detection, plus the dynamic complement: every
+registered message type must survive an encode/decode round trip."""
+
+import enum
+import typing
+from dataclasses import fields, is_dataclass
+
+from repro.analysis.lint import lint_source
+from repro.wire import codec
+from repro.wire.messages import Message
+
+#: Scaffolding shared by the drifted-module examples.
+PRELUDE = """\
+from dataclasses import dataclass, field
+from repro.wire.codec import register
+from repro.wire.messages import Message
+"""
+
+
+def wire_findings(body: str):
+    return [
+        f for f in lint_source(PRELUDE + body, "src/repro/wire/drifted.py")
+        if f.rule_id == "WIRE001"
+    ]
+
+
+class TestWire001Drift:
+    def test_unregistered_message_dataclass_fires(self):
+        body = (
+            "@dataclass(frozen=True)\n"
+            "class Rogue(Message):\n"
+            "    request_id: int\n"
+        )
+        findings = wire_findings(body)
+        assert findings and "not @register-ed" in findings[0].message
+
+    def test_duplicate_type_code_fires(self):
+        body = (
+            "@register(240)\n@dataclass(frozen=True)\n"
+            "class First(Message):\n    x: int\n\n"
+            "@register(240)\n@dataclass(frozen=True)\n"
+            "class Second(Message):\n    y: int\n"
+        )
+        findings = wire_findings(body)
+        assert findings and "reuses wire type code 240" in findings[0].message
+
+    def test_unencodable_field_drift_fires(self):
+        """The regression demanded by the issue: drift one field's type to
+        something the codec cannot encode and the linter must catch it."""
+        body = (
+            "@register(241)\n@dataclass(frozen=True)\n"
+            "class Drifted(Message):\n"
+            "    request_id: int\n"
+            "    members: set[str]\n"
+        )
+        findings = wire_findings(body)
+        assert findings and "Drifted.members" in findings[0].message
+
+    def test_heterogeneous_tuple_fires(self):
+        body = (
+            "@register(242)\n@dataclass(frozen=True)\n"
+            "class Pairy(Message):\n"
+            "    pair: tuple[int, str]\n"
+        )
+        findings = wire_findings(body)
+        assert findings and "tuple[X, ...]" in findings[0].message
+
+    def test_registered_non_dataclass_fires(self):
+        body = (
+            "@register(243)\n"
+            "class Bare(Message):\n"
+            "    x: int\n"
+        )
+        findings = wire_findings(body)
+        assert findings and "not a dataclass" in findings[0].message
+
+    def test_well_formed_module_is_silent(self):
+        body = (
+            "@register(244)\n@dataclass(frozen=True)\n"
+            "class Fine(Message):\n"
+            "    request_id: int\n"
+            "    names: tuple[str, ...]\n"
+            "    blob: bytes | None\n"
+            "    weights: dict[str, float]\n"
+            "    skipped: int = field(default=0, metadata={'wire_skip': True})\n"
+        )
+        assert wire_findings(body) == []
+
+    def test_shipped_catalogues_are_silent(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        for rel in ("src/repro/wire/messages.py", "src/repro/baselines/isis.py"):
+            source = (root / rel).read_text()
+            findings = [
+                f for f in lint_source(source, rel) if f.rule_id == "WIRE001"
+            ]
+            assert findings == [], rel
+
+
+# --------------------------------------------------------------------------
+# dynamic complement: encode(decode(x)) == x for the whole catalogue
+# --------------------------------------------------------------------------
+
+def _synthesize(tp, depth=0):
+    """A representative value for annotation *tp* (non-trivial defaults)."""
+    assert depth < 8, f"recursive wire type {tp!r}"
+    inner = codec._is_optional(tp)
+    if inner is not None:
+        return _synthesize(inner, depth + 1)
+    origin = typing.get_origin(tp)
+    if origin is list:
+        (elem,) = typing.get_args(tp)
+        return [_synthesize(elem, depth + 1)]
+    if origin is tuple:
+        elem = typing.get_args(tp)[0]
+        return (_synthesize(elem, depth + 1),)
+    if origin is dict:
+        key, val = typing.get_args(tp)
+        return {_synthesize(key, depth + 1): _synthesize(val, depth + 1)}
+    if isinstance(tp, type):
+        if issubclass(tp, bool):
+            return True
+        if issubclass(tp, enum.IntEnum):
+            return list(tp)[-1]
+        if issubclass(tp, int):
+            return 42
+        if issubclass(tp, float):
+            return 2.5
+        if issubclass(tp, str):
+            return "corona"
+        if issubclass(tp, (bytes, bytearray, memoryview)):
+            return b"\x00\x01payload"
+        if is_dataclass(tp):
+            if tp is Message:
+                # Polymorphic field: any concrete registered type will do.
+                from repro.wire.messages import PingRequest
+                return PingRequest(request_id=7)
+            return _instance_of(tp, depth + 1)
+    raise AssertionError(f"don't know how to synthesize {tp!r}")
+
+
+def _instance_of(cls, depth=0):
+    hints = typing.get_type_hints(cls)
+    kwargs = {f.name: _synthesize(hints[f.name], depth) for f in fields(cls)}
+    return cls(**kwargs)
+
+
+def test_roundtrip_every_registered_message_type():
+    registry = dict(codec._CODE_TO_CLASS)
+    assert len(registry) > 30, "catalogue unexpectedly small"
+    for code in sorted(registry):
+        cls = registry[code]
+        original = _instance_of(cls)
+        data = codec.encode(original)
+        restored = codec.decode(data)
+        assert restored == original, cls.__name__
+        assert codec.encode(restored) == data, cls.__name__
+        assert codec.encoded_size(original) == len(data), cls.__name__

@@ -1,0 +1,39 @@
+"""Suite-wide fixtures: ordering-invariant checking on every sim run.
+
+Every :class:`~repro.sim.harness.CoronaWorld` a test builds is forced
+into tracing mode, and when the test finishes its trace is replayed
+through :func:`repro.analysis.tracecheck.check_world` — so each sim-based
+test doubles as an independent verification of the paper's §4.1 ordering
+contract (partitioned worlds are exempt; see ``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.findings import format_findings
+from repro.analysis.tracecheck import check_world
+from repro.sim import harness
+
+
+@pytest.fixture(autouse=True)
+def tracecheck_sim_worlds(monkeypatch, request):
+    """Trace every CoronaWorld and verify ordering invariants at teardown."""
+    worlds: list[harness.CoronaWorld] = []
+    original_init = harness.CoronaWorld.__init__
+
+    def traced_init(self, *args, **kwargs):
+        kwargs.setdefault("trace", True)
+        original_init(self, *args, **kwargs)
+        worlds.append(self)
+
+    monkeypatch.setattr(harness.CoronaWorld, "__init__", traced_init)
+    yield worlds
+    for world in worlds:
+        findings = check_world(world, name=f"{request.node.name}:sim-trace")
+        if findings:
+            pytest.fail(
+                "tracecheck: ordering invariants violated in sim trace\n"
+                + format_findings(findings),
+                pytrace=False,
+            )
