@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.bench.experiments import figure3
 from repro.bench.report import format_table
+from repro.bench.results import save_results
 
 CLIENT_COUNTS = (5, 10, 20, 30, 40, 50, 60)
 
@@ -39,6 +40,16 @@ def test_figure3(benchmark, paper_report):
     # and the overhead is constant, so its share shrinks with group size
     assert rows[-1].overhead_pct <= rows[0].overhead_pct + 0.5
 
+    save_results("fig3", {
+        "slope_ms_per_client": slope,
+        "intercept_ms": intercept,
+        "r_squared": r2,
+        "rows": [
+            {"clients": r.clients, "stateful_ms": r.stateful_ms,
+             "stateless_ms": r.stateless_ms, "overhead_pct": r.overhead_pct}
+            for r in rows
+        ],
+    })
     paper_report(format_table(
         "Figure 3 — RTT vs #clients (1000 B, single UltraSparc 1 server)",
         ["clients", "stateful (ms)", "stateless (ms)", "overhead (%)"],

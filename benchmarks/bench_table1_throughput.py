@@ -17,6 +17,7 @@ the available text; §5.2.2 gives the anchors):
 
 from repro.bench.experiments import table1
 from repro.bench.report import format_table
+from repro.bench.results import save_results
 
 
 def test_table1(benchmark, paper_report):
@@ -35,6 +36,12 @@ def test_table1(benchmark, paper_report):
     )
     assert 300 < pii_1k < 1300, "throughput should be in the paper's regime"
 
+    save_results("table1", {
+        "delivered_kbps": {
+            "UltraSparc-1": {"1000": usparc_1k, "10000": usparc_10k},
+            "PentiumII-200": {"1000": pii_1k, "10000": pii_10k},
+        },
+    })
     paper_report(format_table(
         "Table 1 — server throughput (KB/s delivered), 6 blasting clients",
         ["server", "1000 B", "10000 B"],

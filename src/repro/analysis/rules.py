@@ -9,6 +9,8 @@ DET002    unseeded/ambient randomness outside ``core/ids.py``
 DET003    iteration over unordered sets feeding ordered output
 NET001    blocking socket/file I/O reachable from sim-driven callbacks
 LOCK001   mutation of shared-state/lock internals outside their modules
+PERF001   direct codec encode/size calls on fan-out paths (bypass the
+          frame cache, re-serializing per receiver)
 ========  ==================================================================
 
 ``WIRE001`` (wire-schema drift) lives in :mod:`repro.analysis.wirecheck`
@@ -81,6 +83,13 @@ RULE_DOCS: dict[str, tuple[Severity, str, str]] = {
         "register the dataclass with a fresh @register code and use "
         "codec-supported field types",
     ),
+    "PERF001": (
+        Severity.WARNING,
+        "direct codec encode on a fan-out path bypasses the frame cache "
+        "and re-serializes per receiver",
+        "go through repro.wire.frames (encoded_frame / payload_of / "
+        "frame_size) so each message encodes exactly once",
+    ),
 }
 
 #: Default module-prefix exclusions per rule.  A module is skipped by a
@@ -121,6 +130,9 @@ DEFAULT_EXCLUDES: dict[str, tuple[str, ...]] = {
         "repro.core.locks",
     ),
     "WIRE001": (),
+    # PERF001 is include-scoped (see _PERF_FANOUT_PREFIXES): it only
+    # examines the fan-out-reachable modules, so nothing to exclude.
+    "PERF001": (),
 }
 
 
@@ -383,6 +395,49 @@ def _check_guarded_mutation(info: ModuleInfo) -> Iterator[Finding]:
 
 
 # --------------------------------------------------------------------------
+# PERF001: direct codec encode on the fan-out path
+# --------------------------------------------------------------------------
+
+#: Modules whose sends reach many receivers: a direct encode here is paid
+#: once per recipient instead of once per message.  The rule applies ONLY
+#: inside these prefixes (include-scoped, unlike the exclude-scoped rules).
+_PERF_FANOUT_PREFIXES = (
+    "repro.core.server",
+    "repro.replication.node",
+    "repro.net",
+    "repro.sim.host",
+)
+
+#: Direct encode entry points the frame cache replaces on these paths.
+_PERF_BANNED_CALLS = {
+    "repro.wire.codec.encode",
+    "repro.wire.codec.encode_into",
+    "repro.wire.codec.encoded_size",
+}
+
+
+def _check_fanout_encode(info: ModuleInfo) -> Iterator[Finding]:
+    applies = any(
+        info.module == p or info.module.startswith(p + ".")
+        for p in _PERF_FANOUT_PREFIXES
+    )
+    if not applies:
+        return
+    imports = _import_map(info.tree)
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _qualified_name(node.func, imports)
+        if name in _PERF_BANNED_CALLS:
+            short = name.rsplit(".", 1)[-1]
+            yield _finding(
+                info, "PERF001", node,
+                f"call to codec.{short}() on a fan-out path encodes per "
+                "receiver instead of per message",
+            )
+
+
+# --------------------------------------------------------------------------
 # entry point used by the lint driver
 # --------------------------------------------------------------------------
 
@@ -396,4 +451,6 @@ def check_module(info: ModuleInfo, rule_ids: list[str]) -> list[Finding]:
             findings.extend(_check_set_iteration(info))
         elif rule_id == "LOCK001":
             findings.extend(_check_guarded_mutation(info))
+        elif rule_id == "PERF001":
+            findings.extend(_check_fanout_encode(info))
     return findings

@@ -50,7 +50,7 @@ from repro.core.reduction import NeverReduce, ReductionPolicy
 from repro.core.session import AllowAll, GroupAction, SessionManager
 from repro.core.transfer import build_snapshot
 from repro.storage.store import RecoveredGroup
-from repro.wire import codec
+from repro.wire import codec, frames
 from repro.wire.messages import (
     Ack,
     AcquireLockRequest,
@@ -277,7 +277,7 @@ class ServerCore(ProtocolCore):
                 initial_state=msg.initial_state,
                 created_at=group.created_at,
             )
-            self.emit(CreateGroupStorage(msg.group, codec.encode(meta)))
+            self.emit(CreateGroupStorage(msg.group, frames.payload_of(meta)))
         self.send(conn, Ack(msg.request_id))
 
     def _on_delete(self, conn: ConnId, msg: DeleteGroupRequest) -> None:
@@ -441,7 +441,7 @@ class ServerCore(ProtocolCore):
             group.log.append(record)
             group.state.apply(record)
             if self.config.persist:
-                self.emit(AppendWal(group.name, record.seqno, codec.encode(record)))
+                self.emit(AppendWal(group.name, record.seqno, frames.payload_of(record)))
         delivery = Delivery(group.name, record)
         targets = [
             m.conn
@@ -519,7 +519,7 @@ class ServerCore(ProtocolCore):
                 updates=(),
                 next_seqno=tip + 1,
             )
-            self.emit(WriteCheckpoint(group.name, tip, codec.encode(snapshot)))
+            self.emit(WriteCheckpoint(group.name, tip, frames.payload_of(snapshot)))
 
     # ------------------------------------------------------------------
     # misc

@@ -8,10 +8,11 @@ wire bugs cannot hide.
 from __future__ import annotations
 
 import asyncio
-from typing import Any
+from typing import Any, Iterable
 
 from repro.core.errors import NotConnectedError
 from repro.wire import codec
+from repro.wire.frames import encoded_frame
 from repro.wire.messages import Message
 
 __all__ = ["MemoryConnection", "MemoryListener", "MemoryNetwork"]
@@ -41,8 +42,18 @@ class MemoryConnection:
     async def send(self, message: Message) -> None:
         if self._closed or self._other is None:
             raise NotConnectedError("connection is closed")
-        # encode/decode round-trip: keep the wire format honest
-        self._other._rx.put_nowait(codec.encode(message))
+        # encode/decode round-trip keeps the wire format honest; going
+        # through the frame cache also enforces MAX_FRAME_SIZE, so this
+        # transport rejects oversized messages exactly like TCP does.
+        self._other._rx.put_nowait(encoded_frame(message).payload)
+
+    async def send_many(self, messages: Iterable[Message]) -> None:
+        """Batch counterpart of :meth:`send` (same per-message semantics;
+        in-process pipes have no flush to coalesce)."""
+        if self._closed or self._other is None:
+            raise NotConnectedError("connection is closed")
+        for message in messages:
+            self._other._rx.put_nowait(encoded_frame(message).payload)
 
     async def receive(self) -> Message | None:
         if self._closed:

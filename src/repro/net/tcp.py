@@ -8,10 +8,11 @@ Addresses are ``(host, port)`` tuples.
 from __future__ import annotations
 
 import asyncio
-from typing import Any
+from typing import Any, Iterable
 
 from repro.core.errors import NotConnectedError
-from repro.wire.framing import FrameDecoder, frame_message
+from repro.wire.frames import encoded_frame
+from repro.wire.framing import FrameDecoder
 from repro.wire.messages import Message
 
 __all__ = ["TcpConnection", "TcpListener", "TcpTransport"]
@@ -37,7 +38,19 @@ class TcpConnection:
     async def send(self, message: Message) -> None:
         if self._closed:
             raise NotConnectedError("connection is closed")
-        self._writer.write(frame_message(message))
+        self._writer.write(encoded_frame(message).frame)
+        await self._writer.drain()
+
+    async def send_many(self, messages: Iterable[Message]) -> None:
+        """Write a batch of frames with a single flush.
+
+        One ``write`` + one ``drain`` for the whole batch: frames queued
+        behind the same connection coalesce instead of paying a flush per
+        message, while per-connection FIFO order is preserved.
+        """
+        if self._closed:
+            raise NotConnectedError("connection is closed")
+        self._writer.write(b"".join(encoded_frame(m).frame for m in messages))
         await self._writer.drain()
 
     async def receive(self) -> Message | None:

@@ -8,7 +8,7 @@ not use them — it has its own deterministic network model.
 
 from __future__ import annotations
 
-from typing import Any, Protocol, runtime_checkable
+from typing import Any, Iterable, Protocol, runtime_checkable
 
 from repro.wire.messages import Message
 
@@ -26,6 +26,10 @@ class Connection(Protocol):
 
     async def send(self, message: Message) -> None:
         """Frame and write one message (raises on a closed connection)."""
+        ...
+
+    async def send_many(self, messages: Iterable[Message]) -> None:
+        """Write a batch of messages with one flush, preserving order."""
         ...
 
     async def receive(self) -> Message | None:

@@ -54,7 +54,7 @@ from repro.core.server import ServerConfig, ServerCore, state_from_snapshot
 from repro.core.session import GroupAction
 from repro.core.transfer import build_snapshot
 from repro.storage.store import RecoveredGroup
-from repro.wire import codec
+from repro.wire import codec, frames
 from repro.wire.messages import (
     Ack,
     AcquireLockRequest,
@@ -701,7 +701,7 @@ class ReplicatedServerCore(ServerCore):
         self.groups[msg.group] = group
         if self._persists:
             meta = GroupMeta(msg.group, msg.persistent, msg.initial_state, group.created_at)
-            self.emit(CreateGroupStorage(msg.group, codec.encode(meta)))
+            self.emit(CreateGroupStorage(msg.group, frames.payload_of(meta)))
         self._register_created_group(
             msg.group, msg.persistent, msg.initial_state, group.created_at
         )
@@ -911,11 +911,11 @@ class ReplicatedServerCore(ServerCore):
         meta = GroupMeta(
             group.name, group.persistent, group.initial_state, group.created_at
         )
-        self.emit(CreateGroupStorage(group.name, codec.encode(meta)))
+        self.emit(CreateGroupStorage(group.name, frames.payload_of(meta)))
         tip = group.log.last_seqno
         if tip >= 0:
             full = build_snapshot(group, TransferSpec(TransferPolicy.FULL))
-            self.emit(WriteCheckpointEffect(group.name, tip, codec.encode(full)))
+            self.emit(WriteCheckpointEffect(group.name, tip, frames.payload_of(full)))
 
     # ------------------------------------------------------------------
     # interest bookkeeping (coordinator)

@@ -228,8 +228,20 @@ class AsyncioHost:
         outbox = self._outboxes[conn_id]
         try:
             while True:
-                message = await outbox.get()
-                await conn.send(message)
+                batch = [await outbox.get()]
+                # Coalesce everything already queued behind this
+                # connection into one flush: under fan-out load many
+                # frames accumulate while the previous drain awaits, and
+                # batching them amortizes the per-write wakeup cost.
+                while True:
+                    try:
+                        batch.append(outbox.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                if len(batch) == 1:
+                    await conn.send(batch[0])
+                else:
+                    await conn.send_many(batch)
         except asyncio.CancelledError:
             return
         except Exception:

@@ -12,6 +12,12 @@ is folded into the fixed overhead) and each ``SendMessage`` effect occupies
 the CPU for ``send_cost(size)`` *sequentially* before the bytes enter the
 network — this serialized fan-out is exactly how the evaluated Corona
 implementation multicast "via multiple point-to-point messages" (§5.1).
+Consecutive sends to the *same* connection coalesce into one batch charged
+``send_cost(total bytes)`` — one flush, mirroring the asyncio writer's
+batching — while sends to distinct connections keep their per-connection
+charge, preserving the linear fan-out the paper measures.  Message sizes
+come from the frame cache (:mod:`repro.wire.frames`), so sizing a message
+the transport also encodes costs exactly one serialization.
 
 Disk model: ``AppendWal`` effects go to the simulated disk.  Under
 asynchronous logging (the paper's configuration) they cost no CPU-path
@@ -49,11 +55,9 @@ from repro.sim.kernel import EventHandle, SimKernel
 from repro.sim.network import Channel, SimNetwork
 from repro.sim.profiles import HostProfile
 from repro.storage.store import GroupStore
-from repro.wire import codec
+from repro.wire import frames
 
 __all__ = ["SimHost", "HostStats"]
-
-_FRAME_OVERHEAD = 4  # length prefix added by wire framing
 
 
 @dataclass
@@ -208,54 +212,72 @@ class SimHost:
     # -- effect execution ------------------------------------------------------
 
     def _execute(self, effects: list[Effect]) -> None:
-        for effect in effects:
+        i = 0
+        n = len(effects)
+        while i < n:
+            effect = effects[i]
             if isinstance(effect, SendMessage):
-                self._do_send(effect)
-            elif isinstance(effect, SendMulticast):
-                self._do_send_multicast(effect)
-            elif isinstance(effect, StartTimer):
-                self._do_start_timer(effect)
-            elif isinstance(effect, CancelTimer):
-                handle = self._timers.pop(effect.key, None)
-                if handle is not None:
-                    handle.cancel()
-            elif isinstance(effect, CreateGroupStorage):
-                self.disk.write(len(effect.meta))
-                if self.store is not None and not self.store.has_group(effect.group):
-                    self.store.create_group(effect.group, effect.meta)
-            elif isinstance(effect, PurgeGroupStorage):
-                if self.store is not None:
-                    self.store.delete_group(effect.group)
-            elif isinstance(effect, AppendWal):
-                self._do_append_wal(effect)
-            elif isinstance(effect, WriteCheckpoint):
-                self.disk.write(len(effect.snapshot))
-                if self.store is not None:
-                    self.store.checkpoint(effect.group, effect.seqno, effect.snapshot)
-            elif isinstance(effect, TruncateWal):
-                pass  # GroupStore.checkpoint already rotates segments
-            elif isinstance(effect, Notify):
-                self.stats.notifications += 1
-                for handler in self._notify_handlers:
-                    handler(effect.kind, effect.payload)
-            elif isinstance(effect, OpenConnection):
-                # Addresses are (host, port) in production; the simulator
-                # routes purely by host id.
-                address = effect.address
-                target = address[0] if isinstance(address, tuple) else str(address)
-                self.network.connect(self.host_id, target, effect.key)
-            elif isinstance(effect, CloseConnection):
-                # close after already-queued writes have entered the
-                # network (TCP flushes buffered data before FIN)
-                self.kernel.schedule_at(
-                    max(self.kernel.now(), self._cpu_free),
-                    self._do_close,
-                    effect.conn,
-                )
-            elif isinstance(effect, ShutDown):
-                self.crash()
-            else:
-                raise TypeError(f"unknown effect {effect!r}")
+                # Coalesce the run of sends to this same connection into
+                # one batch: one CPU occupancy for the whole flush.
+                j = i + 1
+                while (
+                    j < n
+                    and isinstance(effects[j], SendMessage)
+                    and effects[j].conn == effect.conn
+                ):
+                    j += 1
+                self._do_send_batch(effects[i:j])
+                i = j
+                continue
+            self._execute_one(effect)
+            i += 1
+
+    def _execute_one(self, effect: Effect) -> None:
+        if isinstance(effect, SendMulticast):
+            self._do_send_multicast(effect)
+        elif isinstance(effect, StartTimer):
+            self._do_start_timer(effect)
+        elif isinstance(effect, CancelTimer):
+            handle = self._timers.pop(effect.key, None)
+            if handle is not None:
+                handle.cancel()
+        elif isinstance(effect, CreateGroupStorage):
+            self.disk.write(len(effect.meta))
+            if self.store is not None and not self.store.has_group(effect.group):
+                self.store.create_group(effect.group, effect.meta)
+        elif isinstance(effect, PurgeGroupStorage):
+            if self.store is not None:
+                self.store.delete_group(effect.group)
+        elif isinstance(effect, AppendWal):
+            self._do_append_wal(effect)
+        elif isinstance(effect, WriteCheckpoint):
+            self.disk.write(len(effect.snapshot))
+            if self.store is not None:
+                self.store.checkpoint(effect.group, effect.seqno, effect.snapshot)
+        elif isinstance(effect, TruncateWal):
+            pass  # GroupStore.checkpoint already rotates segments
+        elif isinstance(effect, Notify):
+            self.stats.notifications += 1
+            for handler in self._notify_handlers:
+                handler(effect.kind, effect.payload)
+        elif isinstance(effect, OpenConnection):
+            # Addresses are (host, port) in production; the simulator
+            # routes purely by host id.
+            address = effect.address
+            target = address[0] if isinstance(address, tuple) else str(address)
+            self.network.connect(self.host_id, target, effect.key)
+        elif isinstance(effect, CloseConnection):
+            # close after already-queued writes have entered the
+            # network (TCP flushes buffered data before FIN)
+            self.kernel.schedule_at(
+                max(self.kernel.now(), self._cpu_free),
+                self._do_close,
+                effect.conn,
+            )
+        elif isinstance(effect, ShutDown):
+            self.crash()
+        else:
+            raise TypeError(f"unknown effect {effect!r}")
 
     def _do_close(self, conn: int) -> None:
         channel = self._channels.pop(conn, None)
@@ -263,19 +285,27 @@ class SimHost:
             self._conn_ids.pop(channel.channel_id, None)
             self.network.close(channel, self.host_id)
 
-    def _do_send(self, effect: SendMessage) -> None:
-        channel = self._channels.get(effect.conn)
+    def _do_send_batch(self, batch: list[SendMessage]) -> None:
+        """Charge one CPU occupancy for a run of sends to one connection.
+
+        The batch costs ``send_cost(total frame bytes)`` — batching saves
+        the per-flush overhead, never the per-byte cost — and the frames
+        still enter the network individually, in order.
+        """
+        channel = self._channels.get(batch[0].conn)
         if channel is None:
             return  # connection already gone; fail-stop semantics
-        size = codec.encoded_size(effect.message) + _FRAME_OVERHEAD
-        done = self._occupy_cpu(self.profile.send_cost(size))
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += size
-        self.kernel.schedule_at(done, self._enter_network, channel, effect.message, size)
+        sized = [(e.message, frames.frame_size(e.message)) for e in batch]
+        total = sum(size for _m, size in sized)
+        done = self._occupy_cpu(self.profile.send_cost(total))
+        self.stats.messages_sent += len(sized)
+        self.stats.bytes_sent += total
+        self.kernel.schedule_at(done, self._enter_network, channel, sized)
 
-    def _enter_network(self, channel: Channel, message: Any, size: int) -> None:
+    def _enter_network(self, channel: Channel, sized: list[tuple[Any, int]]) -> None:
         if self.alive:
-            self.network.send(channel, self.host_id, message, size)
+            for message, size in sized:
+                self.network.send(channel, self.host_id, message, size)
 
     def _do_send_multicast(self, effect: SendMulticast) -> None:
         channels = [
@@ -283,7 +313,7 @@ class SimHost:
         ]
         if not channels:
             return
-        size = codec.encoded_size(effect.message) + _FRAME_OVERHEAD
+        size = frames.frame_size(effect.message)
         # one serialization on the CPU, however many receivers
         done = self._occupy_cpu(self.profile.send_cost(size))
         self.stats.messages_sent += len(channels)

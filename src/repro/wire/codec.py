@@ -10,15 +10,34 @@ from a handful of primitives:
 * a one-byte presence flag for optional fields.
 
 Every encodable class is a dataclass registered with a stable 16-bit type
-code via :func:`register`.  Field codecs are derived from the dataclass type
-hints once, at first use, so encoding a message costs a single pass over its
-fields.  Values are always encoded *with* their type code, which makes
-polymorphic fields (declared as a base class) work transparently and lets a
-reader reject unknown types cleanly.
+code via :func:`register`.  Values are always encoded *with* their type
+code, which makes polymorphic fields (declared as a base class) work
+transparently and lets a reader reject unknown types cleanly.
 
 This codec stands in for the paper's JDK object serialization; its per-byte
 cost is what the simulator charges as "serialization cost" when reproducing
 the evaluation.
+
+Two implementations share the format:
+
+* the **compiled codec** (the default): :func:`register` derives a flat
+  per-class encoder/decoder function — one generated pass over the fields
+  with varint/length handling inlined, no per-field closure dispatch and no
+  repeated ``get_type_hints`` — and :func:`encode` reuses one module-level
+  output buffer so steady-state encoding allocates only the result bytes;
+* the **reference interpreter** (the original, closure-per-field codec),
+  kept as :func:`reference_encode` / :func:`reference_decode`.  It is the
+  executable specification: tests assert the compiled codec is
+  byte-for-byte identical to it for every registered message type.
+
+:func:`cached_encode` additionally memoizes the encoded payload on the
+message instance itself (messages are frozen dataclasses, so the bytes can
+never go stale).  The fan-out paths — framing, transports, the simulator's
+cost model — go through it (via :mod:`repro.wire.frames`), which is what
+makes a broadcast cost one serialization no matter how many receivers it
+has.  :data:`encode counters <encode_counts>` record every real (cache
+missing) encode per class so tests and benchmarks can prove the
+encode-once property.
 """
 
 from __future__ import annotations
@@ -35,8 +54,14 @@ from repro.core.errors import CodecError
 __all__ = [
     "register",
     "encode",
+    "encode_into",
     "decode",
     "encoded_size",
+    "cached_encode",
+    "reference_encode",
+    "reference_decode",
+    "encode_counts",
+    "reset_encode_counts",
     "type_code_of",
     "class_for_code",
     "Writer",
@@ -47,7 +72,11 @@ _DOUBLE = struct.Struct(">d")
 
 
 class Writer:
-    """Append-only buffer with primitive write operations."""
+    """Append-only buffer with primitive write operations.
+
+    :meth:`clear` resets the buffer for reuse without releasing its
+    allocation, so one ``Writer`` can serve many messages.
+    """
 
     __slots__ = ("_buf",)
 
@@ -56,6 +85,10 @@ class Writer:
 
     def getvalue(self) -> bytes:
         return bytes(self._buf)
+
+    def clear(self) -> None:
+        """Drop the contents, keeping the buffer object for reuse."""
+        del self._buf[:]
 
     def __len__(self) -> int:
         return len(self._buf)
@@ -160,11 +193,26 @@ _CODE_TO_CLASS: dict[int, type] = {}
 _CLASS_TO_CODE: dict[type, int] = {}
 _FIELD_CODECS: dict[type, list[tuple[str, Encoder, Decoder]]] = {}
 
+#: Compiled per-class fast paths: ``fn(buf: bytearray, obj) -> None`` and
+#: ``fn(view: memoryview, pos: int, end: int) -> (obj, pos)``.
+_COMPILED_ENC: dict[type, Callable[[bytearray, Any], None]] = {}
+_COMPILED_DEC: dict[type, Callable[[memoryview, int, int], tuple[Any, int]]] = {}
+
+#: Real encodes performed per message class (cache misses only); see
+#: :func:`encode_counts`.
+_ENCODE_COUNTS: dict[type, int] = {}
+
+#: Instance attribute holding the memoized payload (see cached_encode).
+_PAYLOAD_ATTR = "_corona_wire_payload"
+
 
 def register(type_code: int) -> Callable[[type], type]:
     """Class decorator assigning *type_code* to a dataclass.
 
     Type codes must be unique and stable; they are part of the wire format.
+    Registration also compiles the class's flat encoder/decoder pair when
+    its type hints are already resolvable; classes with forward references
+    compile lazily on first use instead.
     """
 
     def _apply(cls: type) -> type:
@@ -177,6 +225,14 @@ def register(type_code: int) -> Callable[[type], type]:
             )
         _CODE_TO_CLASS[type_code] = cls
         _CLASS_TO_CODE[cls] = type_code
+        try:
+            _compile_encoder(cls)
+            _compile_decoder(cls)
+        except Exception:
+            # Unresolvable forward references (or an unsupported field
+            # type): defer to first use, matching the lazy seed codec.
+            _COMPILED_ENC.pop(cls, None)
+            _COMPILED_DEC.pop(cls, None)
         return cls
 
     return _apply
@@ -206,6 +262,12 @@ def _is_optional(tp: Any) -> Any:
         if len(args) == 1 and type(None) in get_args(tp):
             return args[0]
     return None
+
+
+# --------------------------------------------------------------------------
+# reference interpreter (the original codec, retained as the executable
+# specification of the wire format)
+# --------------------------------------------------------------------------
 
 
 def _codec_for(tp: Any) -> tuple[Encoder, Decoder]:
@@ -346,15 +408,15 @@ def _decode_value(reader: Reader) -> Any:
         raise CodecError(f"cannot construct {cls.__name__}: {exc}") from exc
 
 
-def encode(obj: Any) -> bytes:
-    """Encode a registered dataclass instance to bytes."""
+def reference_encode(obj: Any) -> bytes:
+    """Encode with the interpreted reference codec (spec for tests)."""
     writer = Writer()
     _encode_value(writer, obj)
     return writer.getvalue()
 
 
-def decode(data: bytes) -> Any:
-    """Decode bytes produced by :func:`encode` back to an instance."""
+def reference_decode(data: bytes) -> Any:
+    """Decode with the interpreted reference codec (spec for tests)."""
     reader = Reader(data)
     obj = _decode_value(reader)
     if not reader.at_end():
@@ -362,8 +424,579 @@ def decode(data: bytes) -> Any:
     return obj
 
 
+# --------------------------------------------------------------------------
+# compiled codec: per-class generated encode/decode functions
+# --------------------------------------------------------------------------
+
+
+class _Names:
+    """Unique local-variable names for generated code."""
+
+    __slots__ = ("_n",)
+
+    def __init__(self) -> None:
+        self._n = 0
+
+    def new(self, stem: str) -> str:
+        self._n += 1
+        return f"{stem}{self._n}"
+
+
+def _uvarint_bytes(value: int) -> bytes:
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def _emit_uvarint(var: str, lines: list[str], ind: str) -> None:
+    """Append statements encoding the non-negative int in *var* (consumed)."""
+    lines += [
+        f"{ind}while {var} >= 128:",
+        f"{ind}    buf.append({var} & 127 | 128)",
+        f"{ind}    {var} >>= 7",
+        f"{ind}buf.append({var})",
+    ]
+
+
+#: Nested registered classes are inlined into their parent's generated
+#: function (behind an exact-type guard) at most this many levels deep;
+#: deeper or recursive nesting falls back to the dispatcher.
+_INLINE_DEPTH = 3
+
+
+def _emit_encode(
+    tp: Any,
+    expr: str,
+    lines: list[str],
+    ns: dict,
+    names: _Names,
+    ind: str,
+    stack: frozenset = frozenset(),
+) -> None:
+    """Generate statements appending the encoding of *expr* to ``buf``.
+
+    Mirrors :func:`_codec_for` case by case so the produced bytes are
+    identical to the reference interpreter's.
+    """
+    inner = _is_optional(tp)
+    if inner is not None:
+        v = names.new("v")
+        lines.append(f"{ind}{v} = {expr}")
+        lines.append(f"{ind}if {v} is None:")
+        lines.append(f"{ind}    buf.append(0)")
+        lines.append(f"{ind}else:")
+        lines.append(f"{ind}    buf.append(1)")
+        _emit_encode(inner, v, lines, ns, names, ind + "    ", stack)
+        return
+
+    origin = get_origin(tp)
+    if origin in (list, tuple):
+        args = get_args(tp)
+        if origin is tuple:
+            if len(args) != 2 or args[1] is not Ellipsis:
+                raise CodecError(f"only homogeneous tuple[X, ...] supported, got {tp}")
+            elem_tp = args[0]
+        else:
+            (elem_tp,) = args or (Any,)
+        seq, n, item = names.new("seq"), names.new("n"), names.new("item")
+        lines.append(f"{ind}{seq} = {expr}")
+        lines.append(f"{ind}{n} = len({seq})")
+        _emit_uvarint(n, lines, ind)
+        lines.append(f"{ind}for {item} in {seq}:")
+        _emit_encode(elem_tp, item, lines, ns, names, ind + "    ", stack)
+        return
+
+    if origin is dict:
+        key_tp, val_tp = get_args(tp)
+        d, n, k, v = names.new("d"), names.new("n"), names.new("k"), names.new("v")
+        lines.append(f"{ind}{d} = {expr}")
+        lines.append(f"{ind}{n} = len({d})")
+        _emit_uvarint(n, lines, ind)
+        lines.append(f"{ind}for {k}, {v} in {d}.items():")
+        _emit_encode(key_tp, k, lines, ns, names, ind + "    ", stack)
+        _emit_encode(val_tp, v, lines, ns, names, ind + "    ", stack)
+        return
+
+    if isinstance(tp, type):
+        if issubclass(tp, bool):
+            lines.append(f"{ind}buf.append(1 if {expr} else 0)")
+            return
+        if issubclass(tp, (enum.IntEnum, int)):
+            # zigzag varint (IntEnum arithmetic yields plain ints)
+            v = names.new("v")
+            lines.append(f"{ind}{v} = {expr}")
+            lines.append(f"{ind}{v} = {v} + {v} if {v} >= 0 else -{v} - {v} - 1")
+            _emit_uvarint(v, lines, ind)
+            return
+        if issubclass(tp, float):
+            lines.append(f"{ind}buf += _pack_double({expr})")
+            return
+        if issubclass(tp, str):
+            b, n = names.new("b"), names.new("n")
+            lines.append(f"{ind}{b} = {expr}.encode('utf-8')")
+            lines.append(f"{ind}{n} = len({b})")
+            _emit_uvarint(n, lines, ind)
+            lines.append(f"{ind}buf += {b}")
+            return
+        if issubclass(tp, (bytes, bytearray, memoryview)):
+            b, n = names.new("b"), names.new("n")
+            lines.append(f"{ind}{b} = {expr}")
+            lines.append(f"{ind}if {b}.__class__ is not bytes:")
+            lines.append(f"{ind}    {b} = bytes({b})")
+            n_ = n
+            lines.append(f"{ind}{n_} = len({b})")
+            _emit_uvarint(n_, lines, ind)
+            lines.append(f"{ind}buf += {b}")
+            return
+        if is_dataclass(tp):
+            _emit_encode_nested(tp, expr, lines, ns, names, ind, stack)
+            return
+
+    raise CodecError(f"unsupported wire field type: {tp!r}")
+
+
+def _emit_encode_nested(
+    tp: type,
+    expr: str,
+    lines: list[str],
+    ns: dict,
+    names: _Names,
+    ind: str,
+    stack: frozenset,
+) -> None:
+    """Nested dataclass field: inline the concrete class behind an
+    exact-type guard, falling back to runtime dispatch (which handles
+    subclasses and abstract bases like ``Message``)."""
+    inline = (
+        tp in _CLASS_TO_CODE
+        and tp not in stack
+        and len(stack) < _INLINE_DEPTH
+    )
+    if inline:
+        try:
+            hints = get_type_hints(tp)
+        except Exception:
+            inline = False
+    if not inline:
+        lines.append(f"{ind}_encode_any(buf, {expr})")
+        return
+    v, cls_name, code_name = names.new("v"), names.new("C"), names.new("cb")
+    ns[cls_name] = tp
+    ns[code_name] = _uvarint_bytes(_CLASS_TO_CODE[tp])
+    lines.append(f"{ind}{v} = {expr}")
+    lines.append(f"{ind}if {v}.__class__ is {cls_name}:")
+    lines.append(f"{ind}    buf += {code_name}")
+    body_at = len(lines)
+    for f in fields(tp):
+        if f.metadata.get("wire_skip"):
+            continue
+        _emit_encode(
+            hints[f.name], f"{v}.{f.name}", lines, ns, names,
+            ind + "    ", stack | {tp},
+        )
+    if len(lines) == body_at:
+        lines.append(f"{ind}    pass")
+    lines.append(f"{ind}else:")
+    lines.append(f"{ind}    _encode_any(buf, {v})")
+
+
+def _emit_decode_uvarint(var: str, lines: list[str], names: _Names, ind: str) -> None:
+    """Append statements reading a uvarint from ``view`` at ``pos`` into *var*."""
+    b, s = names.new("b"), names.new("s")
+    lines += [
+        f"{ind}if pos >= end:",
+        f"{ind}    raise _CodecError('truncated varint')",
+        f"{ind}{var} = view[pos]",
+        f"{ind}pos += 1",
+        f"{ind}if {var} >= 128:",
+        f"{ind}    {var} &= 127",
+        f"{ind}    {s} = 7",
+        f"{ind}    while True:",
+        f"{ind}        if pos >= end:",
+        f"{ind}            raise _CodecError('truncated varint')",
+        f"{ind}        {b} = view[pos]",
+        f"{ind}        pos += 1",
+        f"{ind}        {var} |= ({b} & 127) << {s}",
+        f"{ind}        if not {b} & 128:",
+        f"{ind}            break",
+        f"{ind}        {s} += 7",
+        f"{ind}        if {s} > 70:",
+        f"{ind}            raise _CodecError('varint too long')",
+    ]
+
+
+def _emit_decode(
+    tp: Any,
+    target: str,
+    lines: list[str],
+    ns: dict,
+    names: _Names,
+    ind: str,
+    stack: frozenset = frozenset(),
+) -> None:
+    """Generate statements decoding one value of *tp* into local *target*."""
+    inner = _is_optional(tp)
+    if inner is not None:
+        flag = names.new("flag")
+        lines += [
+            f"{ind}if pos >= end:",
+            f"{ind}    raise _CodecError('truncated buffer: needed 1 bytes, had 0')",
+            f"{ind}{flag} = view[pos]",
+            f"{ind}pos += 1",
+            f"{ind}{target} = None",
+            f"{ind}if {flag}:",
+        ]
+        _emit_decode(inner, target, lines, ns, names, ind + "    ", stack)
+        return
+
+    origin = get_origin(tp)
+    if origin in (list, tuple):
+        args = get_args(tp)
+        if origin is tuple:
+            if len(args) != 2 or args[1] is not Ellipsis:
+                raise CodecError(f"only homogeneous tuple[X, ...] supported, got {tp}")
+            elem_tp = args[0]
+        else:
+            (elem_tp,) = args or (Any,)
+        n, lst, ev = names.new("n"), names.new("lst"), names.new("ev")
+        _emit_decode_uvarint(n, lines, names, ind)
+        lines.append(f"{ind}{lst} = []")
+        lines.append(f"{ind}for _ in range({n}):")
+        _emit_decode(elem_tp, ev, lines, ns, names, ind + "    ", stack)
+        lines.append(f"{ind}    {lst}.append({ev})")
+        if origin is tuple:
+            lines.append(f"{ind}{target} = tuple({lst})")
+        else:
+            lines.append(f"{ind}{target} = {lst}")
+        return
+
+    if origin is dict:
+        key_tp, val_tp = get_args(tp)
+        n, d, kv, vv = names.new("n"), names.new("d"), names.new("kv"), names.new("vv")
+        _emit_decode_uvarint(n, lines, names, ind)
+        lines.append(f"{ind}{d} = {{}}")
+        lines.append(f"{ind}for _ in range({n}):")
+        _emit_decode(key_tp, kv, lines, ns, names, ind + "    ", stack)
+        _emit_decode(val_tp, vv, lines, ns, names, ind + "    ", stack)
+        lines.append(f"{ind}    {d}[{kv}] = {vv}")
+        lines.append(f"{ind}{target} = {d}")
+        return
+
+    if isinstance(tp, type):
+        if issubclass(tp, bool):
+            lines += [
+                f"{ind}if pos >= end:",
+                f"{ind}    raise _CodecError('truncated buffer: needed 1 bytes, had 0')",
+                f"{ind}{target} = view[pos] != 0",
+                f"{ind}pos += 1",
+            ]
+            return
+        if issubclass(tp, enum.IntEnum):
+            raw = names.new("raw")
+            _emit_decode_uvarint(raw, lines, names, ind)
+            enum_name = names.new("E")
+            ns[enum_name] = tp
+            lines.append(f"{ind}{raw} = ({raw} >> 1) ^ -({raw} & 1)")
+            lines.append(f"{ind}try:")
+            lines.append(f"{ind}    {target} = {enum_name}({raw})")
+            lines.append(f"{ind}except ValueError:")
+            lines.append(
+                f"{ind}    raise _CodecError("
+                f"f'{{{raw}}} is not a valid {tp.__name__}') from None"
+            )
+            return
+        if issubclass(tp, int):
+            raw = names.new("raw")
+            _emit_decode_uvarint(raw, lines, names, ind)
+            lines.append(f"{ind}{target} = ({raw} >> 1) ^ -({raw} & 1)")
+            return
+        if issubclass(tp, float):
+            lines += [
+                f"{ind}if end - pos < 8:",
+                f"{ind}    raise _CodecError(f'truncated buffer: needed 8 bytes, "
+                f"had {{end - pos}}')",
+                f"{ind}{target} = _unpack_double(view, pos)[0]",
+                f"{ind}pos += 8",
+            ]
+            return
+        if issubclass(tp, str):
+            n = names.new("n")
+            _emit_decode_uvarint(n, lines, names, ind)
+            lines += [
+                f"{ind}if end - pos < {n}:",
+                f"{ind}    raise _CodecError(f'truncated buffer: needed {{{n}}} "
+                f"bytes, had {{end - pos}}')",
+                f"{ind}try:",
+                f"{ind}    {target} = str(view[pos:pos + {n}], 'utf-8')",
+                f"{ind}except UnicodeDecodeError as exc:",
+                f"{ind}    raise _CodecError(f'invalid utf-8 in string field: "
+                f"{{exc}}') from exc",
+                f"{ind}pos += {n}",
+            ]
+            return
+        if issubclass(tp, (bytes, bytearray, memoryview)):
+            n = names.new("n")
+            _emit_decode_uvarint(n, lines, names, ind)
+            lines += [
+                f"{ind}if end - pos < {n}:",
+                f"{ind}    raise _CodecError(f'truncated buffer: needed {{{n}}} "
+                f"bytes, had {{end - pos}}')",
+                f"{ind}{target} = bytes(view[pos:pos + {n}])",
+                f"{ind}pos += {n}",
+            ]
+            return
+        if is_dataclass(tp):
+            _emit_decode_nested(tp, target, lines, ns, names, ind, stack)
+            return
+
+    raise CodecError(f"unsupported wire field type: {tp!r}")
+
+
+def _emit_decode_nested(
+    tp: type,
+    target: str,
+    lines: list[str],
+    ns: dict,
+    names: _Names,
+    ind: str,
+    stack: frozenset,
+) -> None:
+    """Nested dataclass field: read the type code inline and, when it names
+    the annotated concrete class, decode its fields in place; any other code
+    (a subclass, or an unknown value) goes through the dispatcher."""
+    inline = (
+        tp in _CLASS_TO_CODE
+        and tp not in stack
+        and len(stack) < _INLINE_DEPTH
+    )
+    if inline:
+        try:
+            hints = get_type_hints(tp)
+        except Exception:
+            inline = False
+    if not inline:
+        lines.append(f"{ind}{target}, pos = _decode_any(view, pos, end)")
+        return
+    code = names.new("code")
+    _emit_decode_uvarint(code, lines, names, ind)
+    cls_name = names.new("C")
+    ns[cls_name] = tp
+    lines.append(f"{ind}if {code} == {_CLASS_TO_CODE[tp]}:")
+    body = ind + "    "
+    kwargs: list[str] = []
+    for f in fields(tp):
+        if f.metadata.get("wire_skip"):
+            continue
+        var = names.new("f")
+        _emit_decode(hints[f.name], var, lines, ns, names, body, stack | {tp})
+        kwargs.append(f"{f.name}={var}")
+    lines.append(f"{body}{target} = {cls_name}({', '.join(kwargs)})")
+    lines.append(f"{ind}else:")
+    lines.append(f"{ind}    {target}, pos = _decode_known(view, pos, end, {code})")
+
+
+def _compile_encoder(cls: type) -> Callable[[bytearray, Any], None]:
+    """Build, exec, and cache the flat encoder for *cls*."""
+    code = type_code_of(cls)
+    hints = get_type_hints(cls)
+    ns: dict[str, Any] = {
+        "_pack_double": _DOUBLE.pack,
+        "_encode_any": _encode_any,
+        "_CodecError": CodecError,
+        "_code_bytes": _uvarint_bytes(code),
+    }
+    names = _Names()
+    lines = ["def _enc(buf, obj):", "    buf += _code_bytes"]
+    for f in fields(cls):
+        if f.metadata.get("wire_skip"):
+            continue
+        _emit_encode(hints[f.name], f"obj.{f.name}", lines, ns, names, "    ")
+    src = "\n".join(lines) + "\n"
+    exec(compile(src, f"<corona-codec-enc:{cls.__name__}>", "exec"), ns)
+    fn = ns["_enc"]
+    _COMPILED_ENC[cls] = fn
+    return fn
+
+
+def _compile_decoder(cls: type) -> Callable[[memoryview, int, int], tuple[Any, int]]:
+    """Build, exec, and cache the flat decoder for *cls*.
+
+    The decoder is entered *after* the type code has been consumed (the
+    dispatcher reads it), mirroring how the reference interpreter splits
+    dispatch from field decoding.
+    """
+    hints = get_type_hints(cls)
+    ns: dict[str, Any] = {
+        "_cls": cls,
+        "_unpack_double": _DOUBLE.unpack_from,
+        "_decode_any": _decode_any,
+        "_decode_known": _decode_known,
+        "_CodecError": CodecError,
+    }
+    names = _Names()
+    lines = ["def _dec(view, pos, end):"]
+    kwargs: list[str] = []
+    for f in fields(cls):
+        if f.metadata.get("wire_skip"):
+            continue
+        var = names.new("f")
+        _emit_decode(hints[f.name], var, lines, ns, names, "    ")
+        kwargs.append(f"{f.name}={var}")
+    if len(lines) == 1:
+        lines.append("    pass")
+    lines.append(f"    return _cls({', '.join(kwargs)}), pos")
+    src = "\n".join(lines) + "\n"
+    exec(compile(src, f"<corona-codec-dec:{cls.__name__}>", "exec"), ns)
+    fn = ns["_dec"]
+    _COMPILED_DEC[cls] = fn
+    return fn
+
+
+def _encode_any(buf: bytearray, obj: Any) -> None:
+    """Dispatch to the compiled encoder of ``type(obj)`` (compiling it on
+    first use); writes the type code followed by the fields."""
+    enc = _COMPILED_ENC.get(type(obj))
+    if enc is None:
+        enc = _compile_encoder(type(obj))
+    enc(buf, obj)
+
+
+def _read_uvarint(view: memoryview, pos: int, end: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= end:
+            raise CodecError("truncated varint")
+        byte = view[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise CodecError("varint too long")
+
+
+def _decode_known(
+    view: memoryview, pos: int, end: int, code: int
+) -> tuple[Any, int]:
+    """Dispatch to the compiled decoder for an already-read type *code*."""
+    cls = _CODE_TO_CLASS.get(code)
+    if cls is None:
+        raise CodecError(f"unknown wire type code {code}")
+    dec = _COMPILED_DEC.get(cls)
+    if dec is None:
+        dec = _compile_decoder(cls)
+    return dec(view, pos, end)
+
+
+def _decode_any(view: memoryview, pos: int, end: int) -> tuple[Any, int]:
+    """Read a type code and dispatch to the compiled decoder."""
+    code, pos = _read_uvarint(view, pos, end)
+    return _decode_known(view, pos, end, code)
+
+
+# --------------------------------------------------------------------------
+# public entry points
+# --------------------------------------------------------------------------
+
+#: Reusable output buffer: encode() clears and refills it instead of
+#: allocating a fresh bytearray per message.  The busy flag guards the rare
+#: reentrant case (an encoder raising mid-way through a callback that
+#: encodes again); concurrent *threads* must not share the codec module —
+#: the runtime is single-threaded asyncio and the simulator is sequential.
+_SHARED_BUF = bytearray()
+_shared_busy = False
+
+
+def encode(obj: Any) -> bytes:
+    """Encode a registered dataclass instance to bytes (compiled path)."""
+    global _shared_busy
+    if _shared_busy:
+        buf = bytearray()
+    else:
+        _shared_busy = True
+        buf = _SHARED_BUF
+        del buf[:]
+    try:
+        encode_into(obj, buf)
+        return bytes(buf)
+    finally:
+        if buf is _SHARED_BUF:
+            _shared_busy = False
+
+
+def encode_into(obj: Any, buf: bytearray) -> None:
+    """Append the encoding of *obj* to *buf* (compiled path)."""
+    cls = type(obj)
+    enc = _COMPILED_ENC.get(cls)
+    if enc is None:
+        enc = _compile_encoder(cls)
+    start = len(buf)
+    try:
+        enc(buf, obj)
+    except CodecError:
+        del buf[start:]
+        raise
+    except Exception as exc:
+        del buf[start:]
+        raise CodecError(f"cannot encode {cls.__name__}: {exc}") from exc
+    _ENCODE_COUNTS[cls] = _ENCODE_COUNTS.get(cls, 0) + 1
+
+
+def decode(data: bytes) -> Any:
+    """Decode bytes produced by :func:`encode` back to an instance."""
+    view = memoryview(data)
+    end = len(view)
+    try:
+        obj, pos = _decode_any(view, 0, end)
+    except CodecError:
+        raise
+    except Exception as exc:
+        raise CodecError(f"cannot decode message: {exc}") from exc
+    if pos != end:
+        raise CodecError(f"{end - pos} trailing bytes after message")
+    return obj
+
+
+def cached_encode(obj: Any) -> bytes:
+    """Encode *obj* once, memoizing the payload on the instance.
+
+    Safe because every wire message is a frozen dataclass (enforced by the
+    catalogue tests): the bytes cannot go stale.  Objects that reject
+    attribute injection (``__slots__`` without a dict) simply re-encode.
+    """
+    payload = getattr(obj, _PAYLOAD_ATTR, None)
+    if payload is None:
+        payload = encode(obj)
+        try:
+            object.__setattr__(obj, _PAYLOAD_ATTR, payload)
+        except (AttributeError, TypeError):
+            pass
+    return payload
+
+
 def encoded_size(obj: Any) -> int:
-    """Return the encoded size of *obj* in bytes (used by the simulator)."""
-    writer = Writer()
-    _encode_value(writer, obj)
-    return len(writer)
+    """Return the encoded size of *obj* in bytes (used by the simulator).
+
+    Encodes once through the :func:`cached_encode` memo — sizing a message
+    that is later sent costs no second serialization pass.
+    """
+    return len(cached_encode(obj))
+
+
+def encode_counts() -> dict[type, int]:
+    """Snapshot of real encodes performed per class since the last reset.
+
+    Cache hits in :func:`cached_encode` / the frame cache do not count;
+    tests use the deltas to prove one-encode-per-broadcast.
+    """
+    return dict(_ENCODE_COUNTS)
+
+
+def reset_encode_counts() -> None:
+    """Zero the per-class encode counters (test/benchmark hook)."""
+    _ENCODE_COUNTS.clear()

@@ -1,0 +1,110 @@
+"""Frame cache: encode a message once, reuse the bytes for every receiver.
+
+Corona's fan-out paths (sequenced ``Delivery`` broadcasts, replication
+``_broadcast_to_peers``) hand the *same frozen message instance* to many
+connections.  :func:`encoded_frame` memoizes the encoded payload and its
+length-prefixed frame on the instance itself, so the first sender pays the
+serialization cost and every other receiver reuses the bytes — the paper's
+"one serialization, many receivers" multicast property, independent of the
+transport actually supporting IP multicast.
+
+Contract (documented in ``docs/protocol.md``):
+
+* messages are frozen dataclasses, so a cached frame can never go stale —
+  there is no invalidation, only garbage collection with the instance;
+* the cache is per-instance, not per-value: two equal messages built
+  separately encode separately (the hot path always reuses one instance);
+* :exc:`~repro.core.errors.FrameTooLargeError` is raised at frame-build
+  time, before any receiver sees a byte, and is *not* cached — a retry
+  re-raises by re-checking the (cached) payload length.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import FrameTooLargeError
+from repro.wire import codec
+
+__all__ = [
+    "MAX_FRAME_SIZE",
+    "FRAME_OVERHEAD",
+    "EncodedFrame",
+    "encoded_frame",
+    "payload_of",
+    "frame_size",
+]
+
+_LEN = struct.Struct(">I")
+
+#: Default upper bound on a single frame (16 MiB), far above any state
+#: snapshot used in the paper's workloads.
+MAX_FRAME_SIZE = 16 * 1024 * 1024
+
+#: Bytes the length prefix adds on top of the payload.
+FRAME_OVERHEAD = _LEN.size
+
+#: Instance attribute holding the memoized EncodedFrame.
+_FRAME_ATTR = "_corona_wire_frame"
+
+
+@dataclass(frozen=True)
+class EncodedFrame:
+    """One message's encoded payload and its length-prefixed wire frame."""
+
+    payload: bytes
+    frame: bytes
+
+    @property
+    def payload_size(self) -> int:
+        return len(self.payload)
+
+    @property
+    def frame_size(self) -> int:
+        return len(self.frame)
+
+
+def encoded_frame(message: Any) -> EncodedFrame:
+    """Return the (memoized) :class:`EncodedFrame` for *message*.
+
+    Encodes at most once per message instance; raises
+    :exc:`FrameTooLargeError` when the payload exceeds
+    :data:`MAX_FRAME_SIZE` (the check reuses the cached payload, so an
+    oversized message never pays a second encode either).
+    """
+    cached = getattr(message, _FRAME_ATTR, None)
+    if cached is not None:
+        return cached
+    payload = codec.cached_encode(message)
+    if len(payload) > MAX_FRAME_SIZE:
+        raise FrameTooLargeError(
+            f"outgoing frame of {len(payload)} bytes exceeds {MAX_FRAME_SIZE}"
+        )
+    frame = EncodedFrame(payload=payload, frame=_LEN.pack(len(payload)) + payload)
+    try:
+        object.__setattr__(message, _FRAME_ATTR, frame)
+    except (AttributeError, TypeError):
+        pass  # non-dataclass or slotted instance: just skip the memo
+    return frame
+
+
+def payload_of(message: Any) -> bytes:
+    """Encoded payload of *message* (no length prefix), cached per instance.
+
+    The storage paths (WAL records, checkpoint snapshots) use this instead
+    of ``codec.encode`` so a record that is both logged and broadcast is
+    serialized exactly once.
+    """
+    return codec.cached_encode(message)
+
+
+def frame_size(message: Any) -> int:
+    """On-the-wire size of *message* including the length prefix.
+
+    This is what the simulator's CPU/network cost model charges; going
+    through the frame cache means sizing a message that is subsequently
+    sent costs no extra serialization pass.
+    """
+    return encoded_frame(message).frame_size

@@ -14,24 +14,21 @@ from typing import Any, Iterator
 
 from repro.core.errors import FrameTooLargeError
 from repro.wire import codec
+from repro.wire.frames import MAX_FRAME_SIZE, encoded_frame
 
 __all__ = ["MAX_FRAME_SIZE", "frame_message", "FrameDecoder"]
 
 _LEN = struct.Struct(">I")
 
-#: Default upper bound on a single frame (16 MiB), far above any state
-#: snapshot used in the paper's workloads.
-MAX_FRAME_SIZE = 16 * 1024 * 1024
-
 
 def frame_message(message: Any) -> bytes:
-    """Encode *message* and prepend its 4-byte length prefix."""
-    payload = codec.encode(message)
-    if len(payload) > MAX_FRAME_SIZE:
-        raise FrameTooLargeError(
-            f"outgoing frame of {len(payload)} bytes exceeds {MAX_FRAME_SIZE}"
-        )
-    return _LEN.pack(len(payload)) + payload
+    """Return *message*'s length-prefixed wire frame (cached per instance).
+
+    Delegates to the frame cache (:mod:`repro.wire.frames`): the first
+    framing of an instance encodes it, every later framing reuses the
+    bytes.  Raises :exc:`FrameTooLargeError` past :data:`MAX_FRAME_SIZE`.
+    """
+    return encoded_frame(message).frame
 
 
 class FrameDecoder:

@@ -147,6 +147,71 @@ class TestLOCK001GuardedMutation:
         assert "LOCK001" not in rule_ids(src, path="src/repro/core/locks.py")
 
 
+class TestPERF001FanoutEncode:
+    #: A module on the fan-out path (PERF001 is include-scoped to these).
+    FANOUT = "src/repro/core/server.py"
+
+    def test_fires_on_direct_encode_in_server(self):
+        src = (
+            "from repro.wire import codec\n\n"
+            "def deliver(conns, msg):\n"
+            "    for conn in conns:\n"
+            "        push(conn, codec.encode(msg))\n"
+        )
+        assert "PERF001" in rule_ids(src, path=self.FANOUT)
+
+    def test_fires_on_encoded_size_in_sim_host(self):
+        src = (
+            "from repro.wire import codec\n\n"
+            "def cost(msg):\n"
+            "    return codec.encoded_size(msg) + 4\n"
+        )
+        assert "PERF001" in rule_ids(src, path="src/repro/sim/host.py")
+
+    def test_fires_on_from_import(self):
+        src = (
+            "from repro.wire.codec import encode\n\n"
+            "def deliver(conn, msg):\n"
+            "    push(conn, encode(msg))\n"
+        )
+        assert "PERF001" in rule_ids(src, path="src/repro/net/tcp.py")
+
+    def test_silent_on_frame_cache_path(self):
+        src = (
+            "from repro.wire import frames\n\n"
+            "def deliver(conns, msg):\n"
+            "    frame = frames.encoded_frame(msg).frame\n"
+            "    for conn in conns:\n"
+            "        push(conn, frame)\n"
+        )
+        assert rule_ids(src, path=self.FANOUT) == []
+
+    def test_silent_on_decode(self):
+        src = (
+            "from repro.wire import codec\n\n"
+            "def receive(data):\n"
+            "    return codec.decode(data)\n"
+        )
+        assert rule_ids(src, path=self.FANOUT) == []
+
+    def test_silent_outside_fanout_modules(self):
+        src = (
+            "from repro.wire import codec\n\n"
+            "def snapshot(obj):\n"
+            "    return codec.encode(obj)\n"
+        )
+        assert "PERF001" not in rule_ids(src)  # CORE is not fan-out-scoped
+        assert "PERF001" not in rule_ids(src, path="src/repro/storage/wal.py")
+
+    def test_noqa_suppresses(self):
+        src = (
+            "from repro.wire import codec\n\n"
+            "def deliver(conn, msg):\n"
+            "    push(conn, codec.encode(msg))  # corona: noqa(PERF001)\n"
+        )
+        assert rule_ids(src, path=self.FANOUT) == []
+
+
 class TestSuppression:
     BAD = "import time\nx = time.time()  # corona: noqa(DET001) -- edge code\n"
 

@@ -4,9 +4,10 @@ import asyncio
 
 import pytest
 
-from repro.core.errors import NotConnectedError
+from repro.core.errors import FrameTooLargeError, NotConnectedError
 from repro.net.memory import MemoryConnection, MemoryNetwork
 from repro.net.tcp import TcpTransport
+from repro.wire import frames
 from repro.wire.messages import Ack, BcastUpdateRequest, DeliveryMode
 
 
@@ -65,6 +66,38 @@ class TestMemoryTransport:
 
         run(main())
 
+    def test_send_many_preserves_order(self):
+        async def main():
+            a, b = MemoryConnection.pair()
+            await a.send_many([Ack(i) for i in range(10)])
+            got = [await b.receive() for _ in range(10)]
+            assert [m.request_id for m in got] == list(range(10))
+
+        run(main())
+
+    def test_send_many_on_closed_raises(self):
+        async def main():
+            a, _b = MemoryConnection.pair()
+            await a.close()
+            with pytest.raises(NotConnectedError):
+                await a.send_many([Ack(1)])
+
+        run(main())
+
+    def test_oversized_message_rejected_like_tcp(self, monkeypatch):
+        """Parity bugfix: the memory transport enforces MAX_FRAME_SIZE."""
+        monkeypatch.setattr(frames, "MAX_FRAME_SIZE", 64)
+        async def main():
+            a, b = MemoryConnection.pair()
+            big = BcastUpdateRequest(1, "g", "o", b"x" * 4096, DeliveryMode.INCLUSIVE)
+            with pytest.raises(FrameTooLargeError):
+                await a.send(big)
+            # the peer saw nothing: the frame was rejected before delivery
+            await a.send(Ack(7))
+            assert await b.receive() == Ack(7)
+
+        run(main())
+
 
 class TestTcpTransport:
     def test_roundtrip_over_sockets(self):
@@ -79,6 +112,24 @@ class TestTcpTransport:
             assert await accepted.receive() == big
             await dialed.close()
             assert await accepted.receive() is None
+            await listener.close()
+
+        run(main())
+
+    def test_send_many_batches_one_flush(self):
+        async def main():
+            transport = TcpTransport()
+            listener = await transport.listen(("127.0.0.1", 0))
+            dialed = await transport.dial(listener.address)
+            accepted = await listener.accept()
+            batch = [
+                BcastUpdateRequest(i, "g", "o", bytes([i]) * 1000, DeliveryMode.INCLUSIVE)
+                for i in range(16)
+            ]
+            await dialed.send_many(batch)
+            got = [await accepted.receive() for _ in range(16)]
+            assert got == batch
+            await dialed.close()
             await listener.close()
 
         run(main())

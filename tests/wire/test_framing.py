@@ -5,7 +5,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.errors import FrameTooLargeError
-from repro.wire import framing
+from repro.wire import frames
 from repro.wire.framing import FrameDecoder, frame_message
 from repro.wire.messages import Ack, BcastUpdateRequest, DeliveryMode, PingRequest
 
@@ -51,7 +51,8 @@ def test_incoming_frame_too_large():
 
 
 def test_outgoing_frame_too_large(monkeypatch):
-    monkeypatch.setattr(framing, "MAX_FRAME_SIZE", 1)
+    # The limit is enforced by the frame cache, which framing delegates to.
+    monkeypatch.setattr(frames, "MAX_FRAME_SIZE", 1)
     with pytest.raises(FrameTooLargeError):
         frame_message(Ack(1))
 
