@@ -11,6 +11,8 @@ NET001    blocking socket/file I/O reachable from sim-driven callbacks
 LOCK001   mutation of shared-state/lock internals outside their modules
 PERF001   direct codec encode/size calls on fan-out paths (bypass the
           frame cache, re-serializing per receiver)
+EFF001    isinstance dispatch over Effect types outside the effect
+          interpreter (hand-rolled dispatch chains drift between hosts)
 ========  ==================================================================
 
 ``WIRE001`` (wire-schema drift) lives in :mod:`repro.analysis.wirecheck`
@@ -90,6 +92,14 @@ RULE_DOCS: dict[str, tuple[Severity, str, str]] = {
         "go through repro.wire.frames (encoded_frame / payload_of / "
         "frame_size) so each message encodes exactly once",
     ),
+    "EFF001": (
+        Severity.ERROR,
+        "isinstance branching over Effect types re-creates the per-host "
+        "dispatch chains the interpreter replaced (and they drift)",
+        "register a handler (or middleware) on the shared "
+        "repro.core.interpreter.EffectInterpreter instead of branching "
+        "on effect types",
+    ),
 }
 
 #: Default module-prefix exclusions per rule.  A module is skipped by a
@@ -133,6 +143,11 @@ DEFAULT_EXCLUDES: dict[str, tuple[str, ...]] = {
     # PERF001 is include-scoped (see _PERF_FANOUT_PREFIXES): it only
     # examines the fan-out-reachable modules, so nothing to exclude.
     "PERF001": (),
+    # The interpreter is the one sanctioned place that reasons about
+    # effect types (registration validation, fault-rule matching).
+    "EFF001": (
+        "repro.core.interpreter",
+    ),
 }
 
 
@@ -438,6 +453,70 @@ def _check_fanout_encode(info: ModuleInfo) -> Iterator[Finding]:
 
 
 # --------------------------------------------------------------------------
+# EFF001: isinstance dispatch over Effect types
+# --------------------------------------------------------------------------
+
+#: Concrete effect-type names, derived from the events catalogue so the
+#: rule tracks new effect types automatically.
+def _effect_type_names() -> frozenset[str]:
+    from repro.core import events
+
+    return frozenset(
+        name
+        for name in events.__all__
+        if isinstance(getattr(events, name), type)
+        and issubclass(getattr(events, name), events.Effect)
+    )
+
+
+def _effect_isinstance_targets(
+    call: ast.Call, imports: dict[str, str], effect_names: frozenset[str]
+) -> list[str]:
+    """Effect-type names this ``isinstance(...)`` call tests against."""
+    if not (
+        isinstance(call.func, ast.Name)
+        and call.func.id == "isinstance"
+        and len(call.args) == 2
+    ):
+        return []
+    second = call.args[1]
+    candidates = second.elts if isinstance(second, ast.Tuple) else [second]
+    hits = []
+    for candidate in candidates:
+        qual = _qualified_name(candidate, imports)
+        if qual is None:
+            continue
+        name = qual.rsplit(".", 1)[-1]
+        if name in effect_names and (
+            qual == name or qual == f"repro.core.events.{name}"
+        ):
+            hits.append(name)
+    return hits
+
+
+def _check_effect_dispatch(info: ModuleInfo) -> Iterator[Finding]:
+    """Flag ``if isinstance(x, <EffectType>)`` branching (dispatch).
+
+    Only branch conditions count: a filter comprehension that selects
+    effects of one type is observation, not dispatch, and stays legal.
+    """
+    effect_names = _effect_type_names()
+    imports = _import_map(info.tree)
+    for node in ast.walk(info.tree):
+        if not isinstance(node, (ast.If, ast.IfExp)):
+            continue
+        for call in ast.walk(node.test):
+            if not isinstance(call, ast.Call):
+                continue
+            for name in _effect_isinstance_targets(call, imports, effect_names):
+                yield _finding(
+                    info, "EFF001", call,
+                    f"isinstance(..., {name}) branch re-implements effect "
+                    "dispatch outside the interpreter",
+                )
+
+
+# --------------------------------------------------------------------------
 # entry point used by the lint driver
 # --------------------------------------------------------------------------
 
@@ -453,4 +532,6 @@ def check_module(info: ModuleInfo, rule_ids: list[str]) -> list[Finding]:
             findings.extend(_check_guarded_mutation(info))
         elif rule_id == "PERF001":
             findings.extend(_check_fanout_encode(info))
+        elif rule_id == "EFF001":
+            findings.extend(_check_effect_dispatch(info))
     return findings

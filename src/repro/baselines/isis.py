@@ -33,7 +33,16 @@ from repro.core.errors import (
     NoSuchGroupError,
     ProtocolError,
 )
-from repro.core.events import CancelTimer, Notify, OpenConnection, ProtocolCore, StartTimer
+from repro.core.events import (
+    NOTIFY_CONNECTED,
+    NOTIFY_DELIVERY,
+    NOTIFY_REPLY,
+    CancelTimer,
+    Notify,
+    OpenConnection,
+    ProtocolCore,
+    StartTimer,
+)
 from repro.core.ids import ClientId, ConnId, GroupId
 from repro.core.state import SharedState
 from repro.wire import codec
@@ -61,7 +70,18 @@ __all__ = [
     "IsisServerCore",
     "IsisClientConfig",
     "IsisClientCore",
+    "DONATE_TIMER_PREFIX",
+    "donate_timer",
 ]
+
+#: Prefix of state-donation timeout timer keys (``donate-<donation_id>``).
+DONATE_TIMER_PREFIX = "donate-"
+
+
+def donate_timer(donation_id: int) -> str:
+    """The timer key watching one outstanding state donation."""
+    return f"{DONATE_TIMER_PREFIX}{donation_id}"
+
 
 from dataclasses import dataclass as _dc
 
@@ -211,7 +231,7 @@ class IsisServerCore(ProtocolCore):
                 continue  # already known dead; skip without waiting
             pending.current_donor = donor
             self.send(donor_conn, DonateRequest(donation_id, pending.group, pending.joiner))
-            self.emit(StartTimer(f"donate-{donation_id}", self.config.failure_timeout))
+            self.emit(StartTimer(donate_timer(donation_id), self.config.failure_timeout))
             return
         # everyone failed us: join completes with empty state
         del self._joins[donation_id]
@@ -224,14 +244,14 @@ class IsisServerCore(ProtocolCore):
         pending = self._joins.pop(msg.donation_id, None)
         if pending is None:
             return  # a timed-out donor answering late
-        self.emit(CancelTimer(f"donate-{msg.donation_id}"))
+        self.emit(CancelTimer(donate_timer(msg.donation_id)))
         self.groups[pending.group].append(pending.joiner)
         self.send(pending.joiner_conn, IsisJoinReply(
             pending.request_id, pending.group, msg.objects, msg.next_seqno
         ))
 
     def handle_timer(self, key: str) -> None:
-        if not key.startswith("donate-"):
+        if not key.startswith(DONATE_TIMER_PREFIX):
             return
         donation_id = int(key.split("-", 1)[1])
         if donation_id in self._joins:
@@ -341,18 +361,18 @@ class IsisClientCore(ProtocolCore):
     def handle_message(self, conn: ConnId, message: Message) -> None:
         if isinstance(message, HelloReply):
             self.connected = True
-            self.emit(Notify("connected", message.server_id))
+            self.emit(Notify(NOTIFY_CONNECTED, message.server_id))
         elif isinstance(message, IsisJoinReply):
             state = SharedState(message.objects)
             self.states[message.group] = state
-            self.emit(Notify("reply", message))
+            self.emit(Notify(NOTIFY_REPLY, message))
         elif isinstance(message, Ack) or isinstance(message, ErrorReply):
-            self.emit(Notify("reply", message))
+            self.emit(Notify(NOTIFY_REPLY, message))
         elif isinstance(message, Delivery):
             state = self.states.get(message.group)
             if state is not None:
                 state.apply(message.update)
-            self.emit(Notify("delivery", message))
+            self.emit(Notify(NOTIFY_DELIVERY, message))
         elif isinstance(message, DonateRequest):
             self._on_donate_request(conn, message)
 
@@ -361,12 +381,12 @@ class IsisClientCore(ProtocolCore):
             return  # simulates a hung/crashed member
         if self.config.donate_delay:
             self._held_donations[msg.donation_id] = msg
-            self.emit(StartTimer(f"donate-{msg.donation_id}", self.config.donate_delay))
+            self.emit(StartTimer(donate_timer(msg.donation_id), self.config.donate_delay))
             return
         self._donate(conn, msg)
 
     def handle_timer(self, key: str) -> None:
-        if key.startswith("donate-") and self._conn is not None:
+        if key.startswith(DONATE_TIMER_PREFIX) and self._conn is not None:
             donation_id = int(key.split("-", 1)[1])
             msg = self._held_donations.pop(donation_id, None)
             if msg is not None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bench.metrics import LatencySample
+from repro.core.events import NOTIFY_DELIVERY, NOTIFY_REPLY
 from repro.sim.harness import CoronaWorld, SimClient
 
 __all__ = ["MeasuredSender", "BlastSender", "build_room"]
@@ -51,7 +52,7 @@ class MeasuredSender:
         self.client.call("bcast_update", self.group, self.object_id, bytes(self.size))
 
     def _on_notify(self, kind: str, payload) -> None:
-        if kind != "delivery":
+        if kind != NOTIFY_DELIVERY:
             return
         record = payload.record
         if (
@@ -96,7 +97,7 @@ class BlastSender:
         self.client.call("bcast_update", self.group, self.object_id, bytes(self.size))
 
     def _on_notify(self, kind: str, payload) -> None:
-        if kind == "reply" and getattr(payload, "kind", "") == "bcast":
+        if kind == NOTIFY_REPLY and getattr(payload, "kind", "") == "bcast":
             self.acked += 1
             if self.world.now < self._deadline:
                 self._fill_window()

@@ -21,7 +21,14 @@ import argparse
 import asyncio
 import sys
 
-__all__ = ["server_main", "bench_main", "lint_main", "tracecheck_main", "main"]
+__all__ = [
+    "server_main",
+    "bench_main",
+    "lint_main",
+    "tracecheck_main",
+    "benchcheck_main",
+    "main",
+]
 
 
 def server_main(argv: list[str] | None = None) -> int:
@@ -256,6 +263,66 @@ def tracecheck_main(argv: list[str] | None = None) -> int:
     return 1 if findings else 0
 
 
+def benchcheck_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro benchcheck``: the benchmark regression gate."""
+    parser = argparse.ArgumentParser(
+        prog="repro benchcheck",
+        description="Compare freshly generated BENCH_<name>.json results "
+        "against the committed baselines; fail on drift beyond tolerance.",
+    )
+    parser.add_argument(
+        "names", nargs="*", default=None, metavar="NAME",
+        help="benchmarks to gate (default: the deterministic set, "
+        "fig3 and table1)",
+    )
+    parser.add_argument(
+        "--baseline-dir", default=None, metavar="DIR",
+        help="directory holding the committed baselines (default: repo root)",
+    )
+    parser.add_argument(
+        "--fresh-dir", default=None, metavar="DIR",
+        help="directory holding fresh results (default: $CORONA_BENCH_DIR)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10, metavar="REL",
+        help="relative tolerance per numeric leaf (default: 0.10 = 10%%)",
+    )
+    args = parser.parse_args(argv)
+
+    import os
+    from pathlib import Path
+
+    from repro.bench.compare import (
+        GATED_BENCHMARKS,
+        check_baseline,
+        default_baseline_dir,
+    )
+
+    fresh = args.fresh_dir or os.environ.get("CORONA_BENCH_DIR")
+    if not fresh:
+        print("repro benchcheck: pass --fresh-dir or set CORONA_BENCH_DIR",
+              file=sys.stderr)
+        return 2
+    baseline_dir = (
+        Path(args.baseline_dir) if args.baseline_dir else default_baseline_dir()
+    )
+    names = args.names or list(GATED_BENCHMARKS)
+    failed = False
+    for name in names:
+        deviations = check_baseline(
+            name, baseline_dir, Path(fresh), rel_tol=args.tolerance
+        )
+        if deviations:
+            failed = True
+            print(f"benchcheck {name}: {len(deviations)} deviation(s)")
+            for deviation in deviations:
+                print(f"  {deviation}")
+        else:
+            print(f"benchcheck {name}: within ±{args.tolerance * 100:.0f}% "
+                  "of the committed baseline")
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``repro``: dispatch to the tool subcommands."""
     parser = argparse.ArgumentParser(
@@ -264,7 +331,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=("lint", "tracecheck", "server", "bench"),
+        choices=("lint", "tracecheck", "benchcheck", "server", "bench"),
         help="tool to run; arguments after it are passed through",
     )
     if argv is None:
@@ -274,6 +341,7 @@ def main(argv: list[str] | None = None) -> int:
     dispatch = {
         "lint": lint_main,
         "tracecheck": tracecheck_main,
+        "benchcheck": benchcheck_main,
         "server": server_main,
         "bench": bench_main,
     }

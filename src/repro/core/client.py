@@ -36,7 +36,24 @@ from repro.core.errors import (
     RequestTimeoutError,
     error_from_code,
 )
-from repro.core.events import Notify, OpenConnection, ProtocolCore, StartTimer, CancelTimer
+from repro.core.events import (
+    NOTIFY_CONNECTED,
+    NOTIFY_DELIVERY,
+    NOTIFY_DISCONNECTED,
+    NOTIFY_ERROR,
+    NOTIFY_FORKED,
+    NOTIFY_GROUP_DELETED,
+    NOTIFY_MEMBERSHIP,
+    NOTIFY_REBASED,
+    NOTIFY_RECONNECT_FAILED,
+    NOTIFY_REJOINED,
+    NOTIFY_REPLY,
+    CancelTimer,
+    Notify,
+    OpenConnection,
+    ProtocolCore,
+    StartTimer,
+)
 from repro.core.ids import ConnId, GroupId, RequestId, SeqNo
 from repro.core.ordering import FifoChecker
 from repro.core.state import SharedState
@@ -79,7 +96,26 @@ from repro.wire.messages import (
     UpdateRecord,
 )
 
-__all__ = ["ClientConfig", "ClientCore", "GroupView", "ReplyEvent", "DeliveryEvent"]
+__all__ = [
+    "ClientConfig",
+    "ClientCore",
+    "GroupView",
+    "ReplyEvent",
+    "DeliveryEvent",
+    "TIMER_RECONNECT",
+    "REQUEST_TIMER_PREFIX",
+    "request_timer",
+]
+
+#: Timer key for the auto-reconnect backoff timer.
+TIMER_RECONNECT = "reconnect"
+#: Prefix of per-request timeout timer keys (``req-<request_id>``).
+REQUEST_TIMER_PREFIX = "req-"
+
+
+def request_timer(request_id: RequestId) -> str:
+    """The timeout-timer key for one in-flight request."""
+    return f"{REQUEST_TIMER_PREFIX}{request_id}"
 
 
 @dataclass
@@ -230,14 +266,14 @@ class ClientCore(ProtocolCore):
         for request_id, kind in list(self._pending.items()):
             self._finish(request_id, kind, error=NotConnectedError("connection lost"))
         if was_connected:
-            self.emit(Notify("disconnected", self.server_id))
+            self.emit(Notify(NOTIFY_DISCONNECTED, self.server_id))
         if self.config.auto_reconnect and self._address is not None:
-            self.emit(StartTimer("reconnect", self._backoff))
+            self.emit(StartTimer(TIMER_RECONNECT, self._backoff))
             self._backoff = min(
                 self._backoff * 2, self.config.reconnect_backoff_max
             )
             if not was_connected:
-                self.emit(Notify("reconnect_failed", self._address))
+                self.emit(Notify(NOTIFY_RECONNECT_FAILED, self._address))
 
     def _rejoin_groups(self) -> None:
         """After a reconnect, resynchronize every group we were in."""
@@ -355,7 +391,7 @@ class ClientCore(ProtocolCore):
         request_id = next(self._request_ids)
         self._pending[request_id] = kind
         self.send(self._conn, build(request_id))
-        self.emit(StartTimer(f"req-{request_id}", self.config.request_timeout))
+        self.emit(StartTimer(request_timer(request_id), self.config.request_timeout))
         return request_id
 
     # ------------------------------------------------------------------
@@ -368,7 +404,7 @@ class ClientCore(ProtocolCore):
             self.connected = True
             self.server_id = message.server_id
             self._backoff = self.config.reconnect_backoff
-            self.emit(Notify("connected", message.server_id))
+            self.emit(Notify(NOTIFY_CONNECTED, message.server_id))
             if reconnecting and self.config.auto_reconnect:
                 self._rejoin_groups()
         elif isinstance(message, Ack):
@@ -378,7 +414,7 @@ class ClientCore(ProtocolCore):
                 # connection-level failure (authentication, protocol
                 # version): not tied to any request
                 self.emit(Notify(
-                    "error", error_from_code(message.code, message.detail)
+                    NOTIFY_ERROR, error_from_code(message.code, message.detail)
                 ))
                 return
             kind = self._pending.get(message.request_id, "")
@@ -395,7 +431,7 @@ class ClientCore(ProtocolCore):
                 view.resync(message.snapshot)
                 view.members = message.members
                 self._finish(message.request_id, "rejoin", value=view)
-                self.emit(Notify("rejoined", view))
+                self.emit(Notify(NOTIFY_REJOINED, view))
             else:
                 view = GroupView(name=group)
                 view.apply_snapshot(message.snapshot)
@@ -421,10 +457,10 @@ class ClientCore(ProtocolCore):
             view = self.views.get(message.group)
             if view is not None:
                 view.members = message.members
-            self.emit(Notify("membership", message))
+            self.emit(Notify(NOTIFY_MEMBERSHIP, message))
         elif isinstance(message, GroupDeletedNotice):
             self.views.pop(message.group, None)
-            self.emit(Notify("group_deleted", message.group))
+            self.emit(Notify(NOTIFY_GROUP_DELETED, message.group))
         elif isinstance(message, RebaseNotice):
             # partition reconciliation replaced the group state: rebuild
             # the replica from the reconciled snapshot
@@ -435,13 +471,13 @@ class ClientCore(ProtocolCore):
             view.apply_snapshot(message.snapshot)
             view.pending_exclusive.clear()
             view.fifo = FifoChecker()
-            self.emit(Notify("rebased", view))
+            self.emit(Notify(NOTIFY_REBASED, view))
         elif isinstance(message, ForkNotice):
             view = self.views.pop(message.group, None)
             if view is not None:
                 view.name = message.new_name
                 self.views[message.new_name] = view
-            self.emit(Notify("forked", (message.group, message.new_name)))
+            self.emit(Notify(NOTIFY_FORKED, (message.group, message.new_name)))
         else:
             raise ProtocolError(f"unexpected message {type(message).__name__}")
 
@@ -460,14 +496,14 @@ class ClientCore(ProtocolCore):
         view = self.views.get(message.group)
         if view is not None:
             view.apply_delivery(message.update, own_id=self.config.client_id)
-        self.emit(Notify("delivery", DeliveryEvent(message.group, message.update)))
+        self.emit(Notify(NOTIFY_DELIVERY, DeliveryEvent(message.group, message.update)))
 
     # ------------------------------------------------------------------
     # timeouts
     # ------------------------------------------------------------------
 
     def handle_timer(self, key: str) -> None:
-        if key == "reconnect":
+        if key == TIMER_RECONNECT:
             if self._conn is None and self._address is not None:
                 # rotate through the primary + fallback servers: in a
                 # replicated deployment any live server can take over
@@ -476,9 +512,9 @@ class ClientCore(ProtocolCore):
                 self._address_rotation += 1
                 self.emit(OpenConnection(address, key="server"))
             return
-        if not key.startswith("req-"):
+        if not key.startswith(REQUEST_TIMER_PREFIX):
             return
-        request_id = int(key[4:])
+        request_id = int(key[len(REQUEST_TIMER_PREFIX):])
         kind = self._pending.get(request_id)
         if kind is None:
             return
@@ -501,10 +537,10 @@ class ClientCore(ProtocolCore):
         if self._pending.pop(request_id, None) is None:
             return  # already completed (late reply after timeout)
         self._join_params.pop(request_id, None)
-        self.emit(CancelTimer(f"req-{request_id}"))
+        self.emit(CancelTimer(request_timer(request_id)))
         self.emit(
             Notify(
-                "reply",
+                NOTIFY_REPLY,
                 ReplyEvent(request_id, kind, ok=error is None, value=value, error=error),
             )
         )

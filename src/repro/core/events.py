@@ -35,7 +35,33 @@ __all__ = [
     "Notify",
     "ShutDown",
     "ProtocolCore",
+    "NOTIFY_CONNECTED",
+    "NOTIFY_DISCONNECTED",
+    "NOTIFY_RECONNECT_FAILED",
+    "NOTIFY_ERROR",
+    "NOTIFY_REPLY",
+    "NOTIFY_DELIVERY",
+    "NOTIFY_MEMBERSHIP",
+    "NOTIFY_GROUP_DELETED",
+    "NOTIFY_REJOINED",
+    "NOTIFY_REBASED",
+    "NOTIFY_FORKED",
 ]
+
+# Well-known ``Notify.kind`` tags.  Cores, hosts, and tests share these
+# constants instead of re-spelling the strings (a typo in a free-form tag
+# silently drops the notification on the handler's floor).
+NOTIFY_CONNECTED = "connected"
+NOTIFY_DISCONNECTED = "disconnected"
+NOTIFY_RECONNECT_FAILED = "reconnect_failed"
+NOTIFY_ERROR = "error"
+NOTIFY_REPLY = "reply"
+NOTIFY_DELIVERY = "delivery"
+NOTIFY_MEMBERSHIP = "membership"
+NOTIFY_GROUP_DELETED = "group_deleted"
+NOTIFY_REJOINED = "rejoined"
+NOTIFY_REBASED = "rebased"
+NOTIFY_FORKED = "forked"
 
 
 @dataclass(frozen=True)

@@ -5,16 +5,21 @@ describes — group membership, group multicast with sender-inclusive and
 sender-exclusive delivery, member-independent state transfer, per-object
 locks, and state-log reduction — as a deterministic sans-io state machine.
 
+The core itself is only hello/auth/routing: every group-scoped operation
+lives in a :class:`~repro.core.group_runtime.GroupRuntime`, one
+self-contained object per group in :attr:`ServerCore.runtimes`.  Request
+handlers resolve the runtime for the request's group and delegate; the
+``group_sequenced`` / ``group_emptied`` / ``group_reduced`` hooks are
+where the replicated service (:mod:`repro.replication`) turns local
+decisions into cluster-wide ones.  This split is what lets later work
+shard groups across workers and servers (paper §4.1).
+
 The server is *stateful*: it keeps an up-to-date copy of every group's
 shared state, in memory (``Group.state`` / ``Group.log``) and, when
 persistence is enabled, on stable storage via ``AppendWal`` and
 ``WriteCheckpoint`` effects that the host executes **off the critical
 path**.  Setting ``stateful=False`` turns it into the pure sequencer the
 paper compares against in Figure 3.
-
-The same core also powers the replicated service: replica servers embed it
-for local bookkeeping while deferring sequencing to the coordinator (see
-:mod:`repro.replication`).
 """
 
 from __future__ import annotations
@@ -25,30 +30,25 @@ from typing import Any, Callable
 from repro.core.auth import Authenticator
 from repro.core.clock import Clock
 from repro.core.errors import (
-    AlreadyMemberError,
     CoronaError,
     GroupExistsError,
-    LockHeldError,
     NoSuchGroupError,
     NotAMemberError,
     NotAuthorizedError,
     ProtocolError,
 )
 from repro.core.events import (
-    AppendWal,
     CloseConnection,
     CreateGroupStorage,
     ProtocolCore,
     PurgeGroupStorage,
-    SendMulticast,
-    WriteCheckpoint,
 )
 from repro.core.group import Group
+from repro.core.group_runtime import GroupRuntime, GroupsView
 from repro.core.ids import ClientId, ConnId, GroupId
 from repro.core.locks import LockGrant
 from repro.core.reduction import NeverReduce, ReductionPolicy
 from repro.core.session import AllowAll, GroupAction, SessionManager
-from repro.core.transfer import build_snapshot
 from repro.storage.store import RecoveredGroup
 from repro.wire import codec, frames
 from repro.wire.messages import (
@@ -58,7 +58,6 @@ from repro.wire.messages import (
     BcastUpdateRequest,
     CreateGroupRequest,
     DeleteGroupRequest,
-    Delivery,
     DeliveryMode,
     ErrorReply,
     GetMembershipRequest,
@@ -69,14 +68,11 @@ from repro.wire.messages import (
     Hello,
     HelloReply,
     JoinGroupRequest,
-    JoinReply,
     LeaveGroupRequest,
     ListGroupsRequest,
     LockGranted,
     MemberInfo,
-    MemberRole,
     MembershipNotice,
-    MembershipReply,
     Message,
     PingReply,
     PingRequest,
@@ -125,13 +121,13 @@ class ServerCore(ProtocolCore):
         super().__init__()
         self.config = config
         self.clock = clock
-        self.groups: dict[GroupId, Group] = {}
+        #: The per-group service objects, keyed by group name.
+        self.runtimes: dict[GroupId, GroupRuntime] = {}
+        #: Compatibility mapping ``GroupId -> Group`` over ``runtimes``.
+        self.groups = GroupsView(self)
         self._conn_client: dict[ConnId, ClientId] = {}
         self._client_conn: dict[ClientId, ConnId] = {}
         self._client_groups: dict[ClientId, set[GroupId]] = {}
-        #: Observers (the replication layer) notified of each sequenced
-        #: record after local processing: ``fn(group, record, mode, sender_conn)``.
-        self.on_local_sequence: Callable[[Group, UpdateRecord, DeliveryMode, ConnId], None] | None = None
         #: Observer (trace validation) notified after each state-log
         #: reduction: ``fn(group_name, fold_seqno)``.
         self.on_checkpoint: Callable[[GroupId, int], None] | None = None
@@ -152,6 +148,51 @@ class ServerCore(ProtocolCore):
         }
         if recovered:
             self._recover(recovered)
+
+    # ------------------------------------------------------------------
+    # the per-group runtimes
+    # ------------------------------------------------------------------
+
+    def install_group(self, group: Group) -> GroupRuntime:
+        """Wrap *group* in a runtime and register it under its name."""
+        runtime = GroupRuntime(group, self)
+        self.runtimes[group.name] = runtime
+        return runtime
+
+    def _runtime_named(self, name: GroupId) -> GroupRuntime:
+        runtime = self.runtimes.get(name)
+        if runtime is None:
+            raise NoSuchGroupError(f"no group named {name!r}")
+        return runtime
+
+    def _group_named(self, name: GroupId) -> Group:
+        return self._runtime_named(name).group
+
+    # ------------------------------------------------------------------
+    # per-group hooks (the replication layer overrides these)
+    # ------------------------------------------------------------------
+
+    def group_sequenced(
+        self,
+        runtime: GroupRuntime,
+        record: UpdateRecord,
+        mode: DeliveryMode,
+        sender_conn: ConnId,
+    ) -> None:
+        """A record was sequenced by a local client request.  The
+        replicated coordinator distributes it to interested peers."""
+
+    def group_emptied(self, runtime: GroupRuntime) -> None:
+        """The last member left.  Locally a transient group dies with
+        null membership (§3.1); a replica instead withdraws interest and
+        leaves the decision to the coordinator."""
+        if runtime.group.dies_when_empty:
+            self._drop_group(runtime.group)
+
+    def group_reduced(self, runtime: GroupRuntime, tip: int) -> None:
+        """A state-log reduction up to *tip* was requested (and performed
+        when anything remained to fold).  The replicated coordinator
+        relays the order cluster-wide."""
 
     # ------------------------------------------------------------------
     # recovery
@@ -183,7 +224,7 @@ class ServerCore(ProtocolCore):
                 group.log.append(record)
                 group.state.apply(record)
                 group.sequencer.fast_forward(record.seqno)
-            self.groups[name] = group
+            self.install_group(group)
 
     # ------------------------------------------------------------------
     # host entry points
@@ -210,9 +251,9 @@ class ServerCore(ProtocolCore):
         if self._client_conn.get(client) == conn:
             del self._client_conn[client]
         for group_name in sorted(self._client_groups.pop(client, set())):
-            group = self.groups.get(group_name)
-            if group is not None and group.is_member(client):
-                self._remove_member(group, client)
+            runtime = self.runtimes.get(group_name)
+            if runtime is not None and runtime.group.is_member(client):
+                runtime.remove_member(client)
 
     # ------------------------------------------------------------------
     # handshake
@@ -248,12 +289,6 @@ class ServerCore(ProtocolCore):
             raise ProtocolError("request before Hello handshake")
         return client
 
-    def _group_named(self, name: GroupId) -> Group:
-        group = self.groups.get(name)
-        if group is None:
-            raise NoSuchGroupError(f"no group named {name!r}")
-        return group
-
     # ------------------------------------------------------------------
     # group management
     # ------------------------------------------------------------------
@@ -261,7 +296,7 @@ class ServerCore(ProtocolCore):
     def _on_create(self, conn: ConnId, msg: CreateGroupRequest) -> None:
         client = self._client_of(conn)
         self._authorize(client, GroupAction.CREATE, msg.group)
-        if msg.group in self.groups:
+        if msg.group in self.runtimes:
             raise GroupExistsError(f"group {msg.group!r} already exists")
         group = Group(
             name=msg.group,
@@ -269,7 +304,7 @@ class ServerCore(ProtocolCore):
             initial_state=msg.initial_state,
             created_at=self.clock.now(),
         )
-        self.groups[msg.group] = group
+        self.install_group(group)
         if self._persists:
             meta = GroupMeta(
                 name=msg.group,
@@ -293,58 +328,25 @@ class ServerCore(ProtocolCore):
         self.send(conn, Ack(msg.request_id))
 
     def _drop_group(self, group: Group) -> None:
-        del self.groups[group.name]
+        del self.runtimes[group.name]
         if self._persists:
             self.emit(PurgeGroupStorage(group.name))
 
     def _on_join(self, conn: ConnId, msg: JoinGroupRequest) -> None:
         client = self._client_of(conn)
         self._authorize(client, GroupAction.JOIN, msg.group)
-        group = self._group_named(msg.group)
-        if group.is_member(client):
-            raise AlreadyMemberError(f"{client!r} already joined {msg.group!r}")
-        if self.config.stateful:
-            snapshot = build_snapshot(group, msg.transfer)
-        else:
-            # A stateless sequencer has no state to transfer.
-            snapshot = StateSnapshot(
-                group=group.name,
-                base_seqno=group.log.last_seqno,
-                objects=(),
-                updates=(),
-                next_seqno=group.log.next_seqno,
-            )
-        member = group.add_member(
-            client, conn, msg.role, wants_membership_notices=msg.notify_membership
-        )
+        runtime = self._runtime_named(msg.group)
+        runtime.join(conn, client, msg)
         self._client_groups.setdefault(client, set()).add(msg.group)
-        self.send(
-            conn,
-            JoinReply(msg.request_id, snapshot, self._membership_for_reply(group)),
-        )
-        self._notify_membership(group, joined=(member.info(),), left=())
 
     def _on_leave(self, conn: ConnId, msg: "LeaveGroupRequest") -> None:
         client = self._client_of(conn)
-        group = self._group_named(msg.group)
-        if not group.is_member(client):
+        runtime = self._runtime_named(msg.group)
+        if not runtime.group.is_member(client):
             raise NotAMemberError(f"{client!r} is not in {msg.group!r}")
         self._client_groups.get(client, set()).discard(msg.group)
-        self._remove_member(group, client)
+        runtime.remove_member(client)
         self.send(conn, Ack(msg.request_id))
-
-    #: Replicated servers override this: the transient-death decision is
-    #: global (the coordinator's), not local.
-    drops_empty_transient_groups = True
-
-    def _remove_member(self, group: Group, client: ClientId) -> None:
-        member = group.remove_member(client)
-        for grant in group.locks.release_all(client):
-            self._send_grant(group, grant)
-        self._notify_membership(group, joined=(), left=(member.info(),))
-        if group.empty and group.dies_when_empty and self.drops_empty_transient_groups:
-            # Transient group: ceases to exist, shared state is lost.
-            self._drop_group(group)
 
     def _notify_membership(
         self,
@@ -373,11 +375,7 @@ class ServerCore(ProtocolCore):
 
     def _on_get_membership(self, conn: ConnId, msg: GetMembershipRequest) -> None:
         self._client_of(conn)
-        group = self._group_named(msg.group)
-        self.send(
-            conn,
-            MembershipReply(msg.request_id, msg.group, self._membership_for_reply(group)),
-        )
+        self._runtime_named(msg.group).reply_membership(conn, msg.request_id)
 
     def _on_list_groups(self, conn: ConnId, msg: ListGroupsRequest) -> None:
         self._client_of(conn)
@@ -405,22 +403,7 @@ class ServerCore(ProtocolCore):
     ) -> None:
         client = self._client_of(conn)
         self._authorize(client, GroupAction.BROADCAST, msg.group)
-        group = self._group_named(msg.group)
-        member = group.member(client)
-        if member.role is MemberRole.OBSERVER:
-            raise NotAuthorizedError(f"observer {client!r} cannot broadcast")
-        record = UpdateRecord(
-            seqno=group.sequencer.allocate(),
-            kind=kind,
-            object_id=msg.object_id,
-            data=msg.data,
-            sender=client,
-            timestamp=self.clock.now(),
-        )
-        self.apply_and_deliver(group, record, msg.mode, exclude_conn=None)
-        self.send(conn, Ack(msg.request_id))
-        if self.on_local_sequence is not None:
-            self.on_local_sequence(group, record, msg.mode, conn)
+        self._runtime_named(msg.group).broadcast(conn, client, msg, kind)
 
     def apply_and_deliver(
         self,
@@ -429,35 +412,9 @@ class ServerCore(ProtocolCore):
         mode: DeliveryMode,
         exclude_conn: ConnId | None,
     ) -> None:
-        """Apply a sequenced record and fan it out to local members.
-
-        Shared by the local fast path and the replicated slow path (where
-        the record arrives already sequenced by the coordinator).
-        """
-        # keep the sequencer ahead of everything applied — a replica that
-        # is later promoted to coordinator must not reuse sequence numbers
-        group.sequencer.fast_forward(record.seqno)
-        if self.config.stateful:
-            group.log.append(record)
-            group.state.apply(record)
-            if self.config.persist:
-                self.emit(AppendWal(group.name, record.seqno, frames.payload_of(record)))
-        delivery = Delivery(group.name, record)
-        targets = [
-            m.conn
-            for m in group.members()
-            if not (mode is DeliveryMode.EXCLUSIVE and m.client_id == record.sender)
-            and m.conn != exclude_conn
-        ]
-        if self.config.use_multicast and len(targets) > 1:
-            self.emit(SendMulticast(tuple(targets), delivery))
-        else:
-            for conn in targets:
-                self.send(conn, delivery)
-        if self.config.stateful and self.config.reduction.should_reduce(
-            group.log, group.state
-        ):
-            self.reduce_group(group)
+        """Apply a sequenced record on *group*'s runtime (compatibility
+        entry point for callers holding a :class:`Group`)."""
+        self.runtimes[group.name].apply_and_deliver(record, mode, exclude_conn)
 
     # ------------------------------------------------------------------
     # locks
@@ -465,26 +422,13 @@ class ServerCore(ProtocolCore):
 
     def _on_acquire_lock(self, conn: ConnId, msg: AcquireLockRequest) -> None:
         client = self._client_of(conn)
-        group = self._group_named(msg.group)
-        group.member(client)  # must be a member
-        outcome = group.locks.acquire(msg.object_id, client, msg.request_id, msg.blocking)
-        if outcome is True:
-            self.send(conn, LockGranted(msg.request_id, msg.group, msg.object_id))
-        elif outcome is False:
-            holder = group.locks.holder(msg.object_id)
-            self._reply_error(
-                conn, msg.request_id,
-                LockHeldError(f"lock on {msg.object_id!r} held by {holder!r}"),
-            )
-        # outcome None: queued; LockGranted follows a future release.
+        runtime = self._runtime_named(msg.group)
+        runtime.group.member(client)  # must be a member
+        runtime.acquire_lock(conn, client, msg)
 
     def _on_release_lock(self, conn: ConnId, msg: ReleaseLockRequest) -> None:
         client = self._client_of(conn)
-        group = self._group_named(msg.group)
-        grant = group.locks.release(msg.object_id, client)
-        self.send(conn, Ack(msg.request_id))
-        if grant is not None:
-            self._send_grant(group, grant)
+        self._runtime_named(msg.group).release_lock(conn, client, msg)
 
     def _send_grant(self, group: Group, grant: LockGrant) -> None:
         conn = self._client_conn.get(grant.client)
@@ -498,28 +442,12 @@ class ServerCore(ProtocolCore):
     def _on_reduce_log(self, conn: ConnId, msg: ReduceLogRequest) -> None:
         client = self._client_of(conn)
         self._authorize(client, GroupAction.REDUCE, msg.group)
-        group = self._group_named(msg.group)
-        self.reduce_group(group)
+        self._runtime_named(msg.group).reduce()
         self.send(conn, Ack(msg.request_id))
 
     def reduce_group(self, group: Group, upto: int | None = None) -> None:
-        """Trim the update history and replace it with the folded state."""
-        tip = group.log.last_seqno if upto is None else min(upto, group.log.last_seqno)
-        if tip < 0 or tip < group.log.first_seqno or not self.config.stateful:
-            return
-        group.state.fold(tip)
-        group.log.trim_to(tip)
-        if self.on_checkpoint is not None:
-            self.on_checkpoint(group.name, tip)
-        if self.config.persist:
-            snapshot = StateSnapshot(
-                group=group.name,
-                base_seqno=tip,
-                objects=group.state.materialize_all(),
-                updates=(),
-                next_seqno=tip + 1,
-            )
-            self.emit(WriteCheckpoint(group.name, tip, frames.payload_of(snapshot)))
+        """Reduce *group*'s runtime (compatibility entry point)."""
+        self.runtimes[group.name].reduce(upto=upto)
 
     # ------------------------------------------------------------------
     # misc

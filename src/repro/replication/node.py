@@ -127,11 +127,19 @@ from repro.wire.messages import (
     ReconcilePolicy,
 )
 
-__all__ = ["ReplicationConfig", "ReplicatedServerCore"]
+__all__ = [
+    "ReplicationConfig",
+    "ReplicatedServerCore",
+    "TIMER_HB_SEND",
+    "TIMER_HB_WATCH",
+    "TIMER_ELECTION",
+]
 
-_HB_SEND = "repl-hb-send"
-_HB_WATCH = "repl-hb-watch"
-_ELECTION = "repl-election"
+#: Timer keys of the replication layer (shared with tests and tooling so
+#: failure-injection scripts can fire them without re-spelling strings).
+TIMER_HB_SEND = "repl-hb-send"
+TIMER_HB_WATCH = "repl-hb-watch"
+TIMER_ELECTION = "repl-election"
 
 
 @dataclass
@@ -163,8 +171,6 @@ class _PendingForward:
 
 class ReplicatedServerCore(ServerCore):
     """A Corona server participating in the replicated service."""
-
-    drops_empty_transient_groups = False  # the coordinator decides globally
 
     def __init__(
         self,
@@ -255,8 +261,6 @@ class ReplicatedServerCore(ServerCore):
             GroupRebase: self._on_group_rebase,
             GroupForked: self._on_group_forked,
         }
-        # the coordinator fast path: distribute locally sequenced bcasts
-        self.on_local_sequence = self._after_local_sequence
 
     # ------------------------------------------------------------------
     # identity helpers
@@ -289,13 +293,13 @@ class ReplicatedServerCore(ServerCore):
     def start(self) -> list:
         """Arm timers and dial the coordinator; host runs this once."""
         if self.is_coordinator:
-            self.emit(StartTimer(_HB_SEND, self.rconfig.heartbeat_interval))
+            self.emit(StartTimer(TIMER_HB_SEND, self.rconfig.heartbeat_interval))
             # the initial coordinator installs every recovered group
             for name in self.groups:
                 self._interest.setdefault(name, set())
         else:
             self._dial(self.coordinator_id)
-            self.emit(StartTimer(_HB_WATCH, self.rconfig.heartbeat_interval))
+            self.emit(StartTimer(TIMER_HB_WATCH, self.rconfig.heartbeat_interval))
         return []
 
     def _dial(self, server_id: str | None) -> None:
@@ -411,11 +415,11 @@ class ReplicatedServerCore(ServerCore):
     # ------------------------------------------------------------------
 
     def handle_timer(self, key: str) -> None:
-        if key == _HB_SEND:
+        if key == TIMER_HB_SEND:
             self._heartbeat_round()
-        elif key == _HB_WATCH:
+        elif key == TIMER_HB_WATCH:
             self._watch_coordinator()
-        elif key == _ELECTION:
+        elif key == TIMER_ELECTION:
             self._start_election()
         else:
             super().handle_timer(key)
@@ -433,7 +437,7 @@ class ReplicatedServerCore(ServerCore):
             last = self._hb_acks.get(sid)
             if last is not None and now - last > self.rconfig.suspicion_timeout:
                 self._coordinator_lost_server(sid)
-        self.emit(StartTimer(_HB_SEND, self.rconfig.heartbeat_interval))
+        self.emit(StartTimer(TIMER_HB_SEND, self.rconfig.heartbeat_interval))
 
     def _on_heartbeat(self, conn: ConnId, msg: Heartbeat) -> None:
         if msg.epoch < self.epoch:
@@ -453,13 +457,13 @@ class ReplicatedServerCore(ServerCore):
             if self.clock.now() - self._last_heartbeat > patience:
                 self._suspects_coordinator = True
                 self._start_election()
-            self.emit(StartTimer(_HB_WATCH, self.rconfig.heartbeat_interval))
+            self.emit(StartTimer(TIMER_HB_WATCH, self.rconfig.heartbeat_interval))
 
     def _schedule_election_attempt(self) -> None:
         position = max(1, self.server_list.position(self.server_id))
         # position-scaled delay: the rightful successor moves first
         delay = self.rconfig.suspicion_timeout * 0.2 * position
-        self.emit(StartTimer(_ELECTION, delay))
+        self.emit(StartTimer(TIMER_ELECTION, delay))
 
     def _coordinator_lost_server(self, server_id: str) -> None:
         """Coordinator-side handling of a dead replica."""
@@ -562,7 +566,7 @@ class ReplicatedServerCore(ServerCore):
         for info in self.server_list.peers_of(self.server_id):
             self._dial(info.server_id)
             self._send_peer(info.server_id, announce)
-        self.emit(StartTimer(_HB_SEND, self.rconfig.heartbeat_interval))
+        self.emit(StartTimer(TIMER_HB_SEND, self.rconfig.heartbeat_interval))
         # remember each group's tip: if this takeover turns out to be one
         # side of a partition, these are the last globally agreed seqnos
         for name, group in self.groups.items():
@@ -997,11 +1001,11 @@ class ReplicatedServerCore(ServerCore):
             ),
         )
 
-    def _after_local_sequence(
-        self, group: Group, record: UpdateRecord, mode: DeliveryMode, conn: ConnId
-    ) -> None:
-        """Coordinator hook: distribute a locally sequenced broadcast."""
-        self._distribute(group.name, record, mode, origin=self.server_id, forward_id=0)
+    def group_sequenced(self, runtime, record, mode, sender_conn) -> None:
+        """Coordinator fast path: distribute a locally sequenced bcast."""
+        self._distribute(
+            runtime.name, record, mode, origin=self.server_id, forward_id=0
+        )
 
     def _on_forward_bcast(self, conn: ConnId, msg: ForwardBcast) -> None:
         if msg.group in self._fetching:
@@ -1155,16 +1159,17 @@ class ReplicatedServerCore(ServerCore):
             merged[member.client_id] = member.info()
         return tuple(merged.values())
 
-    def _remove_member(self, group: Group, client: ClientId) -> None:
-        super()._remove_member(group, client)
+    def group_emptied(self, runtime) -> None:
+        # the transient-death decision is global (the coordinator's), so
+        # the base drop-when-empty behaviour is deliberately not invoked
         if self.is_coordinator:
             return
-        if group.empty and group.name not in self._backup_of:
+        if runtime.name not in self._backup_of:
             # no local members left: stop receiving this group's traffic
             conn = self._coordinator_conn()
             if conn is not None:
-                self.send(conn, GroupInterest(self.server_id, group.name, False, 0))
-            self.groups.pop(group.name, None)
+                self.send(conn, GroupInterest(self.server_id, runtime.name, False, 0))
+            self.runtimes.pop(runtime.name, None)
 
     # ------------------------------------------------------------------
     # hot standby assignment (replica side)
@@ -1297,22 +1302,21 @@ class ReplicatedServerCore(ServerCore):
         self.reduce_group(group)
         self.send(conn, ForwardOutcome(msg.forward_id, True))
 
-    def reduce_group(self, group: Group, upto: int | None = None) -> None:
-        tip = group.log.last_seqno if upto is None else upto
-        super().reduce_group(group, upto=upto)
+    def group_reduced(self, runtime, tip: int) -> None:
         if self.is_coordinator and tip >= 0:
-            order = ReduceOrder(group.name, tip)
-            targets = self._interest.get(group.name, set()) | self._backups.get(
-                group.name, set()
+            order = ReduceOrder(runtime.name, tip)
+            targets = self._interest.get(runtime.name, set()) | self._backups.get(
+                runtime.name, set()
             )
             for server_id in sorted(targets):
                 if server_id != self.server_id:
                     self._send_peer(server_id, order)
 
     def _on_reduce_order(self, conn: ConnId, msg: ReduceOrder) -> None:
-        group = self.groups.get(msg.group)
-        if group is not None:
-            super().reduce_group(group, upto=msg.seqno)
+        runtime = self.runtimes.get(msg.group)
+        if runtime is not None:
+            # group_reduced fires here too, but a replica never relays
+            runtime.reduce(upto=msg.seqno)
 
     # ------------------------------------------------------------------
     # partition reconciliation (paper §4.2)
@@ -1449,7 +1453,7 @@ class ReplicatedServerCore(ServerCore):
         if senior_id is not None:
             self._send_peer(senior_id, ServerHello(self.rconfig.info, new_epoch))
         self._reregister_with_coordinator()
-        self.emit(StartTimer(_HB_WATCH, self.rconfig.heartbeat_interval))
+        self.emit(StartTimer(TIMER_HB_WATCH, self.rconfig.heartbeat_interval))
 
     def _rollback_group(self, group: Group, seqno: int) -> bool:
         """Rewind a branch to *seqno*; False when history is unavailable."""

@@ -23,6 +23,12 @@ from typing import Any, AsyncIterator, Callable
 from repro.core.client import ClientConfig, ClientCore, GroupView, ReplyEvent
 from repro.core.clock import MonotonicClock
 from repro.core.errors import NotConnectedError, RequestTimeoutError
+from repro.core.events import (
+    NOTIFY_CONNECTED,
+    NOTIFY_DISCONNECTED,
+    NOTIFY_ERROR,
+    NOTIFY_REPLY,
+)
 from repro.net.tcp import TcpTransport
 from repro.net.transport import Transport
 from repro.runtime.host import AsyncioHost
@@ -123,20 +129,20 @@ class CoronaClient:
             yield await self._event_queue.get()
 
     def _on_notify(self, kind: str, payload: Any) -> None:
-        if kind == "connected":
+        if kind == NOTIFY_CONNECTED:
             if not self._connected.done():
                 self._connected.set_result(payload)
             return
-        if kind == "reply":
+        if kind == NOTIFY_REPLY:
             self._resolve(payload)
             return
-        if kind == "error" and not self._connected.done():
+        if kind == NOTIFY_ERROR and not self._connected.done():
             self._connected.set_exception(payload)
             return
         for callback in self._callbacks.get(kind, []):
             callback(payload)
         self._event_queue.put_nowait((kind, payload))
-        if kind == "disconnected" and not self._connected.done():
+        if kind == NOTIFY_DISCONNECTED and not self._connected.done():
             self._connected.set_exception(NotConnectedError("server refused"))
 
     def _resolve(self, reply: ReplyEvent) -> None:

@@ -1,8 +1,12 @@
 """Asyncio host: runs a sans-io protocol core over real transports.
 
 The production counterpart of :class:`repro.sim.host.SimHost`: it feeds
-connection/timer events into a core and executes the effects the core
-returns.  Ordering guarantees:
+connection/timer events into a core and hands the effects the core
+returns to the shared :class:`~repro.core.interpreter.EffectInterpreter`.
+This class is only the :class:`~repro.core.interpreter.EffectBackend` —
+sockets, asyncio timers, and the GroupStore; dispatch semantics (drop
+counting, batching, the TruncateWal contract) live in the interpreter
+and are identical under simulation.  Ordering guarantees:
 
 * effects from one input event are executed in emission order;
 * messages to one connection are written by a dedicated writer task fed
@@ -18,25 +22,15 @@ from __future__ import annotations
 
 import asyncio
 import logging
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from repro.core.clock import Clock, MonotonicClock
-from repro.core.events import (
-    AppendWal,
-    CancelTimer,
-    CloseConnection,
-    CreateGroupStorage,
-    Effect,
-    Notify,
-    OpenConnection,
-    ProtocolCore,
-    PurgeGroupStorage,
-    SendMessage,
-    SendMulticast,
-    ShutDown,
-    StartTimer,
-    TruncateWal,
-    WriteCheckpoint,
+from repro.core.events import Effect, ProtocolCore
+from repro.core.interpreter import (
+    DispatchStats,
+    EffectBackend,
+    Middleware,
+    build_interpreter,
 )
 from repro.net.transport import Connection, Listener, Transport
 from repro.storage.store import GroupStore
@@ -46,7 +40,7 @@ __all__ = ["AsyncioHost"]
 logger = logging.getLogger("repro.runtime")
 
 
-class AsyncioHost:
+class AsyncioHost(EffectBackend):
     """Drives one protocol core on the running asyncio event loop."""
 
     def __init__(
@@ -56,11 +50,13 @@ class AsyncioHost:
         clock: Clock | None = None,
         store: GroupStore | None = None,
         flush_interval: float | None = 0.2,
+        middlewares: Iterable[Middleware] = (),
     ) -> None:
         self.core = core
         self.transport = transport
         self.clock = clock or MonotonicClock()
         self.store = store
+        self.interpreter = build_interpreter(self, middlewares)
         self._flush_interval = flush_interval
         self._conns: dict[int, Connection] = {}
         self._outboxes: dict[int, asyncio.Queue] = {}
@@ -68,16 +64,22 @@ class AsyncioHost:
         self._timers: dict[str, asyncio.TimerHandle] = {}
         self._next_conn = 0
         self._listener: Listener | None = None
-        self._notify_handler: Callable[[str, Any], None] | None = None
+        self._notify_handlers: list[Callable[[str, Any], None]] = []
         self._stopped = asyncio.Event()
+
+    @property
+    def dispatch_stats(self) -> DispatchStats:
+        """Effect counters (sends, drops, timers, WAL ops, ...)."""
+        return self.interpreter.stats
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
     def on_notify(self, handler: Callable[[str, Any], None]) -> None:
-        """Register the application callback for ``Notify`` effects."""
-        self._notify_handler = handler
+        """Register an application callback for ``Notify`` effects
+        (multiple handlers are all invoked, in registration order)."""
+        self._notify_handlers.append(handler)
 
     async def listen(self, address: Any) -> Any:
         """Accept inbound connections at *address*; returns the bound
@@ -98,6 +100,9 @@ class AsyncioHost:
         self._timers.clear()
         for conn in list(self._conns.values()):
             await conn.close()
+        # a ShutDown effect runs stop() as a tracked task: it must not
+        # cancel (and then await) itself
+        self._tasks.discard(asyncio.current_task())
         for task in list(self._tasks):
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
@@ -118,58 +123,95 @@ class AsyncioHost:
         return result
 
     def dispatch(self, effects: list[Effect]) -> None:
-        for effect in effects:
-            self._execute(effect)
-
-    def _execute(self, effect: Effect) -> None:
-        if isinstance(effect, SendMessage):
-            outbox = self._outboxes.get(effect.conn)
-            if outbox is not None:
-                outbox.put_nowait(effect.message)
-        elif isinstance(effect, SendMulticast):
-            # TCP has no multicast: degrade to a unicast loop (the
-            # paper's "point-to-point whenever IP-multicast is not
-            # available")
-            for conn_id in effect.conns:
-                outbox = self._outboxes.get(conn_id)
-                if outbox is not None:
-                    outbox.put_nowait(effect.message)
-        elif isinstance(effect, StartTimer):
-            self._start_timer(effect.key, effect.delay)
-        elif isinstance(effect, CancelTimer):
-            handle = self._timers.pop(effect.key, None)
-            if handle is not None:
-                handle.cancel()
-        elif isinstance(effect, OpenConnection):
-            self._spawn(self._dial(effect.address, effect.key))
-        elif isinstance(effect, CloseConnection):
-            conn = self._conns.get(effect.conn)
-            if conn is not None:
-                self._spawn(conn.close())
-        elif isinstance(effect, CreateGroupStorage):
-            if self.store is not None and not self.store.has_group(effect.group):
-                self.store.create_group(effect.group, effect.meta)
-        elif isinstance(effect, PurgeGroupStorage):
-            if self.store is not None:
-                self.store.delete_group(effect.group)
-        elif isinstance(effect, AppendWal):
-            if self.store is not None:
-                self.store.append(effect.group, effect.seqno, effect.record)
-        elif isinstance(effect, WriteCheckpoint):
-            if self.store is not None:
-                self.store.checkpoint(effect.group, effect.seqno, effect.snapshot)
-        elif isinstance(effect, TruncateWal):
-            pass  # GroupStore.checkpoint already rotates segments
-        elif isinstance(effect, Notify):
-            if self._notify_handler is not None:
-                self._notify_handler(effect.kind, effect.payload)
-        elif isinstance(effect, ShutDown):
-            self._spawn(self.stop())
-        else:
-            raise TypeError(f"unknown effect {effect!r}")
+        self.interpreter.execute(effects)
 
     # ------------------------------------------------------------------
-    # connections
+    # EffectBackend: sends
+    # ------------------------------------------------------------------
+
+    def deliver(self, conn: int, message: Any) -> bool:
+        outbox = self._outboxes.get(conn)
+        if outbox is None:
+            return False
+        outbox.put_nowait(message)
+        return True
+
+    # deliver_batch: the base per-message loop is already optimal here —
+    # the writer task coalesces everything queued behind one connection
+    # into a single send_many flush.
+
+    # TCP has no multicast, so deliver_multicast degrades to the base
+    # unicast loop (the paper's "point-to-point whenever IP-multicast is
+    # not available").
+
+    # ------------------------------------------------------------------
+    # EffectBackend: timers
+    # ------------------------------------------------------------------
+
+    def start_timer(self, key: str, delay: float) -> None:
+        existing = self._timers.pop(key, None)
+        if existing is not None:
+            existing.cancel()
+        loop = asyncio.get_running_loop()
+        self._timers[key] = loop.call_later(delay, self._fire_timer, key)
+
+    def cancel_timer(self, key: str) -> None:
+        handle = self._timers.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _fire_timer(self, key: str) -> None:
+        self._timers.pop(key, None)
+        self.dispatch(self.core.on_timer(key))
+
+    # ------------------------------------------------------------------
+    # EffectBackend: connections
+    # ------------------------------------------------------------------
+
+    def open_connection(self, address: Any, key: str) -> None:
+        self._spawn(self._dial(address, key))
+
+    def close_connection(self, conn: int) -> None:
+        connection = self._conns.get(conn)
+        if connection is not None:
+            self._spawn(connection.close())
+
+    # ------------------------------------------------------------------
+    # EffectBackend: storage
+    # ------------------------------------------------------------------
+
+    def create_group_storage(self, group: str, meta: bytes) -> None:
+        if self.store is not None and not self.store.has_group(group):
+            self.store.create_group(group, meta)
+
+    def purge_group_storage(self, group: str) -> None:
+        if self.store is not None:
+            self.store.delete_group(group)
+
+    def append_wal(self, group: str, seqno: int, record: bytes) -> None:
+        if self.store is not None:
+            self.store.append(group, seqno, record)
+
+    def write_checkpoint(self, group: str, seqno: int, snapshot: bytes) -> None:
+        if self.store is not None:
+            self.store.checkpoint(group, seqno, snapshot)
+
+    # truncate_wal: inherited no-op — GroupStore.checkpoint already
+    # rotates segments (see the EffectBackend contract).
+
+    # ------------------------------------------------------------------
+    # EffectBackend: notify and lifecycle
+    # ------------------------------------------------------------------
+
+    def notify(self, kind: str, payload: Any) -> None:
+        for handler in self._notify_handlers:
+            handler(kind, payload)
+
+    def shutdown(self, reason: str) -> None:
+        self._spawn(self.stop())
+
+    # ------------------------------------------------------------------
+    # connections (transport side)
     # ------------------------------------------------------------------
 
     def adopt_connection(self, conn: Connection, key: str = "") -> int:
@@ -256,19 +298,8 @@ class AsyncioHost:
         self.dispatch(self.core.on_closed(conn_id))
 
     # ------------------------------------------------------------------
-    # timers and background work
+    # background work
     # ------------------------------------------------------------------
-
-    def _start_timer(self, key: str, delay: float) -> None:
-        existing = self._timers.pop(key, None)
-        if existing is not None:
-            existing.cancel()
-        loop = asyncio.get_running_loop()
-        self._timers[key] = loop.call_later(delay, self._fire_timer, key)
-
-    def _fire_timer(self, key: str) -> None:
-        self._timers.pop(key, None)
-        self.dispatch(self.core.on_timer(key))
 
     async def _flush_loop(self) -> None:
         assert self.store is not None and self._flush_interval

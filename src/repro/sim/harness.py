@@ -17,10 +17,21 @@ kernel, and asserting on the recorded events and host statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from repro.analysis.tracecheck import TraceEvent
 from repro.core.client import ClientConfig, ClientCore, DeliveryEvent, ReplyEvent
+from repro.core.events import (
+    NOTIFY_CONNECTED,
+    NOTIFY_DELIVERY,
+    NOTIFY_FORKED,
+    NOTIFY_REBASED,
+    NOTIFY_REJOINED,
+    NOTIFY_REPLY,
+    Effect,
+    Notify,
+)
+from repro.core.interpreter import Middleware
 from repro.core.server import ServerConfig, ServerCore
 from repro.replication.node import ReplicatedServerCore, ReplicationConfig
 from repro.wire.messages import ServerInfo
@@ -37,6 +48,45 @@ from repro.sim.profiles import (
 from repro.storage.store import GroupStore
 
 __all__ = ["PendingCall", "SimClient", "SimServer", "CoronaWorld"]
+
+
+def _client_trace_middleware(
+    kernel: SimKernel, client_id: str, trace: list[TraceEvent]
+) -> Middleware:
+    """Record deliver/reset trace events as ``Notify`` effects dispatch.
+
+    Installed in the client host's interpreter stack (see
+    :mod:`repro.core.interpreter`), so recording happens inside effect
+    dispatch rather than in application notify handlers: untraced worlds
+    pay nothing, and no handler can forget to record.  Observation only —
+    the effect passes through unchanged.
+    """
+
+    def middleware(effect: Effect, nxt: Callable[[Effect], None]) -> None:
+        if type(effect) is Notify:
+            now = kernel.now()
+            if effect.kind == NOTIFY_DELIVERY:
+                record = effect.payload.record
+                trace.append(TraceEvent(
+                    kind="deliver", time=now, process=client_id,
+                    group=effect.payload.group, sender=record.sender,
+                    seqno=record.seqno, object_id=record.object_id,
+                    payload=record.data,
+                ))
+            elif effect.kind in (NOTIFY_REJOINED, NOTIFY_REBASED, NOTIFY_FORKED):
+                # The service rewrote or re-sent history for this group: a
+                # new tracecheck epoch starts at the receiver.
+                group = (
+                    effect.payload[0]
+                    if effect.kind == NOTIFY_FORKED
+                    else effect.payload.name
+                )
+                trace.append(TraceEvent(
+                    kind="reset", time=now, process=client_id, group=group,
+                ))
+        nxt(effect)
+
+    return middleware
 
 
 @dataclass
@@ -111,31 +161,18 @@ class SimClient:
         return self.host.host_id
 
     def _on_notify(self, kind: str, payload: Any) -> None:
+        # deliver/reset trace recording lives in _client_trace_middleware,
+        # inside the host's effect-dispatch stack.
         now = self.kernel.now()
         self.events.append((now, kind, payload))
-        if kind == "connected":
+        if kind == NOTIFY_CONNECTED:
             self.connected_at = now
-        elif kind == "delivery":
+        elif kind == NOTIFY_DELIVERY:
             self.deliveries.append((now, payload))
-            if self._trace is not None:
-                record = payload.record
-                self._trace.append(TraceEvent(
-                    kind="deliver", time=now, process=self.client_id,
-                    group=payload.group, sender=record.sender,
-                    seqno=record.seqno, object_id=record.object_id,
-                    payload=record.data,
-                ))
-        elif kind == "reply":
+        elif kind == NOTIFY_REPLY:
             call = self._calls.pop(payload.request_id, None)
             if call is not None:
                 call.reply = payload
-        elif kind in ("rejoined", "rebased", "forked") and self._trace is not None:
-            # The service rewrote or re-sent history for this group: a new
-            # tracecheck epoch starts at the receiver.
-            group = payload[0] if kind == "forked" else payload.name
-            self._trace.append(TraceEvent(
-                kind="reset", time=now, process=self.client_id, group=group,
-            ))
 
     def connect(self, server_host: str) -> None:
         """Dial *server_host* (takes effect inside the simulation)."""
@@ -315,7 +352,15 @@ class CoronaWorld:
             host_id = f"client-{self._client_seq}"
             self._client_seq += 1
         client_id = client_id or host_id
-        host = SimHost(self.kernel, self.network, host_id, segment, profile)
+        middlewares: tuple[Middleware, ...] = ()
+        if self.trace is not None:
+            middlewares = (
+                _client_trace_middleware(self.kernel, client_id, self.trace),
+            )
+        host = SimHost(
+            self.kernel, self.network, host_id, segment, profile,
+            middlewares=middlewares,
+        )
         core = ClientCore(
             ClientConfig(
                 client_id=client_id, request_timeout=request_timeout,

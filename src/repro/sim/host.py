@@ -2,9 +2,14 @@
 
 A :class:`SimHost` owns a protocol core and plays the same role the asyncio
 runtime plays in production: it feeds network/timer events into the core
-and executes the effects the core returns.  On top of that it charges
-virtual CPU time for every message handled and sent, so server saturation —
-the phenomenon behind the paper's linear delay curves — emerges naturally.
+and hands the effects the core returns to the shared
+:class:`~repro.core.interpreter.EffectInterpreter`.  This class is only
+the :class:`~repro.core.interpreter.EffectBackend` — virtual CPU, network
+channels, the simulated disk; dispatch semantics (drop counting,
+batching, the TruncateWal contract) live in the interpreter and are
+identical under the asyncio runtime.  On top of that it charges virtual
+CPU time for every message handled and sent, so server saturation — the
+phenomenon behind the paper's linear delay curves — emerges naturally.
 
 CPU model: a single FIFO server.  Handling an arrived message occupies the
 CPU for ``recv_cost(size)``; the core's handler then runs (its logic cost
@@ -31,24 +36,14 @@ simulated crashes exercise genuine recovery code against genuine files.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Sequence
 
-from repro.core.events import (
-    AppendWal,
-    CancelTimer,
-    CloseConnection,
-    CreateGroupStorage,
-    Effect,
-    Notify,
-    OpenConnection,
-    ProtocolCore,
-    PurgeGroupStorage,
-    SendMessage,
-    SendMulticast,
-    ShutDown,
-    StartTimer,
-    TruncateWal,
-    WriteCheckpoint,
+from repro.core.events import Effect, ProtocolCore
+from repro.core.interpreter import (
+    DispatchStats,
+    EffectBackend,
+    Middleware,
+    build_interpreter,
 )
 from repro.sim.disk import SimDisk
 from repro.sim.kernel import EventHandle, SimKernel
@@ -73,7 +68,7 @@ class HostStats:
     notifications: int = 0
 
 
-class SimHost:
+class SimHost(EffectBackend):
     """One simulated machine running one protocol core."""
 
     def __init__(
@@ -85,6 +80,7 @@ class SimHost:
         profile: HostProfile,
         store: GroupStore | None = None,
         sync_logging: bool = False,
+        middlewares: Iterable[Middleware] = (),
     ) -> None:
         self.kernel = kernel
         self.network = network
@@ -95,6 +91,7 @@ class SimHost:
         self.sync_logging = sync_logging
         self.disk = SimDisk(kernel, profile.disk)
         self.stats = HostStats()
+        self.interpreter = build_interpreter(self, middlewares)
         self.core: ProtocolCore | None = None
         self.alive = True
         self._cpu_free = 0.0
@@ -113,6 +110,11 @@ class SimHost:
         """Register an application callback for ``Notify`` effects
         (multiple handlers are all invoked, in registration order)."""
         self._notify_handlers.append(handler)
+
+    @property
+    def dispatch_stats(self) -> DispatchStats:
+        """Effect counters (sends, drops, timers, WAL ops, ...)."""
+        return self.interpreter.stats
 
     # -- CPU accounting ------------------------------------------------------
 
@@ -147,7 +149,7 @@ class SimHost:
         effects = list(action() or [])
         if self.core is not None:
             effects.extend(self.core.drain())
-        self._execute(effects)
+        self.interpreter.execute(effects)
 
     # -- HostAdapter interface (called by the network) ----------------------------
 
@@ -159,8 +161,7 @@ class SimHost:
         self._channels[conn] = channel
         self._conn_ids[channel.channel_id] = conn
         peer = channel.peer_of(self.host_id)
-        effects = self.core.on_connected(conn, peer=peer, key=key)
-        self._execute(effects)
+        self.interpreter.execute(self.core.on_connected(conn, peer=peer, key=key))
 
     def network_connect_failed(self, peer: str, key: str) -> None:
         if not self.alive or self.core is None:
@@ -168,9 +169,8 @@ class SimHost:
         # Surface dial failure as an immediately-closed connection.
         conn = self._next_conn
         self._next_conn += 1
-        effects = self.core.on_connected(conn, peer=peer, key=key)
-        self._execute(effects)
-        self._execute(self.core.on_closed(conn))
+        self.interpreter.execute(self.core.on_connected(conn, peer=peer, key=key))
+        self.interpreter.execute(self.core.on_closed(conn))
 
     def network_message(self, channel: Channel, message: Any, size: int) -> None:
         if not self.alive or self.core is None:
@@ -185,7 +185,7 @@ class SimHost:
 
     def _handle_message(self, conn: int, message: Any) -> None:
         if self.alive and self.core is not None and conn in self._channels:
-            self._execute(self.core.on_message(conn, message))
+            self.interpreter.execute(self.core.on_message(conn, message))
 
     def network_closed(self, channel: Channel) -> None:
         if not self.alive or self.core is None:
@@ -207,132 +207,74 @@ class SimHost:
         if conn is None:
             return
         self._channels.pop(conn, None)
-        self._execute(self.core.on_closed(conn))
+        self.interpreter.execute(self.core.on_closed(conn))
 
-    # -- effect execution ------------------------------------------------------
+    # -- EffectBackend: sends ---------------------------------------------------
 
-    def _execute(self, effects: list[Effect]) -> None:
-        i = 0
-        n = len(effects)
-        while i < n:
-            effect = effects[i]
-            if isinstance(effect, SendMessage):
-                # Coalesce the run of sends to this same connection into
-                # one batch: one CPU occupancy for the whole flush.
-                j = i + 1
-                while (
-                    j < n
-                    and isinstance(effects[j], SendMessage)
-                    and effects[j].conn == effect.conn
-                ):
-                    j += 1
-                self._do_send_batch(effects[i:j])
-                i = j
-                continue
-            self._execute_one(effect)
-            i += 1
+    def deliver(self, conn: int, message: Any) -> bool:
+        channel = self._channels.get(conn)
+        if channel is None:
+            return False  # connection already gone; fail-stop semantics
+        size = frames.frame_size(message)
+        done = self._occupy_cpu(self.profile.send_cost(size))
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size
+        self.kernel.schedule_at(done, self._enter_network, channel, [(message, size)])
+        return True
 
-    def _execute_one(self, effect: Effect) -> None:
-        if isinstance(effect, SendMulticast):
-            self._do_send_multicast(effect)
-        elif isinstance(effect, StartTimer):
-            self._do_start_timer(effect)
-        elif isinstance(effect, CancelTimer):
-            handle = self._timers.pop(effect.key, None)
-            if handle is not None:
-                handle.cancel()
-        elif isinstance(effect, CreateGroupStorage):
-            self.disk.write(len(effect.meta))
-            if self.store is not None and not self.store.has_group(effect.group):
-                self.store.create_group(effect.group, effect.meta)
-        elif isinstance(effect, PurgeGroupStorage):
-            if self.store is not None:
-                self.store.delete_group(effect.group)
-        elif isinstance(effect, AppendWal):
-            self._do_append_wal(effect)
-        elif isinstance(effect, WriteCheckpoint):
-            self.disk.write(len(effect.snapshot))
-            if self.store is not None:
-                self.store.checkpoint(effect.group, effect.seqno, effect.snapshot)
-        elif isinstance(effect, TruncateWal):
-            pass  # GroupStore.checkpoint already rotates segments
-        elif isinstance(effect, Notify):
-            self.stats.notifications += 1
-            for handler in self._notify_handlers:
-                handler(effect.kind, effect.payload)
-        elif isinstance(effect, OpenConnection):
-            # Addresses are (host, port) in production; the simulator
-            # routes purely by host id.
-            address = effect.address
-            target = address[0] if isinstance(address, tuple) else str(address)
-            self.network.connect(self.host_id, target, effect.key)
-        elif isinstance(effect, CloseConnection):
-            # close after already-queued writes have entered the
-            # network (TCP flushes buffered data before FIN)
-            self.kernel.schedule_at(
-                max(self.kernel.now(), self._cpu_free),
-                self._do_close,
-                effect.conn,
-            )
-        elif isinstance(effect, ShutDown):
-            self.crash()
-        else:
-            raise TypeError(f"unknown effect {effect!r}")
-
-    def _do_close(self, conn: int) -> None:
-        channel = self._channels.pop(conn, None)
-        if channel is not None:
-            self._conn_ids.pop(channel.channel_id, None)
-            self.network.close(channel, self.host_id)
-
-    def _do_send_batch(self, batch: list[SendMessage]) -> None:
-        """Charge one CPU occupancy for a run of sends to one connection.
+    def deliver_batch(self, conn: int, messages: list[Any]) -> bool:
+        """One CPU occupancy for a run of sends to one connection.
 
         The batch costs ``send_cost(total frame bytes)`` — batching saves
         the per-flush overhead, never the per-byte cost — and the frames
         still enter the network individually, in order.
         """
-        channel = self._channels.get(batch[0].conn)
+        channel = self._channels.get(conn)
         if channel is None:
-            return  # connection already gone; fail-stop semantics
-        sized = [(e.message, frames.frame_size(e.message)) for e in batch]
+            return False
+        sized = [(message, frames.frame_size(message)) for message in messages]
         total = sum(size for _m, size in sized)
         done = self._occupy_cpu(self.profile.send_cost(total))
         self.stats.messages_sent += len(sized)
         self.stats.bytes_sent += total
         self.kernel.schedule_at(done, self._enter_network, channel, sized)
+        return True
 
     def _enter_network(self, channel: Channel, sized: list[tuple[Any, int]]) -> None:
         if self.alive:
             for message, size in sized:
                 self.network.send(channel, self.host_id, message, size)
 
-    def _do_send_multicast(self, effect: SendMulticast) -> None:
-        channels = [
-            self._channels[conn] for conn in effect.conns if conn in self._channels
-        ]
+    def deliver_multicast(self, conns: Sequence[int], message: Any) -> int:
+        channels = [self._channels[conn] for conn in conns if conn in self._channels]
         if not channels:
-            return
-        size = frames.frame_size(effect.message)
+            return 0
+        size = frames.frame_size(message)
         # one serialization on the CPU, however many receivers
         done = self._occupy_cpu(self.profile.send_cost(size))
         self.stats.messages_sent += len(channels)
         self.stats.bytes_sent += size
         self.kernel.schedule_at(
-            done, self._enter_network_multicast, channels, effect.message, size
+            done, self._enter_network_multicast, channels, message, size
         )
+        return len(channels)
 
     def _enter_network_multicast(self, channels: list, message: Any, size: int) -> None:
         if self.alive:
             self.network.multicast(self.host_id, channels, message, size)
 
-    def _do_start_timer(self, effect: StartTimer) -> None:
-        existing = self._timers.pop(effect.key, None)
+    # -- EffectBackend: timers --------------------------------------------------
+
+    def start_timer(self, key: str, delay: float) -> None:
+        existing = self._timers.pop(key, None)
         if existing is not None:
             existing.cancel()
-        self._timers[effect.key] = self.kernel.schedule(
-            effect.delay, self._fire_timer, effect.key
-        )
+        self._timers[key] = self.kernel.schedule(delay, self._fire_timer, key)
+
+    def cancel_timer(self, key: str) -> None:
+        handle = self._timers.pop(key, None)
+        if handle is not None:
+            handle.cancel()
 
     def _fire_timer(self, key: str) -> None:
         self._timers.pop(key, None)
@@ -343,19 +285,69 @@ class SimHost:
 
     def _run_timer_handler(self, key: str) -> None:
         if self.alive and self.core is not None:
-            self._execute(self.core.on_timer(key))
+            self.interpreter.execute(self.core.on_timer(key))
 
-    def _do_append_wal(self, effect: AppendWal) -> None:
+    # -- EffectBackend: connections ---------------------------------------------
+
+    def open_connection(self, address: Any, key: str) -> None:
+        # Addresses are (host, port) in production; the simulator
+        # routes purely by host id.
+        target = address[0] if isinstance(address, tuple) else str(address)
+        self.network.connect(self.host_id, target, key)
+
+    def close_connection(self, conn: int) -> None:
+        # close after already-queued writes have entered the
+        # network (TCP flushes buffered data before FIN)
+        self.kernel.schedule_at(
+            max(self.kernel.now(), self._cpu_free), self._do_close, conn
+        )
+
+    def _do_close(self, conn: int) -> None:
+        channel = self._channels.pop(conn, None)
+        if channel is not None:
+            self._conn_ids.pop(channel.channel_id, None)
+            self.network.close(channel, self.host_id)
+
+    # -- EffectBackend: storage -------------------------------------------------
+
+    def create_group_storage(self, group: str, meta: bytes) -> None:
+        self.disk.write(len(meta))
+        if self.store is not None and not self.store.has_group(group):
+            self.store.create_group(group, meta)
+
+    def purge_group_storage(self, group: str) -> None:
+        if self.store is not None:
+            self.store.delete_group(group)
+
+    def append_wal(self, group: str, seqno: int, record: bytes) -> None:
         self.stats.wal_appends += 1
         self._occupy_cpu(self.profile.log_overhead)
         # the write is issued when the CPU gets to it, which under load is
         # later than the current event time
-        done = self.disk.write(len(effect.record) + 8, earliest=self._cpu_free)
+        done = self.disk.write(len(record) + 8, earliest=self._cpu_free)
         if self.sync_logging:
             # Synchronous durability: the CPU path stalls for the write.
             self._cpu_free = max(self._cpu_free, done)
         if self.store is not None:
-            self.store.append(effect.group, effect.seqno, effect.record)
+            self.store.append(group, seqno, record)
+
+    def write_checkpoint(self, group: str, seqno: int, snapshot: bytes) -> None:
+        self.disk.write(len(snapshot))
+        if self.store is not None:
+            self.store.checkpoint(group, seqno, snapshot)
+
+    # truncate_wal: inherited no-op — GroupStore.checkpoint already
+    # rotates segments (see the EffectBackend contract).
+
+    # -- EffectBackend: notify and lifecycle --------------------------------------
+
+    def notify(self, kind: str, payload: Any) -> None:
+        self.stats.notifications += 1
+        for handler in self._notify_handlers:
+            handler(kind, payload)
+
+    def shutdown(self, reason: str) -> None:
+        self.crash()
 
     # -- failure injection ------------------------------------------------------
 

@@ -253,3 +253,59 @@ def test_shipped_tree_is_clean():
     root = Path(__file__).resolve().parents[2]
     config = load_config(root / "pyproject.toml")
     assert lint_paths([root / "src"], config) == []
+
+
+class TestEFF001EffectDispatch:
+    def test_fires_on_isinstance_if_chain(self):
+        src = (
+            "from repro.core.events import SendMessage, StartTimer\n\n"
+            "def execute(effect):\n"
+            "    if isinstance(effect, SendMessage):\n"
+            "        send(effect)\n"
+            "    elif isinstance(effect, StartTimer):\n"
+            "        arm(effect)\n"
+        )
+        assert rule_ids(src).count("EFF001") == 2
+
+    def test_fires_on_tuple_of_effect_types(self):
+        src = (
+            "from repro.core.events import CancelTimer, StartTimer\n\n"
+            "def is_timer(effect):\n"
+            "    return 1 if isinstance(effect, (StartTimer, CancelTimer)) else 0\n"
+        )
+        assert rule_ids(src).count("EFF001") == 2
+
+    def test_fires_on_module_attribute_access(self):
+        src = (
+            "from repro.core import events\n\n"
+            "def execute(effect):\n"
+            "    if isinstance(effect, events.ShutDown):\n"
+            "        stop()\n"
+        )
+        assert "EFF001" in rule_ids(src)
+
+    def test_silent_on_filter_comprehension(self):
+        src = (
+            "from repro.core.events import SendMessage\n\n"
+            "def sends(effects):\n"
+            "    return [e for e in effects if isinstance(e, SendMessage)]\n"
+        )
+        assert rule_ids(src) == []
+
+    def test_silent_on_non_effect_isinstance(self):
+        src = (
+            "from repro.wire.messages import Ack\n\n"
+            "def handle(message):\n"
+            "    if isinstance(message, Ack):\n"
+            "        return True\n"
+        )
+        assert rule_ids(src) == []
+
+    def test_silent_in_interpreter_module(self):
+        src = (
+            "from repro.core.events import SendMessage\n\n"
+            "def dispatch(effect):\n"
+            "    if isinstance(effect, SendMessage):\n"
+            "        deliver(effect)\n"
+        )
+        assert rule_ids(src, path="src/repro/core/interpreter.py") == []

@@ -1,0 +1,163 @@
+"""Host parity: one effect script, two backends, identical semantics.
+
+The asyncio runtime and the simulator share a single dispatch
+implementation (repro.core.interpreter); these tests push the same effect
+script through both and assert the observable outcomes match: dispatch
+counters, notify events, recovered on-disk state, and timer behavior
+(re-arm, cancel-missing).
+"""
+
+import asyncio
+
+from repro.core.events import (
+    AppendWal,
+    CancelTimer,
+    CreateGroupStorage,
+    Notify,
+    ProtocolCore,
+    SendMessage,
+    SendMulticast,
+    ShutDown,
+    StartTimer,
+    TruncateWal,
+    WriteCheckpoint,
+)
+from repro.net.memory import MemoryNetwork
+from repro.runtime.host import AsyncioHost
+from repro.sim.host import SimHost
+from repro.sim.kernel import SimKernel
+from repro.sim.network import SimNetwork
+from repro.sim.profiles import ETHERNET_10MBPS, ULTRASPARC_1
+from repro.storage.store import GroupStore
+from repro.wire.messages import Ack
+
+
+def effect_script():
+    """The ISSUE's parity script: re-arm, cancel-missing, dead-conn sends,
+    the WAL lifecycle, a notification, and shutdown."""
+    return [
+        StartTimer("t", 5.0),
+        StartTimer("t", 9.0),            # re-arm: one pending firing
+        CancelTimer("missing"),          # cancel-missing: no-op
+        SendMessage(99, Ack(1)),         # dead connection: counted drop
+        SendMulticast((98, 99), Ack(2)),  # all receivers dead
+        CreateGroupStorage("g", b"meta"),
+        AppendWal("g", 0, b"rec-0"),
+        AppendWal("g", 1, b"rec-1"),
+        WriteCheckpoint("g", 1, b"snap"),
+        TruncateWal("g", 1),             # already rotated by checkpoint
+        Notify("parity", 7),
+        ShutDown("script done"),
+    ]
+
+
+class TimerCore(ProtocolCore):
+    def __init__(self):
+        super().__init__()
+        self.fired = []
+
+    def handle_timer(self, key):
+        self.fired.append(key)
+
+
+def run_script_on_asyncio(tmp_path):
+    events = []
+
+    async def main():
+        host = AsyncioHost(
+            TimerCore(), MemoryNetwork(), store=GroupStore(tmp_path)
+        )
+        host.on_notify(lambda kind, payload: events.append((kind, payload)))
+        host.dispatch(effect_script())
+        await host.wait_stopped()
+        host.store.close()
+        return host
+
+    host = asyncio.run(main())
+    return host.dispatch_stats, events, GroupStore(tmp_path).recover("g")
+
+
+def run_script_on_sim(tmp_path):
+    kernel = SimKernel()
+    network = SimNetwork(kernel)
+    network.add_segment(
+        "lan", ETHERNET_10MBPS.bytes_per_sec, ETHERNET_10MBPS.latency
+    )
+    host = SimHost(
+        kernel, network, "h", "lan", ULTRASPARC_1, store=GroupStore(tmp_path)
+    )
+    host.set_core(TimerCore())
+    events = []
+    host.on_notify(lambda kind, payload: events.append((kind, payload)))
+    host.interpreter.execute(effect_script())
+    kernel.run()
+    return host.dispatch_stats, events, GroupStore(tmp_path).recover("g")
+
+
+class TestEffectScriptParity:
+    def test_identical_outcomes_on_both_backends(self, tmp_path):
+        a_stats, a_events, a_rec = run_script_on_asyncio(tmp_path / "a")
+        s_stats, s_events, s_rec = run_script_on_sim(tmp_path / "s")
+
+        # DispatchStats is a dataclass: one comparison covers every counter.
+        assert a_stats == s_stats
+        assert a_events == s_events == [("parity", 7)]
+        assert (a_rec.meta, a_rec.checkpoint_seqno, a_rec.snapshot, a_rec.records) \
+            == (s_rec.meta, s_rec.checkpoint_seqno, s_rec.snapshot, s_rec.records)
+
+    def test_script_counters_match_the_contract(self, tmp_path):
+        stats, _events, recovered = run_script_on_sim(tmp_path)
+        assert stats.timers_started == 2
+        assert stats.timers_cancelled == 1
+        assert stats.sends == 0 and stats.send_drops == 1
+        assert stats.multicast_fanout == 0 and stats.multicast_drops == 2
+        assert stats.storage_creates == 1
+        assert stats.wal_appends == 2
+        assert stats.checkpoints == 1
+        assert stats.wal_truncates == 1
+        assert stats.notifications == 1
+        assert stats.shutdowns == 1
+        # checkpoint rotated the WAL, so TruncateWal had nothing left to do
+        assert recovered.checkpoint_seqno == 1
+        assert recovered.snapshot == b"snap"
+        assert recovered.records == []
+
+
+class TestTimerParity:
+    def test_rearm_fires_once_with_latest_delay(self, tmp_path):
+        # asyncio
+        async def main():
+            core = TimerCore()
+            host = AsyncioHost(core, MemoryNetwork())
+            host.dispatch([
+                StartTimer("t", 0.01),
+                StartTimer("t", 0.04),
+                CancelTimer("missing"),
+            ])
+            await asyncio.sleep(0.02)
+            early = list(core.fired)
+            await asyncio.sleep(0.06)
+            await host.stop()
+            return early, core.fired
+
+        early, fired = asyncio.run(main())
+        assert early == [] and fired == ["t"]
+
+        # simulator
+        kernel = SimKernel()
+        network = SimNetwork(kernel)
+        network.add_segment(
+            "lan", ETHERNET_10MBPS.bytes_per_sec, ETHERNET_10MBPS.latency
+        )
+        host = SimHost(kernel, network, "h", "lan", ULTRASPARC_1)
+        core = TimerCore()
+        host.set_core(core)
+        host.interpreter.execute([
+            StartTimer("t", 0.01),
+            StartTimer("t", 0.04),
+            CancelTimer("missing"),
+        ])
+        kernel.run_until(0.02)
+        assert core.fired == []
+        kernel.run()
+        assert core.fired == ["t"]
