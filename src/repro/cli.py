@@ -50,20 +50,31 @@ def server_main(argv: list[str] | None = None) -> int:
         "--stateless", action="store_true",
         help="run as a sequencer only (the Figure 3 comparator)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="group-shard the server over N per-shard event loops "
+             "(stable storage partitions under <data>/shard<i>)",
+    )
     args = parser.parse_args(argv)
 
     from repro.core.server import ServerConfig
     from repro.runtime.server import CoronaServer
     from repro.storage.store import GroupStore
 
-    store = GroupStore(args.data) if args.data else None
     config = ServerConfig(server_id=args.server_id, stateful=not args.stateless)
-    server = CoronaServer(config=config, store=store)
+    if args.shards > 1:
+        server = CoronaServer(
+            config=config, shards=args.shards, store_root=args.data
+        )
+    else:
+        store = GroupStore(args.data) if args.data else None
+        server = CoronaServer(config=config, store=store)
 
     async def _run() -> None:
         host, port = await server.start(args.host, args.port)
         recovered = len(server.core.groups) if server.core else 0
         print(f"corona-server {args.server_id} listening on {host}:{port}"
+              + (f" ({args.shards} shards)" if args.shards > 1 else "")
               + (f" ({recovered} groups recovered)" if recovered else ""))
         try:
             await asyncio.Event().wait()
@@ -91,6 +102,7 @@ _BENCHES = {
     "reduction": ("log_reduction", {"quick": {"n_updates": 500}}),
     "failover": ("failover", {"quick": {"suspicion_timeouts": (0.5,)}}),
     "scaling": ("server_scaling", {"quick": {"fanout_counts": (1, 3), "n_clients": 120, "probes": 3}}),
+    "shards": ("shard_scaling", {"quick": {"n_groups": 8, "members": 3, "duration": 1.0}}),
     "mcast": ("multicast_ablation", {"quick": {"client_counts": (10, 30), "probes": 8}}),
 }
 

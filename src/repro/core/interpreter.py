@@ -33,9 +33,12 @@ Batching
 A run of consecutive ``SendMessage`` effects to the *same* connection is
 flushed through :meth:`EffectBackend.deliver_batch` in one call (the
 asyncio writer coalesces them into one socket flush; the simulator
-charges one CPU occupancy for the whole run).  Middlewares still see
-each effect of the run individually, so metrics and fault injection stay
-per-message.
+charges one CPU occupancy for the whole run).  Likewise a run of
+consecutive ``AppendWal`` effects for the *same* group flows through
+:meth:`EffectBackend.append_wal_many` — the WAL group-commit: one
+buffered write and one flush for the whole sequenced batch.
+Middlewares still see each effect of the run individually, so metrics
+and fault injection stay per-message.
 
 Shared host semantics (normative)
 ---------------------------------
@@ -207,6 +210,16 @@ class EffectBackend:
     def append_wal(self, group: str, seqno: int, record: bytes) -> None:
         """Append one WAL record (asynchronously unless configured for
         synchronous durability — the paper's off-critical-path logging)."""
+
+    def append_wal_many(self, group: str, records: list[tuple[int, bytes]]) -> None:
+        """Group-commit a run of same-group WAL records in one batch.
+
+        One buffered write and one flush for the whole run (see
+        ``WriteAheadLog.append_many``).  Default: per-record
+        :meth:`append_wal` calls (correct, just unbatched).
+        """
+        for seqno, record in records:
+            self.append_wal(group, seqno, record)
 
     def write_checkpoint(self, group: str, seqno: int, snapshot: bytes) -> None:
         """Persist a checkpoint; implies WAL rotation (see GroupStore)."""
@@ -506,6 +519,10 @@ def build_interpreter(
         stats.wal_appends += 1
         backend.append_wal(effect.group, effect.seqno, effect.record)
 
+    def append_wal_batch(group: str, run: list[AppendWal]) -> None:
+        stats.wal_appends += len(run)
+        backend.append_wal_many(group, [(e.seqno, e.record) for e in run])
+
     def write_checkpoint(effect: WriteCheckpoint) -> None:
         stats.checkpoints += 1
         backend.write_checkpoint(effect.group, effect.seqno, effect.snapshot)
@@ -532,6 +549,7 @@ def build_interpreter(
     interp.register(CreateGroupStorage, create_storage)
     interp.register(PurgeGroupStorage, purge_storage)
     interp.register(AppendWal, append_wal)
+    interp.register_batch(AppendWal, key=lambda e: e.group, flush=append_wal_batch)
     interp.register(WriteCheckpoint, write_checkpoint)
     interp.register(TruncateWal, truncate_wal)
     interp.register(Notify, notify)

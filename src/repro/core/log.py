@@ -11,6 +11,7 @@ a full state transfer.
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 
 from repro.core.errors import StaleStateError
 from repro.core.ids import SeqNo
@@ -26,9 +27,17 @@ class StateLog:
         self._records: deque[UpdateRecord] = deque()
         self._first_seqno: SeqNo = 0  # seqno the next record must have when empty
         self._bytes = 0
+        #: Bumped by every append/trim/truncate; snapshot caches key on it
+        #: to notice any history change without comparing records.
+        self._mutations = 0
 
     def __len__(self) -> int:
         return len(self._records)
+
+    @property
+    def mutations(self) -> int:
+        """Monotonic count of structural changes (cache-invalidation key)."""
+        return self._mutations
 
     @property
     def first_seqno(self) -> SeqNo:
@@ -60,6 +69,7 @@ class StateLog:
             )
         self._records.append(record)
         self._bytes += len(record.data)
+        self._mutations += 1
 
     def since(self, seqno: SeqNo) -> tuple[UpdateRecord, ...]:
         """Records with seqno > *seqno* (the reconnection suffix).
@@ -72,14 +82,21 @@ class StateLog:
                 f"records after {seqno} requested but log starts at "
                 f"{self._first_seqno}"
             )
-        return tuple(r for r in self._records if r.seqno > seqno)
+        # Seqnos are contiguous, so the suffix starts at a computable
+        # offset: slice it directly instead of scanning every record.
+        skip = max(0, seqno + 1 - self._first_seqno)
+        if skip >= len(self._records):
+            return ()
+        return tuple(islice(self._records, skip, None))
 
     def latest(self, n: int) -> tuple[UpdateRecord, ...]:
         """The most recent *n* retained records (fewer if the log is short)."""
         if n <= 0:
             return ()
         start = max(0, len(self._records) - n)
-        return tuple(list(self._records)[start:])
+        # One pass over the tail; the old list(...) round-trip copied the
+        # whole deque before slicing.
+        return tuple(islice(self._records, start, None))
 
     def trim_to(self, seqno: SeqNo) -> int:
         """Discard records with seqno <= *seqno*; return how many dropped.
@@ -93,6 +110,7 @@ class StateLog:
             self._bytes -= len(record.data)
             dropped += 1
         self._first_seqno = max(self._first_seqno, seqno + 1)
+        self._mutations += 1
         return dropped
 
     def truncate_after(self, seqno: SeqNo) -> int:
@@ -107,6 +125,7 @@ class StateLog:
             record = self._records.pop()
             self._bytes -= len(record.data)
             dropped += 1
+        self._mutations += 1
         return dropped
 
     def records(self) -> tuple[UpdateRecord, ...]:

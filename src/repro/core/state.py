@@ -124,10 +124,18 @@ class SharedState:
         base_seqno: SeqNo = -1,
     ) -> None:
         self._objects: dict[ObjectId, SharedObject] = {}
+        #: Bumped by every apply/fold; snapshot caches key on it to notice
+        #: state changes without comparing object contents.
+        self._mutations = 0
         for obj in initial:
             self._objects[obj.object_id] = SharedObject(
                 object_id=obj.object_id, base=obj.data, base_seqno=base_seqno
             )
+
+    @property
+    def mutations(self) -> int:
+        """Monotonic count of state changes (cache-invalidation key)."""
+        return self._mutations
 
     def __contains__(self, object_id: ObjectId) -> bool:
         return object_id in self._objects
@@ -153,12 +161,14 @@ class SharedState:
             obj = SharedObject(object_id=record.object_id)
             self._objects[record.object_id] = obj
         obj.apply(record)
+        self._mutations += 1
         return obj
 
     def fold(self, upto_seqno: SeqNo) -> None:
         """Fold every object's increments up to *upto_seqno* (reduction)."""
         for obj in self._objects.values():
             obj.fold(upto_seqno)
+        self._mutations += 1
 
     def materialize_all(self) -> tuple[ObjectState, ...]:
         """Current state of every object as transferable byte streams."""

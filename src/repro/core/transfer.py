@@ -16,15 +16,28 @@ Policies:
   (reconnection); falls back to ``FULL`` when reduction trimmed the
   suffix away.
 * ``NONE`` — no state at all (pure notification subscriber).
+
+``FULL`` snapshots are memoized per group: repeated joins against an
+unchanged group reuse both the materialized :class:`StateSnapshot` *and*
+its encoded frame (pre-warmed through :func:`repro.wire.frames.
+encoded_frame`), so the join fast path is O(1) instead of
+re-materializing and re-serializing the whole shared state per joiner.
+The cache keys on the identity and mutation counters of the group's
+``state`` and ``log``, so any append, overwrite, reduction, rollback or
+wholesale state replacement (recovery, rebase) invalidates it.
 """
 
 from __future__ import annotations
 
-from repro.core.errors import StaleStateError
+from repro.core.errors import FrameTooLargeError, StaleStateError
 from repro.core.group import Group
+from repro.wire import frames
 from repro.wire.messages import StateSnapshot, TransferPolicy, TransferSpec
 
 __all__ = ["build_snapshot"]
+
+#: Group attribute holding the memoized FULL snapshot and its cache key.
+_CACHE_ATTR = "_corona_full_snapshot_cache"
 
 
 def build_snapshot(group: Group, spec: TransferSpec) -> StateSnapshot:
@@ -87,10 +100,25 @@ def build_snapshot(group: Group, spec: TransferSpec) -> StateSnapshot:
 
 
 def _full(group: Group, tip: int, next_seqno: int) -> StateSnapshot:
-    return StateSnapshot(
+    key = (group.state, group.state.mutations, group.log, group.log.mutations)
+    cached = getattr(group, _CACHE_ATTR, None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    snapshot = StateSnapshot(
         group=group.name,
         base_seqno=tip,
         objects=group.state.materialize_all(),
         updates=(),
         next_seqno=next_seqno,
     )
+    try:
+        # Pre-warm the encoded frame so every consumer of the cached
+        # snapshot (JoinReply encode, frame cache, sim cost model) reuses
+        # one serialization.
+        frames.encoded_frame(snapshot)
+    except FrameTooLargeError:
+        # Oversized snapshots fail at send time exactly as before; the
+        # materialized snapshot is still worth caching.
+        pass
+    setattr(group, _CACHE_ATTR, (key, snapshot))
+    return snapshot

@@ -192,6 +192,10 @@ class AsyncioHost(EffectBackend):
         if self.store is not None:
             self.store.append(group, seqno, record)
 
+    def append_wal_many(self, group: str, records: list[tuple[int, bytes]]) -> None:
+        if self.store is not None:
+            self.store.append_many(group, records)
+
     def write_checkpoint(self, group: str, seqno: int, snapshot: bytes) -> None:
         if self.store is not None:
             self.store.checkpoint(group, seqno, snapshot)

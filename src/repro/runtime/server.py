@@ -10,16 +10,24 @@ Example::
     address = await server.start("0.0.0.0", 7700)
     ...
     await server.stop()
+
+With ``shards=N`` the server runs group-sharded: a front router plus N
+worker shards, each with its own event loop, core, and WAL segment set
+under ``<store_root>/shard<i>`` (see :mod:`repro.runtime.shard`)::
+
+    server = CoronaServer(shards=4, store_root="/var/lib/corona")
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any
 
 from repro.core.server import ServerConfig, ServerCore
 from repro.net.tcp import TcpTransport
 from repro.net.transport import Transport
 from repro.runtime.host import AsyncioHost
+from repro.runtime.shard import ShardedHost
 from repro.storage.store import GroupStore
 
 __all__ = ["CoronaServer"]
@@ -33,18 +41,37 @@ class CoronaServer:
         config: ServerConfig | None = None,
         store: GroupStore | None = None,
         transport: Transport | None = None,
+        shards: int = 1,
+        store_root: str | Path | None = None,
     ) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        if shards > 1 and store is not None:
+            raise ValueError(
+                "a sharded server partitions storage per shard: "
+                "pass store_root=... instead of store=..."
+            )
         self.config = config or ServerConfig()
-        if store is None:
+        if store is None and (shards == 1 or store_root is None):
             self.config.persist = False
         self.store = store
+        self.store_root = Path(store_root) if store_root is not None else None
         self.transport = transport or TcpTransport()
-        self.host: AsyncioHost | None = None
+        self.shards = shards
+        self.host: AsyncioHost | ShardedHost | None = None
         self.core: ServerCore | None = None
 
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> Any:
         """Recover persistent groups, bind, and serve; returns the bound
         address (useful when *port* is 0)."""
+        if self.shards > 1:
+            self.host = ShardedHost(
+                self.config,
+                self.transport,
+                shards=self.shards,
+                store_root=self.store_root,
+            )
+            return await self.host.listen((host, port))
         recovered = self.store.recover_all() if self.store is not None else None
         self.core = ServerCore(self.config, clock=_host_clock(), recovered=recovered)
         self.host = AsyncioHost(self.core, self.transport, store=self.store)

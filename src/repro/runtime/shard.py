@@ -1,0 +1,773 @@
+"""Group-sharded parallel service: per-shard event loops + a front router.
+
+The paper observes (§4.1) that a stateful group server parallelizes
+naturally along group boundaries: updates for different groups never
+touch shared state, so groups can be partitioned across workers that
+proceed independently.  This module is that design over asyncio:
+
+* :class:`ShardedHost` owns the listening socket and one
+  :class:`~repro.runtime.host.AsyncioHost` front whose core is a
+  :class:`ShardSessions` — the connection/session half of
+  :class:`~repro.core.server.ServerCore` (Hello handshake, auth, stale
+  connections, Ping, ListGroups) with every group-scoped request routed
+  to the owning shard.
+* Each shard is a :class:`_ShardWorker`: its own thread + asyncio event
+  loop, its own :class:`~repro.core.server.ServerCore` holding only the
+  groups it owns, its own :class:`~repro.core.interpreter.EffectInterpreter`,
+  and (when persistence is on) its own :class:`~repro.storage.GroupStore`
+  rooted at ``<store_root>/shard<i>`` — so WAL segments never cross
+  shards.  Work arrives through a bounded FIFO mailbox.
+* :class:`ShardRouter` maps ``GroupId -> shard`` with a consistent-hash
+  ring (stable across restarts and shard-count-preserving recoveries)
+  plus explicit pins for groups that live away from their natural owner
+  (placed while the owner was draining, or found in another shard's
+  store during recovery).
+
+A connection can span groups on several shards: the front lazily
+*introduces* the connection to a shard (a synthesized Hello carrying the
+authenticated client id) before forwarding its first request there, and
+fans a close out to every shard that was introduced.  Replies flow back
+through the front's interpreter, so per-connection send order is the
+front event loop's FIFO and the counters on both sides are real
+interpreter stats — :attr:`ShardedHost.dispatch_stats` is their
+field-wise sum, directly comparable with the sharded simulator's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import dataclasses
+import hashlib
+import logging
+import threading
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.core.auth import AllowAnyClient
+from repro.core.clock import Clock, MonotonicClock
+from repro.core.errors import CoronaError, NotAuthorizedError, ProtocolError
+from repro.core.events import CloseConnection, ProtocolCore
+from repro.core.ids import ClientId, ConnId, GroupId
+from repro.core.interpreter import (
+    DispatchStats,
+    EffectBackend,
+    Middleware,
+    build_interpreter,
+)
+from repro.core.server import ServerConfig, ServerCore
+from repro.net.transport import Transport
+from repro.runtime.host import AsyncioHost
+from repro.storage.store import GroupStore, RecoveredGroup
+from repro.wire.messages import (
+    AcquireLockRequest,
+    BcastStateRequest,
+    BcastUpdateRequest,
+    CreateGroupRequest,
+    DeleteGroupRequest,
+    ErrorReply,
+    GetMembershipRequest,
+    GroupInfo,
+    GroupListReply,
+    Hello,
+    HelloReply,
+    JoinGroupRequest,
+    LeaveGroupRequest,
+    ListGroupsRequest,
+    Message,
+    PingReply,
+    PingRequest,
+    PROTOCOL_VERSION,
+    ReduceLogRequest,
+    ReleaseLockRequest,
+)
+
+__all__ = [
+    "ShardRouter",
+    "ShardSessions",
+    "ShardWorkerBase",
+    "ShardedHost",
+    "aggregate_stats",
+    "shard_config",
+]
+
+logger = logging.getLogger("repro.runtime.shard")
+
+#: Request types the front routes to the owning shard (each carries a
+#: ``group`` field).  Everything ServerCore dispatches except the three
+#: session-scoped requests the front answers itself.
+FORWARDED_REQUESTS = (
+    CreateGroupRequest,
+    DeleteGroupRequest,
+    JoinGroupRequest,
+    LeaveGroupRequest,
+    GetMembershipRequest,
+    BcastStateRequest,
+    BcastUpdateRequest,
+    AcquireLockRequest,
+    ReleaseLockRequest,
+    ReduceLogRequest,
+)
+
+_STOP = object()  # mailbox sentinel: drain FIFO, then exit the worker loop
+
+
+def aggregate_stats(parts: Iterable[DispatchStats]) -> DispatchStats:
+    """Field-wise sum of per-interpreter counters (front + every shard)."""
+    total = DispatchStats()
+    for part in parts:
+        for f in dataclasses.fields(DispatchStats):
+            setattr(total, f.name, getattr(total, f.name) + getattr(part, f.name))
+    return total
+
+
+def shard_config(config: ServerConfig, index: int) -> ServerConfig:
+    """Derive the ServerConfig one shard core runs with.
+
+    The front already authenticated the client, so shard cores accept
+    any introduction; everything else (statefulness, persistence,
+    reduction policy, session manager) is inherited.
+    """
+    return dataclasses.replace(
+        config,
+        server_id=f"{config.server_id}/shard{index}",
+        authenticator=AllowAnyClient(),
+    )
+
+
+class ShardRouter:
+    """Consistent-hash placement of groups onto shards, with pins.
+
+    The ring (``vnodes`` points per shard, SHA-1 keyed) makes placement
+    a pure function of the group name — two servers with the same shard
+    count agree on every group's owner with no coordination, and a
+    restart recovers each group onto the shard whose store holds it.
+    Pins record the exceptions: groups created while their natural owner
+    was draining, or discovered on a different shard during recovery.
+    """
+
+    def __init__(self, shards: int, vnodes: int = 64) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.shards = shards
+        ring = sorted(
+            (self._hash(f"shard{s}#vnode{v}"), s)
+            for s in range(shards)
+            for v in range(vnodes)
+        )
+        self._points = [h for h, _ in ring]
+        self._owners = [s for _, s in ring]
+        self._pins: dict[GroupId, int] = {}
+        self._drained: set[int] = set()
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(hashlib.sha1(key.encode()).digest()[:8], "big")
+
+    # -- placement ------------------------------------------------------
+
+    def natural(self, group: GroupId) -> int:
+        """The ring owner of *group*, ignoring pins and drains."""
+        return self._ring_owner(group, avoid=frozenset())
+
+    def route(self, group: GroupId) -> int:
+        """Where requests for *group* go: its pin, else the ring owner.
+
+        Draining does NOT divert routing — a draining shard still owns
+        (and must keep serving) the groups already placed on it.
+        """
+        pinned = self._pins.get(group)
+        if pinned is not None:
+            return pinned
+        return self._ring_owner(group, avoid=frozenset())
+
+    def assign(self, group: GroupId) -> int:
+        """Placement for a group being *created* now.
+
+        Prefers the existing pin, then the natural owner; a draining
+        natural owner is skipped along the ring and the displaced
+        placement is pinned so later :meth:`route` calls stay stable.
+        """
+        pinned = self._pins.get(group)
+        if pinned is not None and pinned not in self._drained:
+            return pinned
+        natural = self._ring_owner(group, avoid=frozenset())
+        if natural not in self._drained:
+            self._pins.pop(group, None)
+            return natural
+        shard = self._ring_owner(group, avoid=self._drained)
+        self._pins[group] = shard
+        return shard
+
+    def _ring_owner(self, group: GroupId, avoid: frozenset[int] | set[int]) -> int:
+        h = self._hash(group)
+        idx = bisect.bisect_right(self._points, h)
+        n = len(self._owners)
+        for step in range(n):
+            owner = self._owners[(idx + step) % n]
+            if owner not in avoid:
+                return owner
+        return self._owners[idx % n]  # everything drained: natural owner
+
+    # -- pins and drains ------------------------------------------------
+
+    def pin(self, group: GroupId, shard: int) -> None:
+        """Force *group* onto *shard* (recovery found it there)."""
+        self._pins[group] = shard
+
+    def unpin(self, group: GroupId) -> None:
+        self._pins.pop(group, None)
+
+    def pins(self) -> dict[GroupId, int]:
+        return dict(self._pins)
+
+    def drain(self, shard: int) -> None:
+        """Stop placing NEW groups on *shard* (existing ones stay)."""
+        self._drained.add(shard)
+
+    def undrain(self, shard: int) -> None:
+        self._drained.discard(shard)
+
+
+class ShardSessions(ProtocolCore):
+    """The front core: sessions, auth, routing — no group state at all.
+
+    Mirrors the connection-scoped half of :class:`ServerCore` exactly
+    (same error texts, same stale-connection handling) so a client
+    cannot tell a sharded server from a flat one, then forwards every
+    group-scoped request into the owning shard's mailbox.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        clock: Clock,
+        router: ShardRouter,
+        shard_count: int,
+        post: Callable[[int, tuple], None],
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.clock = clock
+        self.router = router
+        self.shard_count = shard_count
+        self._post = post
+        self._conn_client: dict[ConnId, ClientId] = {}
+        self._client_conn: dict[ClientId, ConnId] = {}
+        #: Which shards each connection has been introduced to.
+        self._intro: dict[ConnId, set[int]] = {}
+        #: In-flight ListGroups scatter-gathers: (conn, request_id) ->
+        #: {"remaining": shards yet to answer, "infos": fragments so far}.
+        self._gathers: dict[tuple[ConnId, int], dict[str, Any]] = {}
+
+    # -- host entry points ----------------------------------------------
+
+    def handle_message(self, conn: ConnId, message: Message) -> None:
+        try:
+            if isinstance(message, Hello):
+                self._on_hello(conn, message)
+            elif isinstance(message, PingRequest):
+                self._client_of(conn)
+                self.send(conn, PingReply(message.request_id, self.clock.now()))
+            elif isinstance(message, ListGroupsRequest):
+                self._client_of(conn)
+                self._scatter_list(conn, message.request_id)
+            elif type(message) in _FORWARDED_SET:
+                client = self._client_of(conn)
+                if isinstance(message, CreateGroupRequest):
+                    shard = self.router.assign(message.group)
+                else:
+                    shard = self.router.route(message.group)
+                self._forward(shard, conn, client, message)
+            else:
+                raise ProtocolError(
+                    f"unexpected message {type(message).__name__}"
+                )
+        except CoronaError as err:
+            self._reply_error(conn, getattr(message, "request_id", 0), err)
+
+    def handle_closed(self, conn: ConnId) -> None:
+        for shard in sorted(self._intro.pop(conn, ())):
+            self._post(shard, ("closed", conn))
+        for key in [k for k in self._gathers if k[0] == conn]:
+            del self._gathers[key]
+        client = self._conn_client.pop(conn, None)
+        if client is not None and self._client_conn.get(client) == conn:
+            del self._client_conn[client]
+
+    # -- handshake (mirrors ServerCore._on_hello) ------------------------
+
+    def _on_hello(self, conn: ConnId, msg: Hello) -> None:
+        if msg.protocol_version != PROTOCOL_VERSION:
+            self._reply_error(conn, 0, ProtocolError(
+                f"protocol version {msg.protocol_version} not supported "
+                f"(server speaks {PROTOCOL_VERSION})"
+            ))
+            self.emit(CloseConnection(conn))
+            return
+        if not self.config.authenticator.authenticate(msg.client_id, msg.token):
+            self._reply_error(conn, 0, NotAuthorizedError(
+                f"authentication failed for {msg.client_id!r}"
+            ))
+            self.emit(CloseConnection(conn))
+            return
+        stale = self._client_conn.get(msg.client_id)
+        if stale is not None and stale != conn:
+            self._conn_client.pop(stale, None)
+            self.emit(CloseConnection(stale))
+        self._conn_client[conn] = msg.client_id
+        self._client_conn[msg.client_id] = conn
+        self.send(conn, HelloReply(server_id=self.config.server_id))
+
+    def _client_of(self, conn: ConnId) -> ClientId:
+        client = self._conn_client.get(conn)
+        if client is None:
+            raise ProtocolError("request before Hello handshake")
+        return client
+
+    # -- routing ---------------------------------------------------------
+
+    def _forward(
+        self, shard: int, conn: ConnId, client: ClientId, message: Message
+    ) -> None:
+        seen = self._intro.setdefault(conn, set())
+        if shard not in seen:
+            seen.add(shard)
+            # Introduce the already-authenticated client to the shard
+            # core; its HelloReply echo is swallowed in shard_reply().
+            self._post(shard, ("hello", conn, Hello(client_id=client)))
+        self._post(shard, ("message", conn, message))
+
+    def forget_shard(self, index: int) -> None:
+        """A shard restarted with a fresh core: every connection must be
+        re-introduced before its next request lands there."""
+        for seen in self._intro.values():
+            seen.discard(index)
+
+    # -- ListGroups scatter-gather ---------------------------------------
+
+    def _scatter_list(self, conn: ConnId, request_id: int) -> None:
+        self._gathers[(conn, request_id)] = {
+            "remaining": self.shard_count,
+            "infos": [],
+        }
+        for shard in range(self.shard_count):
+            self._post(shard, ("list", conn, request_id))
+
+    def list_fragment(
+        self, conn: ConnId, request_id: int, infos: tuple[GroupInfo, ...]
+    ) -> None:
+        """One shard's slice of a ListGroups answer (front-loop only)."""
+        gather = self._gathers.get((conn, request_id))
+        if gather is None:
+            return  # connection closed while the scatter was in flight
+        gather["remaining"] -= 1
+        gather["infos"].extend(infos)
+        if gather["remaining"] == 0:
+            del self._gathers[(conn, request_id)]
+            merged = tuple(sorted(gather["infos"], key=lambda info: info.name))
+            self.send(conn, GroupListReply(request_id, merged))
+
+    # -- shard -> client replies -----------------------------------------
+
+    def shard_reply(self, conn: ConnId, message: Message) -> None:
+        """Relay one shard-core send to the client (front-loop only)."""
+        if isinstance(message, HelloReply):
+            return  # introduction echo, the client already got the front's
+        self.send(conn, message)
+
+    def shard_reply_batch(self, conn: ConnId, messages: list[Message]) -> None:
+        for message in messages:
+            self.shard_reply(conn, message)
+
+    # -- misc -------------------------------------------------------------
+
+    def _reply_error(self, conn: ConnId, request_id: int, err: CoronaError) -> None:
+        self.send(conn, ErrorReply(request_id, err.code, str(err)))
+
+
+_FORWARDED_SET = frozenset(FORWARDED_REQUESTS)
+
+
+class ShardWorkerBase(EffectBackend):
+    """The backend-independent half of a shard worker.
+
+    Owns the shard's :class:`ServerCore` + interpreter and the mailbox
+    item protocol; subclasses supply the event loop (a thread here, the
+    kernel in :mod:`repro.sim.shard`) and the I/O backend methods.
+
+    Mailbox items::
+
+        ("hello",   conn, Hello)    introduce an authenticated client
+        ("message", conn, Message)  a routed group-scoped request
+        ("closed",  conn)           the connection went away
+        ("list",    conn, rid)      answer one ListGroups fragment
+    """
+
+    index: int
+    core: ServerCore
+    conns: set[int]
+
+    def _init_worker(
+        self,
+        index: int,
+        config: ServerConfig,
+        clock: Clock,
+        recovered: dict[str, RecoveredGroup] | None,
+    ) -> None:
+        self.index = index
+        self.core = ServerCore(config, clock=clock, recovered=recovered)
+        self.interpreter = build_interpreter(self)
+        #: Connections this shard has been introduced to; gates deliver()
+        #: so sends after a forwarded close count as drops, exactly like
+        #: the flat server's unknown-connection semantics.
+        self.conns = set()
+
+    def process_item(self, item: tuple) -> None:
+        kind = item[0]
+        if kind == "hello":
+            _, conn, hello = item
+            self.conns.add(conn)
+            self.interpreter.execute(self.core.on_message(conn, hello))
+        elif kind == "message":
+            _, conn, message = item
+            self.interpreter.execute(self.core.on_message(conn, message))
+        elif kind == "closed":
+            _, conn = item
+            self.conns.discard(conn)
+            self.interpreter.execute(self.core.on_closed(conn))
+        elif kind == "list":
+            _, conn, request_id = item
+            infos = tuple(
+                GroupInfo(g.name, g.persistent, len(g), g.log.next_seqno)
+                for g in self.core.groups.values()
+            )
+            self.fragment_to_front(conn, request_id, infos)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown mailbox item {item!r}")
+
+    def fragment_to_front(
+        self, conn: int, request_id: int, infos: tuple[GroupInfo, ...]
+    ) -> None:
+        raise NotImplementedError
+
+
+class _ShardWorker(ShardWorkerBase):
+    """One shard: a daemon thread running its own asyncio event loop,
+    fed through a bounded FIFO mailbox."""
+
+    def __init__(
+        self,
+        host: "ShardedHost",
+        index: int,
+        config: ServerConfig,
+        clock: Clock,
+        recovered: dict[str, RecoveredGroup] | None,
+        store: GroupStore | None,
+        mailbox_size: int,
+    ) -> None:
+        self._host = host
+        self.store = store
+        self._init_worker(index, config, clock, recovered)
+        self._timers: dict[str, asyncio.TimerHandle] = {}
+        self._mailbox_size = mailbox_size
+        self._mailbox: asyncio.Queue | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"corona-shard-{index}", daemon=True
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+        self._ready.wait()
+
+    def stop(self) -> None:
+        """Post the stop sentinel (FIFO: queued work drains first) and
+        join the thread."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self.post(_STOP)
+        self._thread.join(timeout=10)
+        if self.store is not None:
+            self.store.flush()
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._mailbox = asyncio.Queue(self._mailbox_size)
+        self._ready.set()
+        try:
+            self._loop.run_until_complete(self._main())
+        finally:
+            for handle in self._timers.values():
+                handle.cancel()
+            self._timers.clear()
+            self._loop.close()
+
+    async def _main(self) -> None:
+        assert self._mailbox is not None
+        while True:
+            item = await self._mailbox.get()
+            if item is _STOP:
+                return
+            try:
+                self.process_item(item)
+            except Exception:
+                logger.exception("shard %d failed processing %r", self.index, item)
+
+    def post(self, item: Any) -> None:
+        """Enqueue *item* from any thread.  The put suspends inside the
+        worker loop when the mailbox is full (backpressure)."""
+        assert self._loop is not None and self._mailbox is not None
+        asyncio.run_coroutine_threadsafe(self._mailbox.put(item), self._loop)
+
+    # -- EffectBackend: sends (relayed through the front) -----------------
+
+    def deliver(self, conn: int, message: Any) -> bool:
+        if conn not in self.conns:
+            return False
+        self._host.call_front(
+            lambda: self._host.sessions.shard_reply(conn, message)
+        )
+        return True
+
+    def deliver_batch(self, conn: int, messages: list[Any]) -> bool:
+        if conn not in self.conns:
+            return False
+        self._host.call_front(
+            lambda: self._host.sessions.shard_reply_batch(conn, messages)
+        )
+        return True
+
+    def fragment_to_front(
+        self, conn: int, request_id: int, infos: tuple[GroupInfo, ...]
+    ) -> None:
+        self._host.call_front(
+            lambda: self._host.sessions.list_fragment(conn, request_id, infos)
+        )
+
+    # -- EffectBackend: timers (on the shard's own loop) ------------------
+
+    def start_timer(self, key: str, delay: float) -> None:
+        assert self._loop is not None
+        existing = self._timers.pop(key, None)
+        if existing is not None:
+            existing.cancel()
+        self._timers[key] = self._loop.call_later(delay, self._fire_timer, key)
+
+    def cancel_timer(self, key: str) -> None:
+        handle = self._timers.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _fire_timer(self, key: str) -> None:
+        self._timers.pop(key, None)
+        self.interpreter.execute(self.core.on_timer(key))
+
+    # -- EffectBackend: connections ---------------------------------------
+
+    def open_connection(self, address: Any, key: str) -> None:
+        pass  # shard cores never dial
+
+    def close_connection(self, conn: int) -> None:
+        # A stale-connection close from the shard core: the front owns
+        # the real socket (and already closed it); just stop delivering.
+        self.conns.discard(conn)
+
+    # -- EffectBackend: storage (this shard's private store) --------------
+
+    def create_group_storage(self, group: str, meta: bytes) -> None:
+        if self.store is not None and not self.store.has_group(group):
+            self.store.create_group(group, meta)
+
+    def purge_group_storage(self, group: str) -> None:
+        if self.store is not None:
+            self.store.delete_group(group)
+
+    def append_wal(self, group: str, seqno: int, record: bytes) -> None:
+        if self.store is not None:
+            self.store.append(group, seqno, record)
+
+    def append_wal_many(self, group: str, records: list[tuple[int, bytes]]) -> None:
+        if self.store is not None:
+            self.store.append_many(group, records)
+
+    def write_checkpoint(self, group: str, seqno: int, snapshot: bytes) -> None:
+        if self.store is not None:
+            self.store.checkpoint(group, seqno, snapshot)
+
+    # -- EffectBackend: notify / lifecycle --------------------------------
+
+    def notify(self, kind: str, payload: Any) -> None:
+        self._host.call_front(lambda: self._host.front.notify(kind, payload))
+
+    def shutdown(self, reason: str) -> None:
+        self._host.call_front(lambda: self._host.request_stop(reason))
+
+
+class ShardedHost:
+    """The sharded asyncio service: front router + N shard workers.
+
+    Drop-in for :class:`AsyncioHost` from :class:`CoronaServer`'s point
+    of view (``listen`` / ``stop`` / ``on_notify`` / ``dispatch_stats``),
+    but group work executes on per-shard event loops in parallel.
+    """
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        transport: Transport,
+        shards: int,
+        store_root: str | Path | None = None,
+        clock: Clock | None = None,
+        core_clock: Clock | None = None,
+        middlewares: Iterable[Middleware] = (),
+        mailbox_size: int = 1024,
+        vnodes: int = 64,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.config = config
+        self.shards = shards
+        self.clock = clock or MonotonicClock()
+        self.core_clock = core_clock or self.clock
+        self.router = ShardRouter(shards, vnodes=vnodes)
+        self.sessions = ShardSessions(
+            config, self.core_clock, self.router, shards, self._post
+        )
+        self.front = AsyncioHost(
+            self.sessions, transport, clock=self.clock, middlewares=middlewares
+        )
+        self._store_root = Path(store_root) if store_root is not None else None
+        self._mailbox_size = mailbox_size
+        self.workers: list[_ShardWorker] = []
+        self._retired: list[DispatchStats] = []
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopping = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def listen(self, address: Any) -> Any:
+        self._loop = asyncio.get_running_loop()
+        for index in range(self.shards):
+            self.workers.append(self._build_worker(index))
+        for worker in self.workers:
+            worker.start()
+        self._seed_pins()
+        return await self.front.listen(address)
+
+    async def stop(self) -> None:
+        if self._stopping:
+            return
+        self._stopping = True
+        await self.front.stop()
+        for worker in self.workers:
+            worker.stop()
+        for worker in self.workers:
+            if worker.store is not None:
+                worker.store.close()
+
+    def request_stop(self, reason: str = "") -> None:
+        """Schedule a full stop from the front loop (ShutDown effect)."""
+        if not self._stopping and self._loop is not None:
+            asyncio.ensure_future(self.stop())
+
+    async def wait_stopped(self) -> None:
+        await self.front.wait_stopped()
+
+    def on_notify(self, handler: Callable[[str, Any], None]) -> None:
+        self.front.on_notify(handler)
+
+    # -- stats -----------------------------------------------------------
+
+    @property
+    def dispatch_stats(self) -> DispatchStats:
+        """Aggregated counters: front + every shard (including retired
+        workers from shard restarts)."""
+        parts = [self.front.interpreter.stats]
+        parts.extend(w.interpreter.stats for w in self.workers)
+        parts.extend(self._retired)
+        return aggregate_stats(parts)
+
+    # -- shard management -------------------------------------------------
+
+    def drain_shard(self, index: int) -> None:
+        """Divert NEW group placements away from shard *index*."""
+        self.router.drain(index)
+
+    def undrain_shard(self, index: int) -> None:
+        self.router.undrain(index)
+
+    def restart_shard(self, index: int) -> _ShardWorker:
+        """Crash-restart one shard: stop it, recover its store into a
+        fresh core, and make the front re-introduce every connection."""
+        old = self.workers[index]
+        old.stop()
+        self._retired.append(old.interpreter.stats)
+        if old.store is not None:
+            old.store.close()
+        self.sessions.forget_shard(index)
+        worker = self._build_worker(index)
+        self.workers[index] = worker
+        worker.start()
+        self._seed_pins_for(worker)
+        return worker
+
+    # -- internals --------------------------------------------------------
+
+    def _post(self, shard: int, item: tuple) -> None:
+        self.workers[shard].post(item)
+
+    def _build_worker(self, index: int) -> _ShardWorker:
+        store: GroupStore | None = None
+        recovered: dict[str, RecoveredGroup] | None = None
+        if self._persists and self._store_root is not None:
+            store = GroupStore(self._store_root / f"shard{index}")
+            recovered = store.recover_all()
+        return _ShardWorker(
+            self,
+            index,
+            shard_config(self.config, index),
+            self.core_clock,
+            recovered,
+            store,
+            self._mailbox_size,
+        )
+
+    def _seed_pins(self) -> None:
+        """Pin every recovered group that lives away from its natural
+        ring owner, so routing after a restart matches where the data
+        actually is — deterministically."""
+        for worker in self.workers:
+            self._seed_pins_for(worker)
+
+    def _seed_pins_for(self, worker: _ShardWorker) -> None:
+        for name in sorted(worker.core.runtimes):
+            if self.router.natural(name) != worker.index:
+                self.router.pin(name, worker.index)
+
+    def call_front(self, fn: Callable[[], None]) -> None:
+        """Run *fn* on the front loop, then dispatch the effects it made
+        the sessions core emit.  Callable from any shard thread; FIFO
+        per caller, so per-connection reply order is preserved."""
+        if self._stopping or self._loop is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._invoke_front, fn)
+        except RuntimeError:
+            pass  # front loop already closed during shutdown
+
+    def _invoke_front(self, fn: Callable[[], None]) -> None:
+        if self._stopping:
+            return
+        fn()
+        self.front.dispatch(self.sessions.drain())
+
+    @property
+    def _persists(self) -> bool:
+        return self.config.stateful and self.config.persist

@@ -17,6 +17,7 @@ kernel, and asserting on the recorded events and host statistics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable
 
 from repro.analysis.tracecheck import TraceEvent
@@ -37,6 +38,7 @@ from repro.replication.node import ReplicatedServerCore, ReplicationConfig
 from repro.wire.messages import ServerInfo
 from repro.sim.host import SimHost
 from repro.sim.kernel import SimKernel
+from repro.sim.shard import ShardedSimHost
 from repro.sim.network import SimNetwork
 from repro.sim.profiles import (
     CLIENT_WORKSTATION,
@@ -272,6 +274,35 @@ class CoronaWorld:
         host.set_core(core)
         self._hook_checkpoints(host_id, core)
         server = SimServer(host, core)
+        self.servers[host_id] = server
+        return server
+
+    def add_sharded_server(
+        self,
+        host_id: str = "server",
+        segment: str = "lan",
+        profile: HostProfile = ULTRASPARC_1,
+        config: ServerConfig | None = None,
+        shards: int = 2,
+        store_root: str | Path | None = None,
+        sync_logging: bool = False,
+        core_clock: Any = None,
+    ) -> SimServer:
+        """Create a group-sharded server: front lane + one CPU lane,
+        core, and store per shard (see :mod:`repro.sim.shard`).
+
+        The returned :attr:`SimServer.core` is shard 0's core; reach the
+        rest through ``server.host.workers``.
+        """
+        config = config or ServerConfig(server_id=host_id)
+        host = ShardedSimHost(
+            self.kernel, self.network, host_id, segment, profile,
+            config=config, shards=shards, store_root=store_root,
+            sync_logging=sync_logging, core_clock=core_clock,
+        )
+        for worker in host.workers:
+            self._hook_checkpoints(f"{host_id}/shard{worker.index}", worker.core)
+        server = SimServer(host, host.workers[0].core)
         self.servers[host_id] = server
         return server
 

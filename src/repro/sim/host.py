@@ -46,7 +46,7 @@ from repro.core.interpreter import (
     build_interpreter,
 )
 from repro.sim.disk import SimDisk
-from repro.sim.kernel import EventHandle, SimKernel
+from repro.sim.kernel import CpuLanes, EventHandle, SimKernel
 from repro.sim.network import Channel, SimNetwork
 from repro.sim.profiles import HostProfile
 from repro.storage.store import GroupStore
@@ -94,7 +94,10 @@ class SimHost(EffectBackend):
         self.interpreter = build_interpreter(self, middlewares)
         self.core: ProtocolCore | None = None
         self.alive = True
-        self._cpu_free = 0.0
+        # One FIFO lane; the sharded subclass swaps in one lane per
+        # worker shard and points ``_lane`` at whichever is executing.
+        self._lanes = CpuLanes(1)
+        self._lane = 0
         self._channels: dict[int, Channel] = {}
         self._conn_ids: dict[int, int] = {}  # channel_id -> conn_id
         self._next_conn = 0
@@ -119,12 +122,20 @@ class SimHost(EffectBackend):
     # -- CPU accounting ------------------------------------------------------
 
     def _occupy_cpu(self, cost: float) -> float:
-        """Reserve *cost* seconds of CPU; return the completion time."""
-        start = max(self.kernel.now(), self._cpu_free)
-        done = start + cost
-        self._cpu_free = done
+        """Reserve *cost* seconds on the active lane; return completion."""
+        done = self._lanes.occupy(self._lane, cost, self.kernel.now())
         self.stats.cpu_busy += cost
         return done
+
+    @property
+    def _cpu_free(self) -> float:
+        """Free-at time of the active lane (kept as the historical name
+        so the cost-model call sites read unchanged)."""
+        return self._lanes.free_at(self._lane)
+
+    @_cpu_free.setter
+    def _cpu_free(self, time: float) -> None:
+        self._lanes.set_free(self._lane, time)
 
     @property
     def cpu_free_at(self) -> float:
@@ -330,6 +341,18 @@ class SimHost(EffectBackend):
             self._cpu_free = max(self._cpu_free, done)
         if self.store is not None:
             self.store.append(group, seqno, record)
+
+    def append_wal_many(self, group: str, records: list[tuple[int, bytes]]) -> None:
+        """Group-commit cost model: one CPU handoff and one coalesced
+        disk write for the whole sequenced batch."""
+        self.stats.wal_appends += len(records)
+        self._occupy_cpu(self.profile.log_overhead)
+        total = sum(len(record) + 8 for _seqno, record in records)
+        done = self.disk.write(total, earliest=self._cpu_free)
+        if self.sync_logging:
+            self._cpu_free = max(self._cpu_free, done)
+        if self.store is not None:
+            self.store.append_many(group, records)
 
     def write_checkpoint(self, group: str, seqno: int, snapshot: bytes) -> None:
         self.disk.write(len(snapshot))

@@ -15,7 +15,51 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["EventHandle", "SimKernel"]
+__all__ = ["CpuLanes", "EventHandle", "SimKernel"]
+
+
+class CpuLanes:
+    """Per-lane FIFO CPU occupancy: one free-at time per worker lane.
+
+    The single-CPU cost model of :class:`~repro.sim.host.SimHost` is the
+    one-lane special case; the sharded host gives every worker shard its
+    own lane so independent groups genuinely proceed in parallel while
+    each lane still serializes its own work — that is what lets
+    ``bench_shard_scaling`` show real (and deterministic) parallel
+    speedup.  Lanes carry no events themselves: callers combine
+    :meth:`occupy` with :meth:`SimKernel.schedule_at`.
+    """
+
+    def __init__(self, lanes: int) -> None:
+        if lanes < 1:
+            raise ValueError(f"need at least one CPU lane, got {lanes}")
+        self._free = [0.0] * lanes
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def occupy(self, lane: int, cost: float, now: float) -> float:
+        """Reserve *cost* seconds on *lane* starting no earlier than
+        *now*; returns the completion time (FIFO per lane)."""
+        start = self._free[lane]
+        if now > start:
+            start = now
+        done = start + cost
+        self._free[lane] = done
+        return done
+
+    def free_at(self, lane: int) -> float:
+        """When *lane* finishes everything reserved so far."""
+        return self._free[lane]
+
+    def set_free(self, lane: int, time: float) -> None:
+        """Force *lane*'s free-at time (restart after a crash)."""
+        self._free[lane] = time
+
+    def stall(self, lane: int, until: float) -> None:
+        """Keep *lane* busy until at least *until* (synchronous I/O)."""
+        if until > self._free[lane]:
+            self._free[lane] = until
 
 
 @dataclass(order=True)

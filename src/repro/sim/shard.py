@@ -1,0 +1,282 @@
+"""Sharded simulated host: per-shard CPU lanes under the cost model.
+
+The deterministic mirror of :class:`repro.runtime.shard.ShardedHost`.
+The same front core (:class:`~repro.runtime.shard.ShardSessions`) runs
+on the host's lane 0 and charges ``recv_cost`` for every inbound frame;
+each shard worker owns lane ``1 + index`` of a :class:`CpuLanes`, its
+own :class:`~repro.core.server.ServerCore` + interpreter, and (when
+persistence is on) its own real :class:`~repro.storage.GroupStore`.
+Mailbox items post through the kernel at zero delay — insertion-order
+tie-breaking keeps every mailbox FIFO and every run reproducible.
+
+While a worker processes an item the host's active lane is switched to
+the worker's, so the fan-out ``send_cost`` and WAL charges land on the
+shard's CPU, not the front's.  That is the modeled version of the
+per-shard event loops: groups on different shards burn CPU concurrently,
+which is exactly what ``bench_shard_scaling`` measures.  Replies relay
+through the front sessions core and the front interpreter, so the
+counter structure (front counts + shard counts) matches the asyncio
+host's and the host-parity suite can compare them field by field.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.core.clock import Clock
+from repro.core.interpreter import DispatchStats, Middleware
+from repro.core.server import ServerConfig
+from repro.runtime.shard import (
+    ShardRouter,
+    ShardSessions,
+    ShardWorkerBase,
+    aggregate_stats,
+    shard_config,
+)
+from repro.sim.host import SimHost
+from repro.sim.kernel import CpuLanes, EventHandle, SimKernel
+from repro.sim.network import SimNetwork
+from repro.sim.profiles import HostProfile
+from repro.storage.store import GroupStore, RecoveredGroup
+from repro.wire.messages import GroupInfo
+
+__all__ = ["ShardedSimHost"]
+
+
+class _SimShardWorker(ShardWorkerBase):
+    """One shard under simulation: CPU lane ``1 + index`` plus a private
+    store; work arrives via kernel events posted by the front."""
+
+    def __init__(
+        self,
+        host: "ShardedSimHost",
+        index: int,
+        config: ServerConfig,
+        clock: Clock,
+        recovered: dict[str, RecoveredGroup] | None,
+        store: GroupStore | None,
+    ) -> None:
+        self._host = host
+        self.store = store
+        self.lane = 1 + index
+        self._init_worker(index, config, clock, recovered)
+        self._timers: dict[str, EventHandle] = {}
+
+    # -- mailbox ---------------------------------------------------------
+
+    def process(self, item: tuple) -> None:
+        """Handle one mailbox item on this shard's CPU lane."""
+        if not self._host.alive:
+            return
+        prev = self._host._lane
+        self._host._lane = self.lane
+        try:
+            self.process_item(item)
+        finally:
+            self._host._lane = prev
+
+    # -- EffectBackend: sends (relayed through the front sessions) --------
+
+    def deliver(self, conn: int, message: Any) -> bool:
+        if conn not in self.conns:
+            return False
+        self._host.run_front(
+            lambda: self._host.sessions.shard_reply(conn, message)
+        )
+        return True
+
+    def deliver_batch(self, conn: int, messages: list[Any]) -> bool:
+        if conn not in self.conns:
+            return False
+        self._host.run_front(
+            lambda: self._host.sessions.shard_reply_batch(conn, messages)
+        )
+        return True
+
+    def fragment_to_front(
+        self, conn: int, request_id: int, infos: tuple[GroupInfo, ...]
+    ) -> None:
+        self._host.run_front(
+            lambda: self._host.sessions.list_fragment(conn, request_id, infos)
+        )
+
+    # -- EffectBackend: timers --------------------------------------------
+
+    def start_timer(self, key: str, delay: float) -> None:
+        existing = self._timers.pop(key, None)
+        if existing is not None:
+            existing.cancel()
+        self._timers[key] = self._host.kernel.schedule(delay, self._fire_timer, key)
+
+    def cancel_timer(self, key: str) -> None:
+        handle = self._timers.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+
+    def _fire_timer(self, key: str) -> None:
+        self._timers.pop(key, None)
+        if not self._host.alive:
+            return
+        prev = self._host._lane
+        self._host._lane = self.lane
+        try:
+            self._host._occupy_cpu(self._host.profile.timer_overhead)
+            self.interpreter.execute(self.core.on_timer(key))
+        finally:
+            self._host._lane = prev
+
+    # -- EffectBackend: connections ---------------------------------------
+
+    def open_connection(self, address: Any, key: str) -> None:
+        pass  # shard cores never dial
+
+    def close_connection(self, conn: int) -> None:
+        # Stale-connection close from the shard core: the front owns the
+        # real channel; just stop delivering from this shard.
+        self.conns.discard(conn)
+
+    # -- EffectBackend: storage (shard lane + shared simulated disk) ------
+
+    def create_group_storage(self, group: str, meta: bytes) -> None:
+        self._host.disk.write(len(meta))
+        if self.store is not None and not self.store.has_group(group):
+            self.store.create_group(group, meta)
+
+    def purge_group_storage(self, group: str) -> None:
+        if self.store is not None:
+            self.store.delete_group(group)
+
+    def append_wal(self, group: str, seqno: int, record: bytes) -> None:
+        host = self._host
+        host.stats.wal_appends += 1
+        host._occupy_cpu(host.profile.log_overhead)
+        done = host.disk.write(len(record) + 8, earliest=host._cpu_free)
+        if host.sync_logging:
+            host._cpu_free = max(host._cpu_free, done)
+        if self.store is not None:
+            self.store.append(group, seqno, record)
+
+    def append_wal_many(self, group: str, records: list[tuple[int, bytes]]) -> None:
+        host = self._host
+        host.stats.wal_appends += len(records)
+        host._occupy_cpu(host.profile.log_overhead)
+        total = sum(len(record) + 8 for _seqno, record in records)
+        done = host.disk.write(total, earliest=host._cpu_free)
+        if host.sync_logging:
+            host._cpu_free = max(host._cpu_free, done)
+        if self.store is not None:
+            self.store.append_many(group, records)
+
+    def write_checkpoint(self, group: str, seqno: int, snapshot: bytes) -> None:
+        self._host.disk.write(len(snapshot))
+        if self.store is not None:
+            self.store.checkpoint(group, seqno, snapshot)
+
+    # -- EffectBackend: notify / lifecycle --------------------------------
+
+    def notify(self, kind: str, payload: Any) -> None:
+        self._host.notify(kind, payload)
+
+    def shutdown(self, reason: str) -> None:
+        self._host.shutdown(reason)
+
+    def close(self) -> None:
+        for handle in self._timers.values():
+            handle.cancel()
+        self._timers.clear()
+        if self.store is not None:
+            self.store.close()
+
+
+class ShardedSimHost(SimHost):
+    """One simulated machine with a front lane and N shard lanes."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        network: SimNetwork,
+        host_id: str,
+        segment: str,
+        profile: HostProfile,
+        config: ServerConfig,
+        shards: int,
+        store_root: str | Path | None = None,
+        sync_logging: bool = False,
+        middlewares: Iterable[Middleware] = (),
+        core_clock: Clock | None = None,
+        vnodes: int = 64,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        super().__init__(
+            kernel,
+            network,
+            host_id,
+            segment,
+            profile,
+            store=None,  # storage is per shard, not host-wide
+            sync_logging=sync_logging,
+            middlewares=middlewares,
+        )
+        self.config = config
+        self.shards = shards
+        self._lanes = CpuLanes(1 + shards)  # lane 0 = front
+        self.router = ShardRouter(shards, vnodes=vnodes)
+        clock = core_clock if core_clock is not None else kernel
+        self.sessions = ShardSessions(config, clock, self.router, shards, self._post_item)
+        self.set_core(self.sessions)
+        root = Path(store_root) if store_root is not None else None
+        persists = config.stateful and config.persist
+        self.workers: list[_SimShardWorker] = []
+        for index in range(shards):
+            store: GroupStore | None = None
+            recovered: dict[str, RecoveredGroup] | None = None
+            if persists and root is not None:
+                store = GroupStore(root / f"shard{index}")
+                recovered = store.recover_all()
+            self.workers.append(
+                _SimShardWorker(
+                    self, index, shard_config(config, index), clock, recovered, store
+                )
+            )
+        self._seed_pins()
+
+    def _seed_pins(self) -> None:
+        """Pin recovered groups living away from their natural ring
+        owner, so post-restart routing matches where the data is."""
+        for worker in self.workers:
+            for name in sorted(worker.core.runtimes):
+                if self.router.natural(name) != worker.index:
+                    self.router.pin(name, worker.index)
+
+    # -- routing plumbing -------------------------------------------------
+
+    def _post_item(self, shard: int, item: tuple) -> None:
+        # Zero-delay kernel events; insertion-order tie-breaking makes
+        # this a deterministic FIFO mailbox per shard.
+        self.kernel.schedule(0.0, self.workers[shard].process, item)
+
+    def run_front(self, fn: Any) -> None:
+        """Run a sessions-core method and execute what it emitted through
+        the front interpreter (the sim analogue of ``call_front``)."""
+        fn()
+        self.interpreter.execute(self.sessions.drain())
+
+    # -- stats ------------------------------------------------------------
+
+    @property
+    def dispatch_stats(self) -> DispatchStats:
+        """Aggregated counters: front interpreter + every shard's."""
+        parts = [self.interpreter.stats]
+        parts.extend(w.interpreter.stats for w in self.workers)
+        return aggregate_stats(parts)
+
+    # -- failure ----------------------------------------------------------
+
+    def crash(self) -> None:
+        if not self.alive:
+            return
+        for worker in self.workers:
+            worker.close()
+        super().crash()

@@ -154,6 +154,19 @@ class GroupStore:
         files = self._files(group)
         files.active_wal().append(_SEQ.pack(seqno) + payload)
 
+    def append_many(self, group: str, records: list[tuple[int, bytes]]) -> None:
+        """Group-commit a sequenced batch of ``(seqno, payload)`` records.
+
+        One buffered write and (per the fsync policy) one flush for the
+        whole batch — see :meth:`WriteAheadLog.append_many`.
+        """
+        if not records:
+            return
+        files = self._files(group)
+        files.active_wal().append_many(
+            [_SEQ.pack(seqno) + payload for seqno, payload in records]
+        )
+
     def flush(self, group: str | None = None) -> None:
         """Flush buffered WAL records (one group, or all)."""
         targets = [self._files(group)] if group else list(self._groups.values())

@@ -567,9 +567,12 @@ def _emit_encode_nested(
     ind: str,
     stack: frozenset,
 ) -> None:
-    """Nested dataclass field: inline the concrete class behind an
-    exact-type guard, falling back to runtime dispatch (which handles
-    subclasses and abstract bases like ``Message``)."""
+    """Nested dataclass field: reuse a memoized payload when the instance
+    carries one (``cached_encode`` / the frame cache stamp full encodings
+    — type code included — so the bytes splice in verbatim), otherwise
+    inline the concrete class behind an exact-type guard, falling back to
+    runtime dispatch (which handles subclasses and abstract bases like
+    ``Message``)."""
     inline = (
         tp in _CLASS_TO_CODE
         and tp not in stack
@@ -583,11 +586,16 @@ def _emit_encode_nested(
     if not inline:
         lines.append(f"{ind}_encode_any(buf, {expr})")
         return
-    v, cls_name, code_name = names.new("v"), names.new("C"), names.new("cb")
+    ns.setdefault("_PA", _PAYLOAD_ATTR)
+    v, p = names.new("v"), names.new("p")
+    cls_name, code_name = names.new("C"), names.new("cb")
     ns[cls_name] = tp
     ns[code_name] = _uvarint_bytes(_CLASS_TO_CODE[tp])
     lines.append(f"{ind}{v} = {expr}")
-    lines.append(f"{ind}if {v}.__class__ is {cls_name}:")
+    lines.append(f"{ind}{p} = getattr({v}, _PA, None)")
+    lines.append(f"{ind}if {p} is not None:")
+    lines.append(f"{ind}    buf += {p}")
+    lines.append(f"{ind}elif {v}.__class__ is {cls_name}:")
     lines.append(f"{ind}    buf += {code_name}")
     body_at = len(lines)
     for f in fields(tp):
@@ -857,7 +865,12 @@ def _compile_decoder(cls: type) -> Callable[[memoryview, int, int], tuple[Any, i
 
 def _encode_any(buf: bytearray, obj: Any) -> None:
     """Dispatch to the compiled encoder of ``type(obj)`` (compiling it on
-    first use); writes the type code followed by the fields."""
+    first use); writes the type code followed by the fields.  Instances
+    stamped with a memoized payload splice it in without re-encoding."""
+    payload = getattr(obj, _PAYLOAD_ATTR, None)
+    if payload is not None:
+        buf += payload
+        return
     enc = _COMPILED_ENC.get(type(obj))
     if enc is None:
         enc = _compile_encoder(type(obj))

@@ -125,3 +125,52 @@ class TestTrim:
         assert log.next_seqno == max(n, trim_at + 1)
         assert all(r.seqno > trim_at for r in log.records())
         assert log.first_seqno == max(0, trim_at + 1)
+
+
+class TestSliceViews:
+    """since()/latest() are direct slices; they must match a naive scan."""
+
+    @given(
+        n=st.integers(min_value=0, max_value=40),
+        trim_at=st.integers(min_value=-1, max_value=45),
+        query=st.integers(min_value=-1, max_value=50),
+    )
+    def test_since_matches_naive_scan(self, n, trim_at, query):
+        log = _filled(n)
+        log.trim_to(trim_at)
+        naive = tuple(r for r in log.records() if r.seqno > query)
+        if query < log.first_seqno - 1:
+            with pytest.raises(StaleStateError):
+                log.since(query)
+        else:
+            assert log.since(query) == naive
+
+    @given(
+        n=st.integers(min_value=0, max_value=40),
+        trim_at=st.integers(min_value=-1, max_value=45),
+        k=st.integers(min_value=-2, max_value=50),
+    )
+    def test_latest_matches_naive_slice(self, n, trim_at, k):
+        log = _filled(n)
+        log.trim_to(trim_at)
+        naive = log.records()[max(0, len(log) - k):] if k > 0 else ()
+        assert log.latest(k) == naive
+
+    def test_mutations_counter_tracks_structural_changes(self):
+        log = StateLog()
+        before = log.mutations
+        log.append(_record(0))
+        log.append(_record(1))
+        assert log.mutations == before + 2
+        log.trim_to(0)
+        assert log.mutations == before + 3
+        log.truncate_after(0)
+        assert log.mutations == before + 4
+
+    def test_queries_do_not_mutate(self):
+        log = _filled(5)
+        before = log.mutations
+        log.since(2)
+        log.latest(3)
+        log.records()
+        assert log.mutations == before

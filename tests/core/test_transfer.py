@@ -99,3 +99,52 @@ class TestNone:
         assert snapshot.objects == ()
         assert snapshot.updates == ()
         assert snapshot.next_seqno == 4
+
+
+class TestFullSnapshotCache:
+    """FULL snapshots are memoized: repeated joins reuse one snapshot
+    and one serialization until the group's history changes."""
+
+    def test_repeated_full_builds_return_the_same_snapshot(self):
+        group = _group_with_history()
+        first = build_snapshot(group, TransferSpec())
+        assert build_snapshot(group, TransferSpec()) is first
+
+    def test_repeated_full_builds_encode_once(self):
+        from repro.wire import codec
+        from repro.wire.messages import StateSnapshot
+
+        group = _group_with_history()
+        before = codec.encode_counts().get(StateSnapshot, 0)
+        for _ in range(5):
+            snapshot = build_snapshot(group, TransferSpec())
+            codec.cached_encode(snapshot)  # what the send path does
+        delta = codec.encode_counts().get(StateSnapshot, 0) - before
+        assert delta == 1, f"expected one pre-warmed encode, saw {delta}"
+
+    def test_log_append_invalidates(self):
+        group = _group_with_history()
+        stale = build_snapshot(group, TransferSpec())
+        record = UpdateRecord(4, UpdateKind.UPDATE, "a", b"9", "c", 0.0)
+        group.log.append(record)
+        group.state.apply(record)
+        group.sequencer.fast_forward(4)
+        fresh = build_snapshot(group, TransferSpec())
+        assert fresh is not stale
+        assert fresh.base_seqno == 4
+        assert dict((o.object_id, o.data) for o in fresh.objects)["a"] == b"A139"
+
+    def test_reduction_trim_invalidates(self):
+        group = _group_with_history()
+        stale = build_snapshot(group, TransferSpec())
+        group.log.trim_to(1)
+        assert build_snapshot(group, TransferSpec()) is not stale
+
+    def test_other_policies_bypass_the_cache(self):
+        group = _group_with_history()
+        full = build_snapshot(group, TransferSpec())
+        latest = build_snapshot(
+            group, TransferSpec(policy=TransferPolicy.LATEST_N, last_n=2)
+        )
+        assert latest is not full
+        assert latest.updates != ()

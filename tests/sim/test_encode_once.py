@@ -53,3 +53,59 @@ def test_encodes_stay_constant_as_group_grows():
         world.run()
         per_size[members] = codec.encode_counts().get(Delivery, 0) - before
     assert per_size == {1: 1, 8: 1, 64: 1}
+
+
+def test_repeated_full_joins_encode_snapshot_once():
+    """The join fast path: N late joiners taking a FULL transfer of an
+    unchanged group cost one StateSnapshot serialization, not N."""
+    from repro.wire.messages import StateSnapshot
+
+    world = CoronaWorld()
+    world.add_server()
+    creator = world.add_client(client_id="creator")
+    world.run()
+    creator.call("create_group", "g", True)
+    world.run()
+    creator.call("join_group", "g")
+    world.run()
+    creator.call("bcast_state", "g", "doc", b"S" * 512)
+    world.run()
+
+    joiners = [world.add_client(client_id=f"late-{i}") for i in range(8)]
+    world.run()
+    before = codec.encode_counts().get(StateSnapshot, 0)
+    joins = [client.call("join_group", "g") for client in joiners]
+    world.run()
+    assert all(j.ok for j in joins)
+    delta = codec.encode_counts().get(StateSnapshot, 0) - before
+    assert delta == 1, f"8 identical FULL joins performed {delta} encodes"
+
+
+def test_join_snapshot_cache_invalidated_by_new_broadcast():
+    world = CoronaWorld()
+    world.add_server()
+    creator = world.add_client(client_id="creator")
+    world.run()
+    creator.call("create_group", "g", True)
+    world.run()
+    creator.call("join_group", "g")
+    world.run()
+    creator.call("bcast_state", "g", "doc", b"v1")
+    world.run()
+
+    from repro.wire.messages import StateSnapshot
+
+    first = world.add_client(client_id="late-1")
+    world.run()
+    first.call("join_group", "g")
+    world.run()
+    before = codec.encode_counts().get(StateSnapshot, 0)
+    creator.call("bcast_update", "g", "doc", b"v2")  # history moved
+    world.run()
+    second = world.add_client(client_id="late-2")
+    world.run()
+    join = second.call("join_group", "g")
+    world.run()
+    assert join.ok
+    # the moved history forces exactly one fresh snapshot encode
+    assert codec.encode_counts().get(StateSnapshot, 0) - before == 1

@@ -112,3 +112,54 @@ class TestCrashDamage:
         with open(log_path, "ab") as fh:
             fh.write(struct.pack(">II", 5, 12345))  # header, payload missing
         assert list(read_log_records(log_path)) == records
+
+
+class TestGroupCommit:
+    """append_many: one write + one flush for the whole batch."""
+
+    def test_batch_layout_matches_sequential_appends(self, tmp_path):
+        records = [b"first", b"", b"third" * 100, bytes(range(7))]
+        one_by_one = tmp_path / "seq" / "wal.0.log"
+        batched = tmp_path / "batch" / "wal.0.log"
+        _write(one_by_one, records)
+        with WriteAheadLog(batched) as log:
+            log.append_many(records)
+        assert batched.read_bytes() == one_by_one.read_bytes()
+        assert list(read_log_records(batched)) == records
+
+    def test_batch_counts_every_record(self, log_path):
+        with WriteAheadLog(log_path) as log:
+            log.append_many([b"a", b"b", b"c"])
+            assert log.appended == 3
+
+    @pytest.mark.parametrize("policy", [FsyncPolicy.ON_FLUSH, FsyncPolicy.ALWAYS])
+    def test_one_fsync_per_batch(self, log_path, monkeypatch, policy):
+        import repro.storage.wal as wal_module
+
+        syncs = []
+        real_fsync = wal_module.os.fsync
+        monkeypatch.setattr(
+            wal_module.os, "fsync", lambda fd: (syncs.append(fd), real_fsync(fd))
+        )
+        with WriteAheadLog(log_path, fsync=policy) as log:
+            log.append_many([b"a", b"b", b"c", b"d"])
+            assert len(syncs) == 1, "group commit must fsync once per batch"
+        # sequential appends under ALWAYS pay one fsync per record
+        syncs.clear()
+        seq_path = log_path.parent / "wal.seq.log"
+        with WriteAheadLog(seq_path, fsync=FsyncPolicy.ALWAYS) as log:
+            for rec in [b"a", b"b", b"c", b"d"]:
+                log.append(rec)
+            assert len(syncs) == 4
+
+    def test_empty_batch_is_noop(self, log_path):
+        with WriteAheadLog(log_path, fsync=FsyncPolicy.ALWAYS) as log:
+            log.append_many([])
+            assert log.appended == 0
+        assert list(read_log_records(log_path)) == []
+
+    def test_batch_after_close_raises(self, log_path):
+        log = WriteAheadLog(log_path)
+        log.close()
+        with pytest.raises(StorageError):
+            log.append_many([b"z"])
