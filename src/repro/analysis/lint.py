@@ -21,10 +21,11 @@ only the named rules.  Suppressions should carry a justifying comment.
 from __future__ import annotations
 
 import ast
-import re
+import subprocess
 from dataclasses import dataclass, field as dc_field
 from pathlib import Path
 
+from repro.analysis.deepcheck import ALL_DEEP_RULES, DEEP_RULE_DOCS
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules import (
     DEFAULT_EXCLUDES,
@@ -32,13 +33,23 @@ from repro.analysis.rules import (
     ModuleInfo,
     check_module,
 )
+from repro.analysis.suppress import line_suppresses
 from repro.analysis.wirecheck import check_wire_module, module_defines_messages
 
-__all__ = ["LintConfig", "load_config", "lint_paths", "lint_source", "ALL_RULES"]
+__all__ = [
+    "LintConfig",
+    "load_config",
+    "lint_paths",
+    "lint_source",
+    "changed_paths",
+    "ALL_RULES",
+]
 
 ALL_RULES: tuple[str, ...] = tuple(sorted(RULE_DOCS))
 
-_NOQA = re.compile(r"#\s*corona:\s*noqa(?:\(([A-Za-z0-9_,\s]*)\))?")
+#: Every id the config (per-rule-exclude, noqa) may legally name: the
+#: per-file rules plus the whole-program deepcheck rules.
+KNOWN_RULES: frozenset[str] = frozenset(RULE_DOCS) | frozenset(DEEP_RULE_DOCS)
 
 
 @dataclass
@@ -49,9 +60,14 @@ class LintConfig:
     #: Path substrings that exclude a file entirely.
     exclude_paths: tuple[str, ...] = ()
     #: rule id -> module-name prefixes the rule does not apply to.
+    #: Shared by the per-file rules and the deepcheck rule families.
     per_rule_exclude: dict[str, tuple[str, ...]] = dc_field(
         default_factory=lambda: dict(DEFAULT_EXCLUDES)
     )
+    #: Whole-program rules ``repro deepcheck`` runs (SHARD/BLOCK/LOCK).
+    deepcheck_rules: tuple[str, ...] = ALL_DEEP_RULES
+    #: Committed known-findings file ``repro deepcheck`` diffs against.
+    deepcheck_baseline: str = "deepcheck-baseline.json"
 
 
 def load_config(pyproject: Path | None = None) -> LintConfig:
@@ -77,12 +93,48 @@ def load_config(pyproject: Path | None = None) -> LintConfig:
         config.rules = tuple(
             rule for rule in table["rules"] if rule in RULE_DOCS
         )
+    if "deepcheck-rules" in table:
+        config.deepcheck_rules = tuple(
+            rule for rule in table["deepcheck-rules"] if rule in DEEP_RULE_DOCS
+        )
+    if "deepcheck-baseline" in table:
+        config.deepcheck_baseline = str(table["deepcheck-baseline"])
     if "exclude" in table:
         config.exclude_paths = tuple(table["exclude"])
     for rule_id, prefixes in table.get("per-rule-exclude", {}).items():
-        if rule_id in RULE_DOCS:
+        if rule_id in KNOWN_RULES:
             config.per_rule_exclude[rule_id] = tuple(prefixes)
     return config
+
+
+def changed_paths(repo_root: Path | None = None, base: str = "HEAD") -> list[Path]:
+    """The ``.py`` files touched relative to *base* per ``git diff``,
+    plus untracked ones — the file set behind ``repro lint --changed``.
+
+    Returns an empty list when git is unavailable or the directory is
+    not a repository (callers fall back to a full run or a clean exit).
+    """
+    root = Path(repo_root) if repo_root is not None else Path(".")
+    out: list[Path] = []
+    for args in (
+        ["git", "diff", "--name-only", base, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                args, cwd=root, capture_output=True, text=True, timeout=30
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return []
+        if proc.returncode != 0:
+            return []
+        for line in proc.stdout.splitlines():
+            name = line.strip()
+            if name.endswith(".py"):
+                path = root / name
+                if path.is_file():
+                    out.append(path)
+    return sorted(set(out))
 
 
 def _module_name(path: Path) -> str:
@@ -115,16 +167,10 @@ def _scoped_rules(config: LintConfig, module: str) -> list[str]:
 
 
 def _suppressed(finding: Finding, lines: list[str]) -> bool:
+    # shared with deepcheck: both spellings, multi-rule lists
     if not 1 <= finding.line <= len(lines):
         return False
-    match = _NOQA.search(lines[finding.line - 1])
-    if match is None:
-        return False
-    named = match.group(1)
-    if named is None or not named.strip():
-        return True  # bare "# corona: noqa" silences everything
-    rule_ids = {part.strip() for part in named.split(",")}
-    return finding.rule_id in rule_ids
+    return line_suppresses(lines[finding.line - 1], finding.rule_id)
 
 
 def lint_source(source: str, path: str, config: LintConfig | None = None) -> list[Finding]:

@@ -12,6 +12,9 @@
 ``repro`` hosts the analysis tooling (and wraps the two above)::
 
     repro lint src/ --strict
+    repro lint --changed origin/main
+    repro deepcheck src --baseline deepcheck-baseline.json
+    repro racecheck --shards 3 --inject-race
     repro tracecheck --updates 50 --dump trace.jsonl
 """
 
@@ -25,6 +28,8 @@ __all__ = [
     "server_main",
     "bench_main",
     "lint_main",
+    "deepcheck_main",
+    "racecheck_main",
     "tracecheck_main",
     "benchcheck_main",
     "main",
@@ -168,12 +173,17 @@ def lint_main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--no-config", action="store_true", help="ignore pyproject configuration"
     )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="BASE",
+        help="lint only .py files changed vs. BASE per git diff "
+             "(default base: HEAD), plus untracked ones",
+    )
     args = parser.parse_args(argv)
 
     from pathlib import Path
 
     from repro.analysis.findings import Severity, findings_to_json, format_findings
-    from repro.analysis.lint import lint_paths, load_config
+    from repro.analysis.lint import changed_paths, lint_paths, load_config
 
     from repro.analysis.rules import RULE_DOCS
 
@@ -187,12 +197,19 @@ def lint_main(argv: list[str] | None = None) -> int:
         print(f"repro lint: unknown rule id(s): {', '.join(unknown)}",
               file=sys.stderr)
         return 2
-    paths = [Path(p) for p in args.paths]
-    missing = [p for p in paths if not p.exists()]
-    if missing:
-        print("repro lint: no such path(s): "
-              + ", ".join(str(p) for p in missing), file=sys.stderr)
-        return 2
+    if args.changed is not None:
+        paths = changed_paths(base=args.changed)
+        if not paths:
+            if args.fmt == "text":
+                print("coronalint: no changed python files")
+            return 0
+    else:
+        paths = [Path(p) for p in args.paths]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            print("repro lint: no such path(s): "
+                  + ", ".join(str(p) for p in missing), file=sys.stderr)
+            return 2
     findings = lint_paths(paths, config)
     if args.fmt == "json":
         print(findings_to_json(findings))
@@ -205,6 +222,179 @@ def lint_main(argv: list[str] | None = None) -> int:
     if errors or (args.strict and findings):
         return 1
     return 0
+
+
+def deepcheck_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro deepcheck``: whole-program concurrency
+    analysis (shard ownership, blocking reachability, lock order)."""
+    parser = argparse.ArgumentParser(
+        prog="repro deepcheck",
+        description="Cross-module concurrency analysis over the program "
+        "graph: shard-ownership dataflow (SHARD001-003), blocking-call "
+        "reachability from async code (BLOCK001-002), and lock-discipline "
+        "checks (LOCK002-003).  Known findings live in a committed "
+        "baseline; only NEW findings fail the run.",
+    )
+    parser.add_argument(
+        "root", nargs="?", default="src", help="source tree to analyze"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated deepcheck rule ids (default: configured set)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="known-findings JSON to diff against "
+             "(default: deepcheck-baseline from pyproject, if present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="report every finding, ignoring any baseline file",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to the current findings (keeping "
+             "existing justifications) and exit 0",
+    )
+    parser.add_argument(
+        "--config", default="pyproject.toml",
+        help="pyproject.toml holding [tool.corona-lint] (default: ./pyproject.toml)",
+    )
+    args = parser.parse_args(argv)
+
+    import json
+    from pathlib import Path
+
+    from repro.analysis.deepcheck import (
+        DEEP_RULE_DOCS,
+        baseline_payload,
+        deepcheck_paths,
+        load_baseline,
+        split_baselined,
+    )
+    from repro.analysis.findings import findings_to_json, format_findings
+    from repro.analysis.lint import load_config
+
+    config = load_config(Path(args.config))
+    rules = config.deepcheck_rules
+    if args.rules:
+        rules = tuple(
+            rule.strip() for rule in args.rules.split(",") if rule.strip()
+        )
+        unknown = [r for r in rules if r not in DEEP_RULE_DOCS]
+        if unknown:
+            print(f"repro deepcheck: unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+    root = Path(args.root)
+    if not root.exists():
+        print(f"repro deepcheck: no such path: {root}", file=sys.stderr)
+        return 2
+    _graph, findings = deepcheck_paths(root, rules, config.per_rule_exclude)
+
+    baseline_path = Path(args.baseline or config.deepcheck_baseline)
+    baseline = [] if args.no_baseline else load_baseline(baseline_path)
+    if args.update_baseline:
+        payload = baseline_payload(findings, baseline)
+        baseline_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"deepcheck: baseline {baseline_path} updated "
+              f"({len(findings)} finding(s))")
+        return 0
+    new, stale = split_baselined(findings, baseline)
+    if args.fmt == "json":
+        print(findings_to_json(new))
+    else:
+        if new:
+            print(format_findings(new))
+        print(
+            f"deepcheck: {len(findings)} finding(s), "
+            f"{len(findings) - len(new)} baselined, {len(new)} new, "
+            f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}"
+        )
+        for entry in stale:
+            print(f"  stale: {entry.get('rule')} {entry.get('path')} — "
+                  f"{entry.get('message')}")
+    return 1 if new else 0
+
+
+def racecheck_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``repro racecheck``: the happens-before checker."""
+    parser = argparse.ArgumentParser(
+        prog="repro racecheck",
+        description="Replay an instrumented sharded-host trace under "
+        "vector clocks and report unordered conflicting accesses "
+        "(RACE001).  Default: run the seeded script on an instrumented "
+        "sharded sim world.",
+    )
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument(
+        "--check", default=None, metavar="PATH",
+        help="check a JSONL race trace file instead of running the sim",
+    )
+    parser.add_argument(
+        "--dump", default=None, metavar="PATH",
+        help="write the recorded trace as JSONL before checking it",
+    )
+    parser.add_argument(
+        "--inject-race", action="store_true",
+        help="append a deliberate unordered write/write pair (self-test: "
+             "the checker must report it, exit code flips to 1)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from repro.analysis.findings import findings_to_json, format_findings
+    from repro.analysis.racecheck import (
+        check_race_trace,
+        events_from_jsonl,
+        events_to_jsonl,
+        inject_race,
+        seeded_sharded_trace,
+    )
+
+    if args.check:
+        try:
+            text = Path(args.check).read_text()
+        except OSError as exc:
+            print(f"repro racecheck: cannot read {args.check}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            events = events_from_jsonl(text)
+        except (ValueError, TypeError, KeyError) as exc:
+            print(f"repro racecheck: malformed trace {args.check}: {exc}",
+                  file=sys.stderr)
+            return 2
+        name = args.check
+    else:
+        events = seeded_sharded_trace(shards=args.shards)
+        name = "sharded-sim-trace"
+    if args.inject_race:
+        events = inject_race(events)
+    if args.dump:
+        Path(args.dump).write_text(events_to_jsonl(events))
+    findings = check_race_trace(events, name=name)
+    if args.fmt == "json":
+        print(findings_to_json(findings))
+    elif findings:
+        print(format_findings(findings))
+    if args.fmt == "text":
+        hops = sum(1 for e in events if e.kind == "recv")
+        print(
+            f"racecheck: {len(events)} events ({hops} mailbox hops), "
+            f"{len(findings)} race(s)"
+        )
+    return 1 if findings else 0
 
 
 def tracecheck_main(argv: list[str] | None = None) -> int:
@@ -343,7 +533,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        choices=("lint", "tracecheck", "benchcheck", "server", "bench"),
+        choices=(
+            "lint", "deepcheck", "racecheck", "tracecheck", "benchcheck",
+            "server", "bench",
+        ),
         help="tool to run; arguments after it are passed through",
     )
     if argv is None:
@@ -352,6 +545,8 @@ def main(argv: list[str] | None = None) -> int:
     rest = argv[1:]
     dispatch = {
         "lint": lint_main,
+        "deepcheck": deepcheck_main,
+        "racecheck": racecheck_main,
         "tracecheck": tracecheck_main,
         "benchcheck": benchcheck_main,
         "server": server_main,

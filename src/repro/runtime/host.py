@@ -307,10 +307,13 @@ class AsyncioHost(EffectBackend):
 
     async def _flush_loop(self) -> None:
         assert self.store is not None and self._flush_interval
+        loop = asyncio.get_running_loop()
         try:
             while True:
                 await asyncio.sleep(self._flush_interval)
-                self.store.flush()
+                # flush() fsyncs; run it off-loop so a slow disk never
+                # stalls connection reads (deepcheck BLOCK002)
+                await loop.run_in_executor(None, self.store.flush)
         except asyncio.CancelledError:
             return
 

@@ -407,6 +407,7 @@ class ShardWorkerBase(EffectBackend):
     index: int
     core: ServerCore
     conns: set[int]
+    recovered_groups: tuple[str, ...]
 
     def _init_worker(
         self,
@@ -414,10 +415,15 @@ class ShardWorkerBase(EffectBackend):
         config: ServerConfig,
         clock: Clock,
         recovered: dict[str, RecoveredGroup] | None,
+        middlewares: Iterable[Middleware] = (),
     ) -> None:
         self.index = index
         self.core = ServerCore(config, clock=clock, recovered=recovered)
-        self.interpreter = build_interpreter(self)
+        self.interpreter = build_interpreter(self, middlewares)
+        #: Immutable snapshot of the groups recovered from this shard's
+        #: store, published before the worker loop starts so the front
+        #: can seed router pins without reaching into the live core.
+        self.recovered_groups = tuple(sorted(recovered)) if recovered else ()
         #: Connections this shard has been introduced to; gates deliver()
         #: so sends after a forwarded close count as drops, exactly like
         #: the flat server's unknown-connection semantics.
@@ -465,10 +471,20 @@ class _ShardWorker(ShardWorkerBase):
         recovered: dict[str, RecoveredGroup] | None,
         store: GroupStore | None,
         mailbox_size: int,
+        race_recorder: Any = None,
     ) -> None:
         self._host = host
         self.store = store
-        self._init_worker(index, config, clock, recovered)
+        # handed in by the builder rather than read off the host, so the
+        # worker never reaches into front-owned state (SHARD003)
+        self._recorder = race_recorder
+        self._lane = f"shard{index}"
+        middlewares: tuple[Middleware, ...] = ()
+        if self._recorder is not None:
+            # wire=False: shard backends relay message objects to the
+            # front unencoded — frame-cache traffic is front-only
+            middlewares = (self._recorder.middleware(self._lane, wire=False),)
+        self._init_worker(index, config, clock, recovered, middlewares)
         self._timers: dict[str, asyncio.TimerHandle] = {}
         self._mailbox_size = mailbox_size
         self._mailbox: asyncio.Queue | None = None
@@ -486,8 +502,10 @@ class _ShardWorker(ShardWorkerBase):
         self._ready.wait()
 
     def stop(self) -> None:
-        """Post the stop sentinel (FIFO: queued work drains first) and
-        join the thread."""
+        """Post the stop sentinel (FIFO: queued work drains first), join
+        the thread, then flush and close this shard's own store — the
+        worker owns its storage handle end to end; the front never
+        touches it (SHARD001)."""
         if self._stopped:
             return
         self._stopped = True
@@ -495,6 +513,7 @@ class _ShardWorker(ShardWorkerBase):
         self._thread.join(timeout=10)
         if self.store is not None:
             self.store.flush()
+            self.store.close()
 
     def _run(self) -> None:
         self._loop = asyncio.new_event_loop()
@@ -515,6 +534,10 @@ class _ShardWorker(ShardWorkerBase):
             item = await self._mailbox.get()
             if item is _STOP:
                 return
+            if type(item) is tuple and item and item[0] == "traced":
+                _, token, item = item
+                if self._recorder is not None:
+                    self._recorder.recv(self._lane, f"mbox:{self._lane}", token)
             try:
                 self.process_item(item)
             except Exception:
@@ -528,10 +551,18 @@ class _ShardWorker(ShardWorkerBase):
 
     # -- EffectBackend: sends (relayed through the front) -----------------
 
+    def _relay(self, fn: Callable[[], None]) -> None:
+        """Hand *fn* to the front loop, recording the mailbox hop when a
+        race recorder is attached (the closure runs in front context)."""
+        token = 0
+        if self._recorder is not None:
+            token = self._recorder.send(self._lane, "mbox:front")
+        self._host.call_front(fn, token)
+
     def deliver(self, conn: int, message: Any) -> bool:
         if conn not in self.conns:
             return False
-        self._host.call_front(
+        self._relay(
             lambda: self._host.sessions.shard_reply(conn, message)
         )
         return True
@@ -539,7 +570,7 @@ class _ShardWorker(ShardWorkerBase):
     def deliver_batch(self, conn: int, messages: list[Any]) -> bool:
         if conn not in self.conns:
             return False
-        self._host.call_front(
+        self._relay(
             lambda: self._host.sessions.shard_reply_batch(conn, messages)
         )
         return True
@@ -547,7 +578,7 @@ class _ShardWorker(ShardWorkerBase):
     def fragment_to_front(
         self, conn: int, request_id: int, infos: tuple[GroupInfo, ...]
     ) -> None:
-        self._host.call_front(
+        self._relay(
             lambda: self._host.sessions.list_fragment(conn, request_id, infos)
         )
 
@@ -604,10 +635,10 @@ class _ShardWorker(ShardWorkerBase):
     # -- EffectBackend: notify / lifecycle --------------------------------
 
     def notify(self, kind: str, payload: Any) -> None:
-        self._host.call_front(lambda: self._host.front.notify(kind, payload))
+        self._relay(lambda: self._host.front.notify(kind, payload))
 
     def shutdown(self, reason: str) -> None:
-        self._host.call_front(lambda: self._host.request_stop(reason))
+        self._relay(lambda: self._host.request_stop(reason))
 
 
 class ShardedHost:
@@ -629,6 +660,7 @@ class ShardedHost:
         middlewares: Iterable[Middleware] = (),
         mailbox_size: int = 1024,
         vnodes: int = 64,
+        race_recorder: Any = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -636,12 +668,19 @@ class ShardedHost:
         self.shards = shards
         self.clock = clock or MonotonicClock()
         self.core_clock = core_clock or self.clock
+        #: Optional repro.analysis.racecheck.RaceRecorder (duck-typed so
+        #: the runtime never imports the analysis package).
+        self.race_recorder = race_recorder
+        front_middlewares = tuple(middlewares)
+        if race_recorder is not None:
+            front_middlewares += (race_recorder.middleware("front"),)
         self.router = ShardRouter(shards, vnodes=vnodes)
         self.sessions = ShardSessions(
             config, self.core_clock, self.router, shards, self._post
         )
         self.front = AsyncioHost(
-            self.sessions, transport, clock=self.clock, middlewares=middlewares
+            self.sessions, transport, clock=self.clock,
+            middlewares=front_middlewares,
         )
         self._store_root = Path(store_root) if store_root is not None else None
         self._mailbox_size = mailbox_size
@@ -666,11 +705,10 @@ class ShardedHost:
             return
         self._stopping = True
         await self.front.stop()
+        # each worker flushes and closes its own store inside stop():
+        # storage handles never leave their shard
         for worker in self.workers:
             worker.stop()
-        for worker in self.workers:
-            if worker.store is not None:
-                worker.store.close()
 
     def request_stop(self, reason: str = "") -> None:
         """Schedule a full stop from the front loop (ShutDown effect)."""
@@ -707,10 +745,9 @@ class ShardedHost:
         """Crash-restart one shard: stop it, recover its store into a
         fresh core, and make the front re-introduce every connection."""
         old = self.workers[index]
-        old.stop()
-        self._retired.append(old.interpreter.stats)
-        if old.store is not None:
-            old.store.close()
+        old.stop()  # joins the thread and closes the worker-owned store
+        # ordered by the join above: the retired loop can no longer run
+        self._retired.append(old.interpreter.stats)  # noqa: SHARD001
         self.sessions.forget_shard(index)
         worker = self._build_worker(index)
         self.workers[index] = worker
@@ -721,6 +758,9 @@ class ShardedHost:
     # -- internals --------------------------------------------------------
 
     def _post(self, shard: int, item: tuple) -> None:
+        if self.race_recorder is not None:
+            token = self.race_recorder.send("front", f"mbox:shard{shard}")
+            item = ("traced", token, item)
         self.workers[shard].post(item)
 
     def _build_worker(self, index: int) -> _ShardWorker:
@@ -737,6 +777,7 @@ class ShardedHost:
             recovered,
             store,
             self._mailbox_size,
+            self.race_recorder,
         )
 
     def _seed_pins(self) -> None:
@@ -747,24 +788,29 @@ class ShardedHost:
             self._seed_pins_for(worker)
 
     def _seed_pins_for(self, worker: _ShardWorker) -> None:
-        for name in sorted(worker.core.runtimes):
+        # recovered_groups is an immutable snapshot published before the
+        # worker thread started — the front never reads the live core
+        for name in worker.recovered_groups:
             if self.router.natural(name) != worker.index:
                 self.router.pin(name, worker.index)
 
-    def call_front(self, fn: Callable[[], None]) -> None:
+    def call_front(self, fn: Callable[[], None], token: int = 0) -> None:
         """Run *fn* on the front loop, then dispatch the effects it made
         the sessions core emit.  Callable from any shard thread; FIFO
-        per caller, so per-connection reply order is preserved."""
+        per caller, so per-connection reply order is preserved.  *token*
+        carries the race-recorder hop id when instrumentation is on."""
         if self._stopping or self._loop is None:
             return
         try:
-            self._loop.call_soon_threadsafe(self._invoke_front, fn)
+            self._loop.call_soon_threadsafe(self._invoke_front, fn, token)
         except RuntimeError:
             pass  # front loop already closed during shutdown
 
-    def _invoke_front(self, fn: Callable[[], None]) -> None:
+    def _invoke_front(self, fn: Callable[[], None], token: int = 0) -> None:
         if self._stopping:
             return
+        if token and self.race_recorder is not None:
+            self.race_recorder.recv("front", "mbox:front", token)
         fn()
         self.front.dispatch(self.sessions.drain())
 

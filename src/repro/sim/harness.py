@@ -287,18 +287,23 @@ class CoronaWorld:
         store_root: str | Path | None = None,
         sync_logging: bool = False,
         core_clock: Any = None,
+        race_recorder: Any = None,
     ) -> SimServer:
         """Create a group-sharded server: front lane + one CPU lane,
         core, and store per shard (see :mod:`repro.sim.shard`).
 
         The returned :attr:`SimServer.core` is shard 0's core; reach the
-        rest through ``server.host.workers``.
+        rest through ``server.host.workers``.  Pass a
+        :class:`repro.analysis.racecheck.RaceRecorder` as
+        ``race_recorder`` to trace mailbox hops and shared-object
+        accesses for happens-before checking.
         """
         config = config or ServerConfig(server_id=host_id)
         host = ShardedSimHost(
             self.kernel, self.network, host_id, segment, profile,
             config=config, shards=shards, store_root=store_root,
             sync_logging=sync_logging, core_clock=core_clock,
+            race_recorder=race_recorder,
         )
         for worker in host.workers:
             self._hook_checkpoints(f"{host_id}/shard{worker.index}", worker.core)

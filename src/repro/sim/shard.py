@@ -60,7 +60,15 @@ class _SimShardWorker(ShardWorkerBase):
         self._host = host
         self.store = store
         self.lane = 1 + index
-        self._init_worker(index, config, clock, recovered)
+        self._recorder = host.race_recorder
+        self._lane_name = f"shard{index}"
+        middlewares: tuple[Middleware, ...] = ()
+        if self._recorder is not None:
+            # wire=False: shard sends relay through the front unencoded
+            middlewares = (
+                self._recorder.middleware(self._lane_name, wire=False),
+            )
+        self._init_worker(index, config, clock, recovered, middlewares)
         self._timers: dict[str, EventHandle] = {}
 
     # -- mailbox ---------------------------------------------------------
@@ -69,6 +77,12 @@ class _SimShardWorker(ShardWorkerBase):
         """Handle one mailbox item on this shard's CPU lane."""
         if not self._host.alive:
             return
+        if type(item) is tuple and item and item[0] == "traced":
+            _, token, item = item
+            if self._recorder is not None:
+                self._recorder.recv(
+                    self._lane_name, f"mbox:{self._lane_name}", token
+                )
         prev = self._host._lane
         self._host._lane = self.lane
         try:
@@ -78,10 +92,18 @@ class _SimShardWorker(ShardWorkerBase):
 
     # -- EffectBackend: sends (relayed through the front sessions) --------
 
+    def _to_front(self, fn: Any) -> None:
+        """Relay *fn* to the front sessions core, recording the hop when
+        a race recorder is attached (the closure runs front-side)."""
+        token = 0
+        if self._recorder is not None:
+            token = self._recorder.send(self._lane_name, "mbox:front")
+        self._host.run_front(fn, token)
+
     def deliver(self, conn: int, message: Any) -> bool:
         if conn not in self.conns:
             return False
-        self._host.run_front(
+        self._to_front(
             lambda: self._host.sessions.shard_reply(conn, message)
         )
         return True
@@ -89,7 +111,7 @@ class _SimShardWorker(ShardWorkerBase):
     def deliver_batch(self, conn: int, messages: list[Any]) -> bool:
         if conn not in self.conns:
             return False
-        self._host.run_front(
+        self._to_front(
             lambda: self._host.sessions.shard_reply_batch(conn, messages)
         )
         return True
@@ -97,7 +119,7 @@ class _SimShardWorker(ShardWorkerBase):
     def fragment_to_front(
         self, conn: int, request_id: int, infos: tuple[GroupInfo, ...]
     ) -> None:
-        self._host.run_front(
+        self._to_front(
             lambda: self._host.sessions.list_fragment(conn, request_id, infos)
         )
 
@@ -206,9 +228,16 @@ class ShardedSimHost(SimHost):
         middlewares: Iterable[Middleware] = (),
         core_clock: Clock | None = None,
         vnodes: int = 64,
+        race_recorder: Any = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
+        #: Optional repro.analysis.racecheck.RaceRecorder, duck-typed;
+        #: must be set before the workers below capture it.
+        self.race_recorder = race_recorder
+        front_middlewares = tuple(middlewares)
+        if race_recorder is not None:
+            front_middlewares += (race_recorder.middleware("front"),)
         super().__init__(
             kernel,
             network,
@@ -217,7 +246,7 @@ class ShardedSimHost(SimHost):
             profile,
             store=None,  # storage is per shard, not host-wide
             sync_logging=sync_logging,
-            middlewares=middlewares,
+            middlewares=front_middlewares,
         )
         self.config = config
         self.shards = shards
@@ -246,7 +275,9 @@ class ShardedSimHost(SimHost):
         """Pin recovered groups living away from their natural ring
         owner, so post-restart routing matches where the data is."""
         for worker in self.workers:
-            for name in sorted(worker.core.runtimes):
+            # recovered_groups is the immutable snapshot _init_worker
+            # published — the front never reads the live shard core
+            for name in worker.recovered_groups:
                 if self.router.natural(name) != worker.index:
                     self.router.pin(name, worker.index)
 
@@ -255,11 +286,17 @@ class ShardedSimHost(SimHost):
     def _post_item(self, shard: int, item: tuple) -> None:
         # Zero-delay kernel events; insertion-order tie-breaking makes
         # this a deterministic FIFO mailbox per shard.
+        if self.race_recorder is not None:
+            token = self.race_recorder.send("front", f"mbox:shard{shard}")
+            item = ("traced", token, item)
         self.kernel.schedule(0.0, self.workers[shard].process, item)
 
-    def run_front(self, fn: Any) -> None:
+    def run_front(self, fn: Any, token: int = 0) -> None:
         """Run a sessions-core method and execute what it emitted through
-        the front interpreter (the sim analogue of ``call_front``)."""
+        the front interpreter (the sim analogue of ``call_front``).
+        *token* carries the race-recorder hop id when tracing is on."""
+        if token and self.race_recorder is not None:
+            self.race_recorder.recv("front", "mbox:front", token)
         fn()
         self.interpreter.execute(self.sessions.drain())
 

@@ -1,0 +1,591 @@
+"""Fire/silent pairs for every whole-program deepcheck rule, the
+hypothesis property for lock-order cycle detection, baseline mechanics,
+and the repo-level zero-new-findings gate."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.deepcheck import (
+    ALL_DEEP_RULES,
+    baseline_payload,
+    check_graph,
+    deepcheck_paths,
+    fingerprint,
+    load_baseline,
+    lock_order_cycles,
+    split_baselined,
+)
+from repro.analysis.lint import load_config
+from repro.analysis.program import ProgramGraph
+
+# The worker/front scaffold the SHARD rules classify: Worker owns a
+# threading.Thread (-> shard worker), Front holds a list of Workers.
+SHARD_SCAFFOLD = """
+import threading
+
+class Core:
+    def __init__(self):
+        self.items = []
+
+class Worker:
+    def __init__(self):
+        self.core = Core()
+        self.count = 0
+        self._thread = threading.Thread()
+    def post(self, item): pass
+    def start(self): pass
+    def stop(self): pass
+    def poke(self): pass
+"""
+
+
+def deep(rules=None, **modules) -> list:
+    graph = ProgramGraph.from_sources({
+        name.replace("__", "/") + ".py": source
+        for name, source in modules.items()
+    })
+    return check_graph(graph, rules)
+
+
+def rule_ids(findings) -> list[str]:
+    return [f.rule_id for f in findings]
+
+
+class TestShard001:
+    def test_fires_on_front_reading_worker_core(self):
+        findings = deep(
+            rules=("SHARD001",),
+            repro__w=SHARD_SCAFFOLD,
+            repro__front="""
+from repro.w import Worker
+
+class Front:
+    workers: list[Worker]
+    def snoop(self):
+        return self.workers[0].core
+""",
+        )
+        assert rule_ids(findings) == ["SHARD001"]
+        assert "Worker.core" in findings[0].message
+
+    def test_fires_on_cross_thread_method_call(self):
+        findings = deep(
+            rules=("SHARD001",),
+            repro__w=SHARD_SCAFFOLD,
+            repro__front="""
+from repro.w import Worker
+
+class Front:
+    workers: list[Worker]
+    def jab(self):
+        self.workers[0].poke()
+""",
+        )
+        assert rule_ids(findings) == ["SHARD001"]
+        assert "poke" in findings[0].message
+
+    def test_silent_on_mailbox_and_lifecycle_surface(self):
+        findings = deep(
+            rules=("SHARD001",),
+            repro__w=SHARD_SCAFFOLD,
+            repro__front="""
+from repro.w import Worker
+
+class Front:
+    workers: list[Worker]
+    def drive(self, item):
+        self.workers[0].post(item)
+        self.workers[0].start()
+        self.workers[0].stop()
+""",
+        )
+        assert findings == []
+
+    def test_silent_on_immutable_attribute_read(self):
+        findings = deep(
+            rules=("SHARD001",),
+            repro__w=SHARD_SCAFFOLD,
+            repro__front="""
+from repro.w import Worker
+
+class Front:
+    workers: list[Worker]
+    def peek(self):
+        return self.workers[0].count
+""",
+        )
+        assert findings == []
+
+    def test_silent_inside_the_worker_itself(self):
+        findings = deep(
+            rules=("SHARD001",),
+            repro__w=SHARD_SCAFFOLD + """
+class Sub(Worker):
+    def churn(self):
+        return self.core.items
+""",
+        )
+        assert findings == []
+
+
+class TestShard002:
+    def test_fires_on_posting_live_self_state(self):
+        findings = deep(
+            rules=("SHARD002",),
+            repro__w=SHARD_SCAFFOLD,
+            repro__front="""
+from repro.w import Worker
+
+class Front:
+    def __init__(self):
+        self.pending = []
+        self.worker = Worker()
+    def flush(self):
+        self.worker.post(self.pending)
+""",
+        )
+        assert rule_ids(findings) == ["SHARD002"]
+        assert "self.pending" in findings[0].message
+
+    def test_fires_inside_tuple_literal(self):
+        findings = deep(
+            rules=("SHARD002",),
+            repro__w=SHARD_SCAFFOLD,
+            repro__front="""
+from repro.w import Worker
+
+class Front:
+    def __init__(self):
+        self.pending = []
+        self.worker = Worker()
+    def flush(self):
+        self.worker.post(("batch", self.pending))
+""",
+        )
+        assert rule_ids(findings) == ["SHARD002"]
+
+    def test_silent_on_copies_and_immutables(self):
+        findings = deep(
+            rules=("SHARD002",),
+            repro__w=SHARD_SCAFFOLD,
+            repro__front="""
+from repro.w import Worker
+
+class Front:
+    def __init__(self):
+        self.pending = []
+        self.name = "front"
+        self.worker = Worker()
+    def flush(self):
+        self.worker.post(tuple(self.pending))
+        self.worker.post(self.name)
+""",
+        )
+        assert findings == []
+
+
+class TestShard003:
+    FRONT_AND_WORKER = SHARD_SCAFFOLD + """
+class Front:
+    workers: list[Worker]
+    def __init__(self):
+        self.table = {}
+    def call_front(self, fn): pass
+
+class Hooked(Worker):
+    def __init__(self, host: Front):
+        self._host = host
+"""
+
+    def test_fires_on_direct_front_touch(self):
+        findings = deep(
+            rules=("SHARD003",),
+            repro__w=self.FRONT_AND_WORKER + """
+class Bad(Hooked):
+    def leak(self):
+        return self._host.table
+""",
+        )
+        assert rule_ids(findings) == ["SHARD003"]
+        assert "Front.table" in findings[0].message
+
+    def test_silent_through_call_front_closure(self):
+        findings = deep(
+            rules=("SHARD003",),
+            repro__w=self.FRONT_AND_WORKER + """
+class Good(Hooked):
+    def relay(self):
+        self._host.call_front(lambda: self._host.table.clear())
+""",
+        )
+        assert findings == []
+
+
+class TestBlock001:
+    def test_fires_on_sleep_in_coroutine(self):
+        findings = deep(rules=("BLOCK001",), repro__m="""
+import time
+
+async def tick():
+    time.sleep(1.0)
+""")
+        assert rule_ids(findings) == ["BLOCK001"]
+        assert "time.sleep" in findings[0].message
+
+    def test_silent_in_sync_function_and_async_sleep(self):
+        findings = deep(rules=("BLOCK001",), repro__m="""
+import asyncio
+import time
+
+def worker_thread():
+    time.sleep(1.0)
+
+async def tick():
+    await asyncio.sleep(1.0)
+""")
+        assert findings == []
+
+
+class TestBlock002:
+    def test_fires_through_sync_call_chain(self):
+        findings = deep(rules=("BLOCK002",), repro__m="""
+import os
+
+def sync_write(fd):
+    os.fsync(fd)
+
+async def handler(fd):
+    sync_write(fd)
+""")
+        assert rule_ids(findings) == ["BLOCK002"]
+        assert "handler" in findings[0].message
+
+    def test_fires_through_interpreter_dispatch_bridge(self):
+        findings = deep(
+            rules=("BLOCK002",),
+            repro__core__interpreter="""
+class EffectInterpreter:
+    def execute(self, effects): pass
+""",
+            repro__backend="""
+import os
+from repro.core.interpreter import EffectInterpreter
+
+class Backend:
+    def __init__(self):
+        self.interpreter = EffectInterpreter()
+    def append_wal(self, group, seqno, record):
+        os.fsync(3)
+    async def run(self, effects):
+        self.interpreter.execute(effects)
+""",
+        )
+        assert rule_ids(findings) == ["BLOCK002"]
+        assert "append_wal" in findings[0].message
+
+    def test_silent_when_only_sync_code_reaches_it(self):
+        findings = deep(rules=("BLOCK002",), repro__m="""
+import os
+
+def sync_write(fd):
+    os.fsync(fd)
+
+def also_sync(fd):
+    sync_write(fd)
+""")
+        assert findings == []
+
+    def test_async_callee_is_not_traversed_from_entry(self):
+        # the awaited coroutine is its own entry; reaching the blocking
+        # site is reported once (for the inner entry), not twice
+        findings = deep(rules=("BLOCK002",), repro__m="""
+import os
+
+def sync_write(fd):
+    os.fsync(fd)
+
+async def inner(fd):
+    sync_write(fd)
+
+async def outer(fd):
+    await inner(fd)
+""")
+        assert rule_ids(findings) == ["BLOCK002"]
+        assert "inner" in findings[0].message
+
+
+class TestLock002:
+    def test_fires_on_await_under_sync_lock(self):
+        findings = deep(rules=("LOCK002",), repro__m="""
+import asyncio
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+    async def bad(self):
+        with self._lock:
+            await asyncio.sleep(0)
+""")
+        assert rule_ids(findings) == ["LOCK002"]
+        assert "self._lock" in findings[0].message
+
+    def test_silent_when_await_is_outside_the_lock(self):
+        findings = deep(rules=("LOCK002",), repro__m="""
+import asyncio
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+    async def good(self):
+        with self._lock:
+            x = 1
+        await asyncio.sleep(x)
+""")
+        assert findings == []
+
+
+class TestLock003:
+    def test_fires_on_opposite_acquisition_orders(self):
+        findings = deep(rules=("LOCK003",), repro__m="""
+import threading
+
+class C:
+    def __init__(self):
+        self.a_lock = threading.Lock()
+        self.b_lock = threading.Lock()
+    def f(self):
+        with self.a_lock:
+            with self.b_lock:
+                pass
+    def g(self):
+        with self.b_lock:
+            with self.a_lock:
+                pass
+""")
+        assert rule_ids(findings) == ["LOCK003"]
+        assert "lock-order cycle" in findings[0].message
+
+    def test_silent_on_consistent_order(self):
+        findings = deep(rules=("LOCK003",), repro__m="""
+import threading
+
+class C:
+    def __init__(self):
+        self.a_lock = threading.Lock()
+        self.b_lock = threading.Lock()
+    def f(self):
+        with self.a_lock:
+            with self.b_lock:
+                pass
+    def g(self):
+        with self.a_lock:
+            with self.b_lock:
+                pass
+""")
+        assert findings == []
+
+    def test_fires_across_one_call_level(self):
+        findings = deep(rules=("LOCK003",), repro__m="""
+import threading
+
+class C:
+    def __init__(self):
+        self.a_lock = threading.Lock()
+        self.b_lock = threading.Lock()
+    def f(self):
+        with self.a_lock:
+            self.grab_b()
+    def grab_b(self):
+        with self.b_lock:
+            pass
+    def g(self):
+        with self.b_lock:
+            with self.a_lock:
+                pass
+""")
+        assert rule_ids(findings) == ["LOCK003"]
+
+
+def _has_cycle_reference(edges: list[tuple[str, str]]) -> bool:
+    """Kahn topological sort: a graph is cyclic iff the sort is partial."""
+    nodes = {n for e in edges for n in e}
+    indeg = {n: 0 for n in nodes}
+    adj: dict[str, set[str]] = {n: set() for n in nodes}
+    for a, b in edges:
+        if b not in adj[a]:
+            adj[a].add(b)
+            indeg[b] += 1
+    queue = [n for n in nodes if indeg[n] == 0]
+    seen = 0
+    while queue:
+        node = queue.pop()
+        seen += 1
+        for nxt in adj[node]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                queue.append(nxt)
+    return seen != len(nodes)
+
+
+class TestLockOrderCycles:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from("ABCDE"), st.sampled_from("ABCDE")),
+        max_size=20,
+    ))
+    def test_matches_topological_sort_and_returns_real_cycles(self, edges):
+        edges = [(a, b) for a, b in edges if a != b]
+        cycles = lock_order_cycles(edges)
+        assert bool(cycles) == _has_cycle_reference(edges)
+        edge_set = set(edges)
+        for cycle in cycles:
+            assert len(cycle) >= 2
+            for pair in zip(cycle, cycle[1:] + cycle[:1]):
+                assert pair in edge_set
+
+    def test_self_loop_free_dag_is_clean(self):
+        assert lock_order_cycles([("A", "B"), ("B", "C"), ("A", "C")]) == []
+
+    def test_two_cycle_is_found(self):
+        cycles = lock_order_cycles([("A", "B"), ("B", "A")])
+        assert cycles and sorted(cycles[0]) == ["A", "B"]
+
+
+class TestSuppressionAndScoping:
+    def test_noqa_silences_single_rule(self):
+        findings = deep(
+            rules=("BLOCK001",),
+            repro__m="""
+import time
+
+async def tick():
+    time.sleep(1.0)  # noqa: BLOCK001 -- test fixture
+""",
+        )
+        assert findings == []
+
+    def test_corona_noqa_multi_rule_list(self):
+        findings = deep(
+            rules=("BLOCK001",),
+            repro__m="""
+import time
+
+async def tick():
+    time.sleep(1.0)  # corona: noqa(DET001, BLOCK001)
+""",
+        )
+        assert findings == []
+
+    def test_noqa_for_other_rule_does_not_silence(self):
+        findings = deep(
+            rules=("BLOCK001",),
+            repro__m="""
+import time
+
+async def tick():
+    time.sleep(1.0)  # noqa: DET001
+""",
+        )
+        assert rule_ids(findings) == ["BLOCK001"]
+
+    def test_per_rule_exclude_by_module_prefix(self):
+        graph = ProgramGraph.from_sources({"repro/m.py": """
+import time
+
+async def tick():
+    time.sleep(1.0)
+"""})
+        hit = check_graph(graph, ("BLOCK001",))
+        assert rule_ids(hit) == ["BLOCK001"]
+        silenced = check_graph(
+            graph, ("BLOCK001",), {"BLOCK001": ("repro.m",)}
+        )
+        assert silenced == []
+
+
+class TestBaseline:
+    def test_split_baselined_new_known_stale(self):
+        graph = ProgramGraph.from_sources({"repro/m.py": """
+import time
+
+async def tick():
+    time.sleep(1.0)
+"""})
+        findings = check_graph(graph, ("BLOCK001",))
+        assert len(findings) == 1
+        baseline = baseline_payload(findings, [])["findings"]
+        assert baseline[0]["justification"] == "TODO: justify or fix"
+        new, stale = split_baselined(findings, baseline)
+        assert new == [] and stale == []
+        ghost = dict(baseline[0], message="gone finding")
+        new, stale = split_baselined(findings, [ghost])
+        assert len(new) == 1 and len(stale) == 1
+
+    def test_payload_carries_existing_justifications(self):
+        graph = ProgramGraph.from_sources({"repro/m.py": """
+import time
+
+async def tick():
+    time.sleep(1.0)
+"""})
+        findings = check_graph(graph, ("BLOCK001",))
+        old = baseline_payload(findings, [])["findings"]
+        old[0]["justification"] = "deliberate: fixture"
+        again = baseline_payload(findings, old)["findings"]
+        assert again[0]["justification"] == "deliberate: fixture"
+
+    def test_fingerprint_ignores_line_numbers(self):
+        graph = ProgramGraph.from_sources({"repro/m.py": """
+import time
+
+async def tick():
+    time.sleep(1.0)
+"""})
+        f = check_graph(graph, ("BLOCK001",))[0]
+        shifted = ProgramGraph.from_sources({"repro/m.py": """
+import time
+
+# an unrelated comment pushing everything down
+
+
+async def tick():
+    time.sleep(1.0)
+"""})
+        g = check_graph(shifted, ("BLOCK001",))[0]
+        assert f.line != g.line
+        assert fingerprint(f) == fingerprint(g)
+
+
+class TestRepoIsClean:
+    def test_shipped_tree_has_no_unbaselined_findings(self):
+        root = Path(__file__).resolve().parents[2]
+        config = load_config(root / "pyproject.toml")
+        _graph, findings = deepcheck_paths(
+            root / "src", config.deepcheck_rules, config.per_rule_exclude
+        )
+        baseline = load_baseline(root / config.deepcheck_baseline)
+        new, stale = split_baselined(findings, baseline)
+        assert new == [], "\n".join(f.render() for f in new)
+        assert stale == [], f"stale baseline entries: {stale}"
+
+    def test_every_baseline_entry_is_justified(self):
+        root = Path(__file__).resolve().parents[2]
+        config = load_config(root / "pyproject.toml")
+        baseline = load_baseline(root / config.deepcheck_baseline)
+        assert baseline, "committed baseline should not be empty"
+        for entry in baseline:
+            justification = entry.get("justification", "")
+            assert justification and "TODO" not in justification, entry
+
+    def test_configured_deepcheck_rules_cover_all_families(self):
+        root = Path(__file__).resolve().parents[2]
+        config = load_config(root / "pyproject.toml")
+        assert set(config.deepcheck_rules) == set(ALL_DEEP_RULES)
+        assert config.deepcheck_baseline == "deepcheck-baseline.json"

@@ -1,10 +1,15 @@
-"""Suite-wide fixtures: ordering-invariant checking on every sim run.
+"""Suite-wide fixtures: ordering + happens-before checks on every sim run.
 
 Every :class:`~repro.sim.harness.CoronaWorld` a test builds is forced
 into tracing mode, and when the test finishes its trace is replayed
 through :func:`repro.analysis.tracecheck.check_world` — so each sim-based
 test doubles as an independent verification of the paper's §4.1 ordering
 contract (partitioned worlds are exempt; see ``docs/static-analysis.md``).
+
+Sharded servers additionally get a :class:`RaceRecorder` injected (unless
+the test passed its own) and their mailbox/WAL/frame trace is replayed
+through the vector-clock checker at teardown — every sharded sim test is
+also a happens-before race check.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.findings import format_findings
+from repro.analysis.racecheck import RaceRecorder, check_race_trace
 from repro.analysis.tracecheck import check_world
 from repro.sim import harness
 
@@ -34,6 +40,32 @@ def tracecheck_sim_worlds(monkeypatch, request):
         if findings:
             pytest.fail(
                 "tracecheck: ordering invariants violated in sim trace\n"
+                + format_findings(findings),
+                pytrace=False,
+            )
+
+
+@pytest.fixture(autouse=True)
+def racecheck_sharded_worlds(monkeypatch, request):
+    """Instrument every sharded sim server and race-check it at teardown."""
+    recorders: list[RaceRecorder] = []
+    original = harness.CoronaWorld.add_sharded_server
+
+    def instrumented(self, *args, **kwargs):
+        if kwargs.get("race_recorder") is None:
+            kwargs["race_recorder"] = RaceRecorder()
+            recorders.append(kwargs["race_recorder"])
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(harness.CoronaWorld, "add_sharded_server", instrumented)
+    yield recorders
+    for recorder in recorders:
+        findings = check_race_trace(
+            recorder.events(), name=f"{request.node.name}:race-trace"
+        )
+        if findings:
+            pytest.fail(
+                "racecheck: unordered shared-state accesses in sharded run\n"
                 + format_findings(findings),
                 pytrace=False,
             )
