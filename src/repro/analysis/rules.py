@@ -14,6 +14,9 @@ PERF001   direct codec encode/size calls on fan-out paths (bypass the
 PERF002   direct ``.runtimes`` access outside the owning cores/routers
           (bypasses group-to-shard routing; on a sharded server that is
           a cross-thread read of another shard's state)
+PERF003   unbounded send-queue growth outside the flow-controlled
+          transport layer (unbounded ``asyncio.Queue()`` or appends to
+          ad-hoc outboxes; a slow consumer then buffers without limit)
 EFF001    isinstance dispatch over Effect types outside the effect
           interpreter (hand-rolled dispatch chains drift between hosts)
 ========  ==================================================================
@@ -103,6 +106,15 @@ RULE_DOCS: dict[str, tuple[Severity, str, str]] = {
         "shard router (ShardSessions/ShardedHost); never reach into "
         "another core's .runtimes",
     ),
+    "PERF003": (
+        Severity.ERROR,
+        "unbounded send-queue growth outside the flow-controlled "
+        "transport layer (a slow consumer buffers without limit until "
+        "the process dies)",
+        "route sends through repro.net.flowcontrol.BoundedOutbox (the "
+        "hosts already do), or give the asyncio.Queue an explicit "
+        "maxsize and handle the full case",
+    ),
     "EFF001": (
         Severity.ERROR,
         "isinstance branching over Effect types re-creates the per-host "
@@ -163,6 +175,13 @@ DEFAULT_EXCLUDES: dict[str, tuple[str, ...]] = {
         "repro.replication.node",
         "repro.runtime.shard",
         "repro.sim.shard",
+    ),
+    # PERF003 is include-scoped (see _OUTBOX_SCOPE_PREFIXES): it only
+    # examines the host/send layers.  The client's inbound event queue
+    # is drained by the application it belongs to (consumer-paced, not
+    # a send path), so it stays unbounded by design.
+    "PERF003": (
+        "repro.runtime.client",
     ),
     # The interpreter is the one sanctioned place that reasons about
     # effect types (registration validation, fault-rule matching).
@@ -497,6 +516,85 @@ def _check_runtimes_access(info: ModuleInfo) -> Iterator[Finding]:
 
 
 # --------------------------------------------------------------------------
+# PERF003: unbounded send queues outside the flow-controlled transport
+# --------------------------------------------------------------------------
+
+#: Modules that sit on the server send path.  The rule applies ONLY inside
+#: these prefixes (include-scoped, like PERF001): repro.net is deliberately
+#: out of scope because that is where the sanctioned bounding lives —
+#: BoundedOutbox's own deques and the transports' kernel-buffer-modelling
+#: rx queues.
+_OUTBOX_SCOPE_PREFIXES = (
+    "repro.core",
+    "repro.runtime",
+    "repro.sim",
+)
+
+#: Mutators that grow a queue without a capacity check.
+_OUTBOX_GROW_METHODS = {"append", "appendleft", "extend", "put_nowait"}
+
+
+def _receiver_chain(node: ast.expr) -> str:
+    """Dotted receiver text, lowered: ``self._outboxes[c].append`` has the
+    receiver chain ``"self._outboxes"`` (subscripts are transparent)."""
+    parts: list[str] = []
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts)).lower()
+
+
+def _check_unbounded_outbox(info: ModuleInfo) -> Iterator[Finding]:
+    """Flag unbounded send-side queues in the host/send layers.
+
+    Two shapes:
+
+    1. ``asyncio.Queue()`` constructed with no ``maxsize`` — an
+       unbounded mailbox that a slow consumer grows forever.
+    2. ``<...outbox...>.append/extend/put_nowait(...)`` — an ad-hoc
+       per-connection outbox grown without a capacity check.  Bounding,
+       lane split and overflow policy belong to
+       :class:`repro.net.flowcontrol.BoundedOutbox`.
+    """
+    applies = any(
+        info.module == p or info.module.startswith(p + ".")
+        for p in _OUTBOX_SCOPE_PREFIXES
+    )
+    if not applies:
+        return
+    imports = _import_map(info.tree)
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _qualified_name(node.func, imports)
+        if name in ("asyncio.Queue", "asyncio.queues.Queue"):
+            has_maxsize = bool(node.args) or any(
+                kw.arg == "maxsize" for kw in node.keywords
+            )
+            if not has_maxsize:
+                yield _finding(
+                    info, "PERF003", node,
+                    "asyncio.Queue() without maxsize grows without bound "
+                    "under a slow consumer",
+                )
+            continue
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _OUTBOX_GROW_METHODS
+            and "outbox" in _receiver_chain(node.func.value)
+        ):
+            yield _finding(
+                info, "PERF003", node,
+                f"unchecked .{node.func.attr}() on an outbox bypasses "
+                "the bounded flow-control layer "
+                "(repro.net.flowcontrol.BoundedOutbox)",
+            )
+
+
+# --------------------------------------------------------------------------
 # EFF001: isinstance dispatch over Effect types
 # --------------------------------------------------------------------------
 
@@ -578,6 +676,8 @@ def check_module(info: ModuleInfo, rule_ids: list[str]) -> list[Finding]:
             findings.extend(_check_fanout_encode(info))
         elif rule_id == "PERF002":
             findings.extend(_check_runtimes_access(info))
+        elif rule_id == "PERF003":
+            findings.extend(_check_unbounded_outbox(info))
         elif rule_id == "EFF001":
             findings.extend(_check_effect_dispatch(info))
     return findings

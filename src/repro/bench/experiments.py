@@ -12,10 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.bench.metrics import summarize
 from repro.bench.workload import BlastSender, MeasuredSender, build_room
+from repro.core.events import NOTIFY_KICKED, NOTIFY_MEMBERSHIP
 from repro.core.reduction import NeverReduce, ReduceByCount
 from repro.core.server import ServerConfig
+from repro.net.flowcontrol import FlowControlConfig
 from repro.sim.harness import CoronaWorld
 from repro.sim.profiles import (
     CAMPUS_HOP_LATENCY,
@@ -43,6 +47,7 @@ __all__ = [
     "server_scaling",
     "shard_scaling",
     "multicast_ablation",
+    "backpressure",
 ]
 
 
@@ -835,3 +840,181 @@ def shard_scaling(
             speedup=kbps / base,
         ))
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Backpressure: bounded outboxes, QoS lanes, coalescing and lag-kick
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BackpressureRow:
+    """One slow-consumer scenario (see ``docs/flow-control.md``)."""
+
+    scenario: str
+    #: Deepest any per-connection outbox ever got (frames, both lanes).
+    peak_depth: int
+    #: Superseded STATE deliveries dropped by key-coalescing.
+    coalesced: int
+    #: Connections lag-kicked (Disconnect(SLOW_CONSUMER)).
+    kicks: int
+    #: Control-lane latency at the congested client: how long a
+    #: membership notice takes to reach it while bulk traffic saturates
+    #: its downlink.
+    ctrl_p50_ms: float
+    ctrl_p99_ms: float
+    #: Notices that reached the slow client (the rest were behind a kick).
+    ctrl_received: int
+    #: Did the slow client observe NOTIFY_KICKED?
+    kicked: bool
+
+
+#: The flow policy under test: small enough bounds that a 28.8k modem
+#: consumer congests within seconds of blast traffic.
+_BOUNDED_FLOW = FlowControlConfig(
+    max_outbox_frames=256,
+    max_outbox_bytes=8 * 1024 * 1024,
+    coalesce_watermark=64,
+    link_window=0.25,
+)
+
+#: Flow control effectively disabled: bounds and watermark too high to
+#: ever trip, and a link window so large the sim host commits every frame
+#: to the wire immediately (the pre-flow-control behaviour — queueing
+#: happens invisibly, in front of control traffic).
+_UNBOUNDED_FLOW = FlowControlConfig(
+    max_outbox_frames=1_000_000,
+    max_outbox_bytes=1 << 40,
+    coalesce_watermark=1_000_000,
+    link_window=1e9,
+)
+
+#: Tiny bounds plus a non-coalescible (UPDATE) blast: overflow cannot be
+#: coalesced away, so the slow consumer must be lag-kicked.
+_KICK_FLOW = FlowControlConfig(
+    max_outbox_frames=16,
+    max_outbox_bytes=1 << 20,
+    coalesce_watermark=4,
+    link_window=0.25,
+)
+
+
+def _backpressure_scenario(
+    scenario: str,
+    flow: FlowControlConfig,
+    blast: str | None,
+    blast_count: int,
+    blast_interval: float,
+    size: int,
+    churn_ops: int,
+    churn_interval: float,
+) -> BackpressureRow:
+    """One run: a LAN client blasts a two-member group whose other member
+    sits behind a 28.8k modem, while a third LAN client joins and leaves
+    the group.  Each churn op emits a MembershipNotice — control-lane
+    traffic whose arrival time at the *modem* client is the QoS probe:
+    with lanes it overtakes the queued bulk backlog, without them it
+    drowns behind it."""
+    world = CoronaWorld()
+    world.add_segment("modem", MODEM_28_8)
+    server = world.add_server(
+        profile=ULTRASPARC_1,
+        config=ServerConfig(server_id="server", stateful=True),
+        flow=flow,
+    )
+    fast = world.add_client(host_id="blaster", segment="lan", server="server")
+    slow = world.add_client(host_id="victim", segment="modem", server="server")
+    churn = world.add_client(host_id="churn", segment="lan", server="server")
+    world.run()  # single-server world: drains once everyone is connected
+    created = fast.call("create_group", "bench", True)
+    world.run()
+    assert created.ok, f"group creation failed: {created.error}"
+    joins = [
+        fast.call("join_group", "bench"),
+        # notify_membership=True: the membership notices ARE the probe
+        slow.call("join_group", "bench", notify_membership=True),
+    ]
+    world.run()
+    assert all(j.ok for j in joins), "not every client joined"
+    start = world.now + 0.1
+
+    # Bulk blast: STATE frames rotate over four object ids (each new state
+    # supersedes the queued one), UPDATE frames are never droppable.
+    if blast is not None:
+        method = "bcast_state" if blast == "state" else "bcast_update"
+
+        def _send_blast(i: int) -> None:
+            if fast.core.connected:
+                fast.call(method, "bench", f"obj-{i % 4}", bytes(size))
+
+        for i in range(blast_count):
+            world.kernel.schedule_at(start + i * blast_interval, _send_blast, i)
+
+    # Control-lane probe: membership churn.  Each successful op makes the
+    # server notify the remaining members (MembershipNotice, control lane).
+    op_times: list[float] = []
+
+    def _churn(i: int) -> None:
+        if churn.core.connected:
+            op_times.append(world.now)
+            if i % 2 == 0:
+                churn.call("join_group", "bench")
+            else:
+                churn.call("leave_group", "bench")
+
+    for i in range(churn_ops):
+        world.kernel.schedule_at(start + i * churn_interval, _churn, i)
+
+    world.run()
+
+    notice_times = [
+        at for at, kind, _ in slow.events
+        if kind == NOTIFY_MEMBERSHIP and at >= start
+    ]
+    # FIFO per connection: the k-th notice answers the k-th churn op
+    # (a kicked client simply stops receiving them).
+    latencies = [at - sent for at, sent in zip(notice_times, op_times)]
+
+    stats = server.host.dispatch_stats
+    return BackpressureRow(
+        scenario=scenario,
+        peak_depth=server.host.outbox_peak_depth,
+        coalesced=stats.outbox_coalesced,
+        kicks=stats.outbox_kicks,
+        ctrl_p50_ms=float(np.percentile(latencies, 50)) * 1000.0 if latencies else 0.0,
+        ctrl_p99_ms=float(np.percentile(latencies, 99)) * 1000.0 if latencies else 0.0,
+        ctrl_received=len(notice_times),
+        kicked=any(kind == NOTIFY_KICKED for _, kind, _ in slow.events),
+    )
+
+
+def backpressure(
+    blast_count: int = 200,
+    blast_interval: float = 0.03,
+    size: int = 2000,
+    churn_ops: int = 24,
+    churn_interval: float = 0.4,
+) -> list[BackpressureRow]:
+    """Slow-consumer behaviour of the flow-controlled send path.
+
+    Four scenarios on one topology (LAN blaster, modem victim, LAN
+    membership churner as the control-lane probe):
+
+    * ``quiet`` — no blast: baseline control-lane notice latency.
+    * ``bounded`` — STATE blast under the bounded policy: outbox depth
+      plateaus (coalescing), nobody is kicked, control stays fast.
+    * ``unbounded`` — same blast with flow control effectively off: the
+      wire queue grows without bound and control traffic drowns.
+    * ``kick`` — non-coalescible UPDATE blast against tiny bounds: the
+      modem client is lag-kicked with ``Disconnect(SLOW_CONSUMER)``.
+    """
+    common = dict(
+        blast_count=blast_count, blast_interval=blast_interval, size=size,
+        churn_ops=churn_ops, churn_interval=churn_interval,
+    )
+    return [
+        _backpressure_scenario("quiet", _BOUNDED_FLOW, None, **common),
+        _backpressure_scenario("bounded", _BOUNDED_FLOW, "state", **common),
+        _backpressure_scenario("unbounded", _UNBOUNDED_FLOW, "state", **common),
+        _backpressure_scenario("kick", _KICK_FLOW, "update", **common),
+    ]

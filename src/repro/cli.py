@@ -109,6 +109,7 @@ _BENCHES = {
     "scaling": ("server_scaling", {"quick": {"fanout_counts": (1, 3), "n_clients": 120, "probes": 3}}),
     "shards": ("shard_scaling", {"quick": {"n_groups": 8, "members": 3, "duration": 1.0}}),
     "mcast": ("multicast_ablation", {"quick": {"client_counts": (10, 30), "probes": 8}}),
+    "backpressure": ("backpressure", {"quick": {"blast_count": 80, "churn_ops": 10}}),
 }
 
 

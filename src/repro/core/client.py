@@ -43,6 +43,7 @@ from repro.core.events import (
     NOTIFY_ERROR,
     NOTIFY_FORKED,
     NOTIFY_GROUP_DELETED,
+    NOTIFY_KICKED,
     NOTIFY_MEMBERSHIP,
     NOTIFY_REBASED,
     NOTIFY_RECONNECT_FAILED,
@@ -66,6 +67,7 @@ from repro.wire.messages import (
     DeleteGroupRequest,
     Delivery,
     DeliveryMode,
+    Disconnect,
     ErrorReply,
     ForkNotice,
     GetMembershipRequest,
@@ -200,13 +202,24 @@ class GroupView:
             self.pending_exclusive.clear()
             self.fifo = FifoChecker()
 
-    def apply_delivery(self, record: UpdateRecord, own_id: str) -> None:
+    def apply_delivery(
+        self, record: UpdateRecord, own_id: str,
+        skipped: tuple[SeqNo, ...] = (),
+    ) -> None:
         if record.seqno < self.next_seqno:
             raise ProtocolError(
                 f"duplicate delivery seqno {record.seqno} in {self.name!r}"
             )
         while self.next_seqno < record.seqno:
-            # Gap: must be one of our own exclusive broadcasts (FIFO order).
+            # Gap: either a superseded bcastState frame the server's flow
+            # control coalesced away for us (annotated on this frame, see
+            # docs/flow-control.md — a newer STATE for the object is already
+            # on its way, so skipping is state-safe), or one of our own
+            # exclusive broadcasts (FIFO order).  The two sets are disjoint:
+            # our own exclusive slots were never queued on our connection.
+            if self.next_seqno in skipped:
+                self.next_seqno += 1
+                continue
             if not self.pending_exclusive:
                 raise ProtocolError(
                     f"delivery gap at seqno {self.next_seqno} in {self.name!r}"
@@ -478,6 +491,11 @@ class ClientCore(ProtocolCore):
                 view.name = message.new_name
                 self.views[message.new_name] = view
             self.emit(Notify(NOTIFY_FORKED, (message.group, message.new_name)))
+        elif isinstance(message, Disconnect):
+            # The server is about to close this connection (e.g. we were
+            # lag-kicked as a slow consumer, docs/flow-control.md).  The
+            # close itself arrives via on_closed; this notice carries why.
+            self.emit(Notify(NOTIFY_KICKED, message))
         else:
             raise ProtocolError(f"unexpected message {type(message).__name__}")
 
@@ -495,7 +513,10 @@ class ClientCore(ProtocolCore):
     def _on_delivery(self, message: Delivery) -> None:
         view = self.views.get(message.group)
         if view is not None:
-            view.apply_delivery(message.update, own_id=self.config.client_id)
+            view.apply_delivery(
+                message.update, own_id=self.config.client_id,
+                skipped=message.skipped,
+            )
         self.emit(Notify(NOTIFY_DELIVERY, DeliveryEvent(message.group, message.update)))
 
     # ------------------------------------------------------------------

@@ -46,6 +46,7 @@ __all__ = [
     "NOTIFY_REJOINED",
     "NOTIFY_REBASED",
     "NOTIFY_FORKED",
+    "NOTIFY_KICKED",
 ]
 
 # Well-known ``Notify.kind`` tags.  Cores, hosts, and tests share these
@@ -62,6 +63,7 @@ NOTIFY_GROUP_DELETED = "group_deleted"
 NOTIFY_REJOINED = "rejoined"
 NOTIFY_REBASED = "rebased"
 NOTIFY_FORKED = "forked"
+NOTIFY_KICKED = "kicked"
 
 
 @dataclass(frozen=True)

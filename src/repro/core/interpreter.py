@@ -47,13 +47,18 @@ Shared host semantics (normative)
                      cancelled first; exactly one firing per key is
                      pending at any time
 ``CancelTimer``      cancelling a missing/already-fired key is a no-op
-``SendMessage``      a send to an unknown or closed connection is dropped,
-                     logged at WARNING level, and counted in
-                     ``DispatchStats.send_drops`` (fail-stop: the peer is
-                     simply gone)
-``SendMulticast``    unknown connections in the fan-out are skipped and
-                     counted in ``multicast_drops``; delivery to the
-                     remaining connections proceeds
+``SendMessage``      a send to an unknown, closed, or lag-kicked
+                     connection is dropped, logged at WARNING level, and
+                     counted in ``DispatchStats.send_drops`` (fail-stop:
+                     the peer is gone, or flow control gave up on it —
+                     see ``docs/flow-control.md``); accepted sends queue
+                     through the connection's bounded two-lane outbox,
+                     where superseded ``STATE`` deliveries may later be
+                     coalesced (``outbox_coalesced``) or the consumer
+                     kicked (``outbox_kicks``)
+``SendMulticast``    unknown or kicked connections in the fan-out are
+                     skipped and counted in ``multicast_drops``; delivery
+                     to the remaining connections proceeds
 ``TruncateWal``      counted in ``wal_truncates``; the default backend
                      implementation is an *explicit* no-op because
                      ``GroupStore.checkpoint`` already rotates WAL
@@ -135,6 +140,13 @@ class DispatchStats:
     wal_truncates: int = 0
     notifications: int = 0
     shutdowns: int = 0
+    #: Superseded ``STATE`` deliveries removed from bounded outboxes
+    #: (``repro.net.flowcontrol``); deterministic given the push sequence,
+    #: so it participates in host-parity checks like every other counter.
+    outbox_coalesced: int = 0
+    #: Connections lag-kicked after coalescing could not shrink their
+    #: outbox below the configured bounds.
+    outbox_kicks: int = 0
 
 
 class EffectBackend:
@@ -467,7 +479,7 @@ def build_interpreter(
         else:
             stats.send_drops += 1
             logger.warning(
-                "dropping SendMessage to unknown connection %r", effect.conn
+                "dropping SendMessage to unknown or kicked connection %r", effect.conn
             )
 
     def send_batch(conn: int, run: list[SendMessage]) -> None:
@@ -476,7 +488,7 @@ def build_interpreter(
         else:
             stats.send_drops += len(run)
             logger.warning(
-                "dropping batch of %d messages to unknown connection %r",
+                "dropping batch of %d messages to unknown or kicked connection %r",
                 len(run), conn,
             )
 
@@ -487,7 +499,7 @@ def build_interpreter(
         if dropped:
             stats.multicast_drops += dropped
             logger.warning(
-                "multicast skipped %d unknown connection(s) of %d",
+                "multicast skipped %d unknown or kicked connection(s) of %d",
                 dropped, len(effect.conns),
             )
 

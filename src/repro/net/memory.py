@@ -45,11 +45,17 @@ class MemoryConnection:
         # encode/decode round-trip keeps the wire format honest; going
         # through the frame cache also enforces MAX_FRAME_SIZE, so this
         # transport rejects oversized messages exactly like TCP does.
+        # Handing the cached payload bytes across is already zero-copy —
+        # safe for the same reason as TCP's writelines path: cached frames
+        # are immutable (no-mutation-after-cache, docs/protocol.md §6).
         self._other._rx.put_nowait(encoded_frame(message).payload)
 
     async def send_many(self, messages: Iterable[Message]) -> None:
         """Batch counterpart of :meth:`send` (same per-message semantics;
-        in-process pipes have no flush to coalesce)."""
+        in-process pipes have no flush to coalesce).  The ``_rx`` queue
+        models the peer's kernel socket buffer — it is transport-internal
+        and deliberately unbounded; *application* backpressure lives in
+        :mod:`repro.net.flowcontrol`, upstream of any transport."""
         if self._closed or self._other is None:
             raise NotConnectedError("connection is closed")
         for message in messages:

@@ -38,19 +38,22 @@ class TcpConnection:
     async def send(self, message: Message) -> None:
         if self._closed:
             raise NotConnectedError("connection is closed")
-        self._writer.write(encoded_frame(message).frame)
+        self._writer.write(encoded_frame(message).view)
         await self._writer.drain()
 
     async def send_many(self, messages: Iterable[Message]) -> None:
-        """Write a batch of frames with a single flush.
+        """Gather-write a batch of cached frames with a single flush.
 
-        One ``write`` + one ``drain`` for the whole batch: frames queued
-        behind the same connection coalesce instead of paying a flush per
-        message, while per-connection FIFO order is preserved.
+        ``writelines`` hands the writer one :class:`memoryview` per cached
+        frame — zero copies between the frame cache and the socket buffer
+        (the old path joined the frames into a fresh ``bytes`` first).
+        Safe because cached frames are immutable (no-mutation-after-cache,
+        ``docs/protocol.md`` §6); one ``drain`` flushes the whole batch, so
+        per-connection FIFO order is preserved.
         """
         if self._closed:
             raise NotConnectedError("connection is closed")
-        self._writer.write(b"".join(encoded_frame(m).frame for m in messages))
+        self._writer.writelines([encoded_frame(m).view for m in messages])
         await self._writer.drain()
 
     async def receive(self) -> Message | None:

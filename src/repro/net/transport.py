@@ -4,6 +4,12 @@ The asyncio runtime is written against these protocols so the same server
 and client code runs over real TCP sockets (:mod:`repro.net.tcp`) and over
 in-process pipes (:mod:`repro.net.memory`) in tests.  The simulator does
 not use them — it has its own deterministic network model.
+
+Connections are *dumb pipes*: they frame, flush, and preserve FIFO order,
+nothing more.  Bounding, priority lanes, coalescing, and lag-kicks all
+live one layer up in :mod:`repro.net.flowcontrol` (policy) and the hosts
+that drain its outboxes (see ``docs/flow-control.md``), so every
+transport gets the same flow-control behaviour for free.
 """
 
 from __future__ import annotations
@@ -29,7 +35,14 @@ class Connection(Protocol):
         ...
 
     async def send_many(self, messages: Iterable[Message]) -> None:
-        """Write a batch of messages with one flush, preserving order."""
+        """Write a batch of messages with one flush, preserving order.
+
+        Implementations gather-write the *cached* encoded frames
+        (``repro.wire.frames.encoded_frame``) without copying; callers
+        must therefore never mutate a message after handing it to the
+        send path (guaranteed by frozen dataclasses — the
+        no-mutation-after-cache invariant, ``docs/protocol.md`` §6).
+        """
         ...
 
     async def receive(self) -> Message | None:

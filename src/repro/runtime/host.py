@@ -10,8 +10,11 @@ and are identical under simulation.  Ordering guarantees:
 
 * effects from one input event are executed in emission order;
 * messages to one connection are written by a dedicated writer task fed
-  from a FIFO queue, preserving per-connection send order even though
-  socket writes await.
+  from a bounded two-lane outbox (:class:`repro.net.flowcontrol.BoundedOutbox`),
+  preserving per-connection per-lane FIFO order even though socket writes
+  await; control frames may overtake queued bulk ``Delivery`` frames, a
+  slow consumer's stale ``STATE`` frames coalesce, and an incorrigibly
+  slow consumer is lag-kicked (``docs/flow-control.md``).
 
 Storage effects go to an optional :class:`~repro.storage.GroupStore`; a
 background flush task bounds the WAL loss window, mirroring the paper's
@@ -32,6 +35,7 @@ from repro.core.interpreter import (
     Middleware,
     build_interpreter,
 )
+from repro.net.flowcontrol import DEFAULT_FLOW, BoundedOutbox, FlowControlConfig
 from repro.net.transport import Connection, Listener, Transport
 from repro.storage.store import GroupStore
 
@@ -51,15 +55,19 @@ class AsyncioHost(EffectBackend):
         store: GroupStore | None = None,
         flush_interval: float | None = 0.2,
         middlewares: Iterable[Middleware] = (),
+        flow: FlowControlConfig | None = None,
     ) -> None:
         self.core = core
         self.transport = transport
         self.clock = clock or MonotonicClock()
         self.store = store
+        self.flow = flow if flow is not None else DEFAULT_FLOW
         self.interpreter = build_interpreter(self, middlewares)
         self._flush_interval = flush_interval
         self._conns: dict[int, Connection] = {}
-        self._outboxes: dict[int, asyncio.Queue] = {}
+        self._outboxes: dict[int, BoundedOutbox] = {}
+        self._wakeups: dict[int, asyncio.Event] = {}
+        self._retired_peak_depth = 0
         self._tasks: set[asyncio.Task] = set()
         self._timers: dict[str, asyncio.TimerHandle] = {}
         self._next_conn = 0
@@ -71,6 +79,17 @@ class AsyncioHost(EffectBackend):
     def dispatch_stats(self) -> DispatchStats:
         """Effect counters (sends, drops, timers, WAL ops, ...)."""
         return self.interpreter.stats
+
+    @property
+    def outbox_peak_depth(self) -> int:
+        """High-water mark of queued frames over all outboxes, ever.
+
+        A host-level gauge rather than a ``DispatchStats`` counter: peak
+        depth depends on writer/pump scheduling, so it is measured, not
+        parity-checked across backends (``docs/flow-control.md``).
+        """
+        live = max((box.peak_depth for box in self._outboxes.values()), default=0)
+        return max(live, self._retired_peak_depth)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -133,12 +152,16 @@ class AsyncioHost(EffectBackend):
         outbox = self._outboxes.get(conn)
         if outbox is None:
             return False
-        outbox.put_nowait(message)
-        return True
+        accepted = outbox.push(message)
+        wakeup = self._wakeups.get(conn)
+        if wakeup is not None:
+            wakeup.set()
+        return accepted
 
     # deliver_batch: the base per-message loop is already optimal here —
     # the writer task coalesces everything queued behind one connection
-    # into a single send_many flush.
+    # into a single send_many flush, and per-push accept/refuse results
+    # match the simulator's push sequence counter-for-counter.
 
     # TCP has no multicast, so deliver_multicast degrades to the base
     # unicast loop (the paper's "point-to-point whenever IP-multicast is
@@ -173,8 +196,18 @@ class AsyncioHost(EffectBackend):
 
     def close_connection(self, conn: int) -> None:
         connection = self._conns.get(conn)
-        if connection is not None:
-            self._spawn(connection.close())
+        if connection is None:
+            return
+        outbox = self._outboxes.get(conn)
+        if outbox is not None and not outbox.empty:
+            # flush queued frames (e.g. an ErrorReply) before closing;
+            # the writer performs the close once the outbox drains
+            outbox.close_requested = True
+            wakeup = self._wakeups.get(conn)
+            if wakeup is not None:
+                wakeup.set()
+            return
+        self._spawn(connection.close())
 
     # ------------------------------------------------------------------
     # EffectBackend: storage
@@ -226,7 +259,8 @@ class AsyncioHost(EffectBackend):
         conn_id = self._next_conn
         self._next_conn += 1
         self._conns[conn_id] = conn
-        self._outboxes[conn_id] = asyncio.Queue()
+        self._outboxes[conn_id] = BoundedOutbox(self.flow, self.interpreter.stats)
+        self._wakeups[conn_id] = asyncio.Event()
         self._spawn(self._writer_loop(conn_id, conn))
         self._spawn(self._reader_loop(conn_id, conn))
         self.dispatch(self.core.on_connected(conn_id, peer=conn.peer, key=key))
@@ -272,22 +306,30 @@ class AsyncioHost(EffectBackend):
 
     async def _writer_loop(self, conn_id: int, conn: Connection) -> None:
         outbox = self._outboxes[conn_id]
+        wakeup = self._wakeups[conn_id]
         try:
             while True:
-                batch = [await outbox.get()]
-                # Coalesce everything already queued behind this
-                # connection into one flush: under fan-out load many
-                # frames accumulate while the previous drain awaits, and
-                # batching them amortizes the per-write wakeup cost.
+                await wakeup.wait()
+                wakeup.clear()
                 while True:
-                    try:
-                        batch.append(outbox.get_nowait())
-                    except asyncio.QueueEmpty:
+                    # Drain control-first: everything queued behind this
+                    # connection goes out in one send_many flush (frames
+                    # accumulate while the previous drain awaits, and
+                    # batching amortizes the per-write wakeup cost).
+                    batch = outbox.pop_all()
+                    if not batch:
                         break
-                if len(batch) == 1:
-                    await conn.send(batch[0])
-                else:
-                    await conn.send_many(batch)
+                    if len(batch) == 1:
+                        await conn.send(batch[0])
+                    else:
+                        await conn.send_many(batch)
+                if outbox.kicked or outbox.close_requested:
+                    # lag-kick (the Disconnect notice just flushed) or a
+                    # core-requested close waiting on the drain; the
+                    # reader loop observes the close and delivers
+                    # on_closed exactly once
+                    await conn.close()
+                    return
         except asyncio.CancelledError:
             return
         except Exception:
@@ -298,7 +340,10 @@ class AsyncioHost(EffectBackend):
     def _drop_connection(self, conn_id: int) -> None:
         if self._conns.pop(conn_id, None) is None:
             return
-        self._outboxes.pop(conn_id, None)
+        outbox = self._outboxes.pop(conn_id, None)
+        if outbox is not None and outbox.peak_depth > self._retired_peak_depth:
+            self._retired_peak_depth = outbox.peak_depth
+        self._wakeups.pop(conn_id, None)
         self.dispatch(self.core.on_closed(conn_id))
 
     # ------------------------------------------------------------------

@@ -661,6 +661,7 @@ class ShardedHost:
         mailbox_size: int = 1024,
         vnodes: int = 64,
         race_recorder: Any = None,
+        flow: Any = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -680,7 +681,7 @@ class ShardedHost:
         )
         self.front = AsyncioHost(
             self.sessions, transport, clock=self.clock,
-            middlewares=front_middlewares,
+            middlewares=front_middlewares, flow=flow,
         )
         self._store_root = Path(store_root) if store_root is not None else None
         self._mailbox_size = mailbox_size

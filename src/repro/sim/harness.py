@@ -260,15 +260,20 @@ class CoronaWorld:
         config: ServerConfig | None = None,
         store: GroupStore | None = None,
         sync_logging: bool = False,
+        flow: Any = None,
     ) -> SimServer:
-        """Create a Corona server host running a :class:`ServerCore`."""
+        """Create a Corona server host running a :class:`ServerCore`.
+
+        ``flow`` overrides the server's flow-control policy
+        (:class:`repro.net.flowcontrol.FlowControlConfig`).
+        """
         config = config or ServerConfig(server_id=host_id)
         # Persistence effects without a real GroupStore still cost
         # simulated CPU/disk time, they just are not durable; pass a
         # GroupStore for tests that exercise real recovery.
         host = SimHost(
             self.kernel, self.network, host_id, segment, profile,
-            store=store, sync_logging=sync_logging,
+            store=store, sync_logging=sync_logging, flow=flow,
         )
         core = ServerCore(config, clock=self.kernel)
         host.set_core(core)
@@ -288,6 +293,7 @@ class CoronaWorld:
         sync_logging: bool = False,
         core_clock: Any = None,
         race_recorder: Any = None,
+        flow: Any = None,
     ) -> SimServer:
         """Create a group-sharded server: front lane + one CPU lane,
         core, and store per shard (see :mod:`repro.sim.shard`).
@@ -303,7 +309,7 @@ class CoronaWorld:
             self.kernel, self.network, host_id, segment, profile,
             config=config, shards=shards, store_root=store_root,
             sync_logging=sync_logging, core_clock=core_clock,
-            race_recorder=race_recorder,
+            race_recorder=race_recorder, flow=flow,
         )
         for worker in host.workers:
             self._hook_checkpoints(f"{host_id}/shard{worker.index}", worker.core)

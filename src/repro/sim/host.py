@@ -24,6 +24,20 @@ charge, preserving the linear fan-out the paper measures.  Message sizes
 come from the frame cache (:mod:`repro.wire.frames`), so sizing a message
 the transport also encodes costs exactly one serialization.
 
+Flow control: every accepted send passes through the same
+:class:`~repro.net.flowcontrol.BoundedOutbox` policy the asyncio host
+uses — identical accept / coalesce / kick decisions, counter-for-counter
+(``docs/flow-control.md``).  Timing stays byte-identical to the
+pre-flow-control model on the uncongested path: each accepted frame gets
+one pump event at its CPU completion time, and the pump pops exactly one
+frame per event, so frames still enter the network at their individual
+``send_cost`` completion times.  Only when the link's committed backlog
+exceeds ``link_window`` do frames wait in the outbox (the sim analog of
+a full kernel socket buffer), where stale ``STATE`` deliveries become
+coalescible.  CPU was already charged at accept time, so coalescing
+saves link bytes, not CPU.  Lane priority applies at the serializer: a
+queued control frame takes the next available send slot ahead of bulk.
+
 Disk model: ``AppendWal`` effects go to the simulated disk.  Under
 asynchronous logging (the paper's configuration) they cost no CPU-path
 time; under synchronous logging the CPU stalls until the write completes,
@@ -45,6 +59,7 @@ from repro.core.interpreter import (
     Middleware,
     build_interpreter,
 )
+from repro.net.flowcontrol import DEFAULT_FLOW, BoundedOutbox, FlowControlConfig
 from repro.sim.disk import SimDisk
 from repro.sim.kernel import CpuLanes, EventHandle, SimKernel
 from repro.sim.network import Channel, SimNetwork
@@ -81,6 +96,7 @@ class SimHost(EffectBackend):
         store: GroupStore | None = None,
         sync_logging: bool = False,
         middlewares: Iterable[Middleware] = (),
+        flow: FlowControlConfig | None = None,
     ) -> None:
         self.kernel = kernel
         self.network = network
@@ -89,6 +105,7 @@ class SimHost(EffectBackend):
         self.profile = profile
         self.store = store
         self.sync_logging = sync_logging
+        self.flow = flow if flow is not None else DEFAULT_FLOW
         self.disk = SimDisk(kernel, profile.disk)
         self.stats = HostStats()
         self.interpreter = build_interpreter(self, middlewares)
@@ -100,6 +117,8 @@ class SimHost(EffectBackend):
         self._lane = 0
         self._channels: dict[int, Channel] = {}
         self._conn_ids: dict[int, int] = {}  # channel_id -> conn_id
+        self._outboxes: dict[int, BoundedOutbox] = {}
+        self._retired_peak_depth = 0
         self._next_conn = 0
         self._timers: dict[str, EventHandle] = {}
         self._notify_handlers: list[Callable[[str, Any], None]] = []
@@ -118,6 +137,22 @@ class SimHost(EffectBackend):
     def dispatch_stats(self) -> DispatchStats:
         """Effect counters (sends, drops, timers, WAL ops, ...)."""
         return self.interpreter.stats
+
+    @property
+    def outbox_peak_depth(self) -> int:
+        """High-water mark of queued frames over all outboxes, ever.
+
+        Host-level gauge, not a ``DispatchStats`` counter: depth depends
+        on drain scheduling, so it is measured per backend rather than
+        parity-checked (``docs/flow-control.md``).
+        """
+        live = max((box.peak_depth for box in self._outboxes.values()), default=0)
+        return max(live, self._retired_peak_depth)
+
+    def _retire_outbox(self, conn: int) -> None:
+        box = self._outboxes.pop(conn, None)
+        if box is not None and box.peak_depth > self._retired_peak_depth:
+            self._retired_peak_depth = box.peak_depth
 
     # -- CPU accounting ------------------------------------------------------
 
@@ -171,6 +206,7 @@ class SimHost(EffectBackend):
         self._next_conn += 1
         self._channels[conn] = channel
         self._conn_ids[channel.channel_id] = conn
+        self._outboxes[conn] = BoundedOutbox(self.flow, self.interpreter.stats)
         peer = channel.peer_of(self.host_id)
         self.interpreter.execute(self.core.on_connected(conn, peer=peer, key=key))
 
@@ -218,57 +254,144 @@ class SimHost(EffectBackend):
         if conn is None:
             return
         self._channels.pop(conn, None)
+        self._retire_outbox(conn)
         self.interpreter.execute(self.core.on_closed(conn))
 
     # -- EffectBackend: sends ---------------------------------------------------
 
     def deliver(self, conn: int, message: Any) -> bool:
         channel = self._channels.get(conn)
-        if channel is None:
+        box = self._outboxes.get(conn)
+        if channel is None or box is None:
             return False  # connection already gone; fail-stop semantics
+        was_kicked = box.kicked
+        accepted = box.push(message)
+        if not accepted:
+            if box.kicked and not was_kicked:
+                # this push triggered the kick: flush the Disconnect
+                # notice queued on the control lane, then close
+                self.kernel.schedule_at(
+                    max(self.kernel.now(), self._cpu_free), self._pump, conn
+                )
+            return False
         size = frames.frame_size(message)
         done = self._occupy_cpu(self.profile.send_cost(size))
         self.stats.messages_sent += 1
         self.stats.bytes_sent += size
-        self.kernel.schedule_at(done, self._enter_network, channel, [(message, size)])
+        self.kernel.schedule_at(done, self._pump, conn)
         return True
 
     def deliver_batch(self, conn: int, messages: list[Any]) -> bool:
         """One CPU occupancy for a run of sends to one connection.
 
-        The batch costs ``send_cost(total frame bytes)`` — batching saves
-        the per-flush overhead, never the per-byte cost — and the frames
-        still enter the network individually, in order.
+        The batch costs ``send_cost(total accepted frame bytes)`` —
+        batching saves the per-flush overhead, never the per-byte cost —
+        and the frames still leave the outbox individually, in order.
         """
         channel = self._channels.get(conn)
-        if channel is None:
+        box = self._outboxes.get(conn)
+        if channel is None or box is None:
             return False
-        sized = [(message, frames.frame_size(message)) for message in messages]
-        total = sum(size for _m, size in sized)
-        done = self._occupy_cpu(self.profile.send_cost(total))
-        self.stats.messages_sent += len(sized)
-        self.stats.bytes_sent += total
-        self.kernel.schedule_at(done, self._enter_network, channel, sized)
-        return True
+        was_kicked = box.kicked
+        accepted = 0
+        total = 0
+        ok = True
+        for message in messages:
+            if box.push(message):
+                accepted += 1
+                total += frames.frame_size(message)
+            else:
+                ok = False
+        if accepted:
+            done = self._occupy_cpu(self.profile.send_cost(total))
+            self.stats.messages_sent += accepted
+            self.stats.bytes_sent += total
+            for _ in range(accepted):
+                self.kernel.schedule_at(done, self._pump, conn)
+        elif box.kicked and not was_kicked:
+            self.kernel.schedule_at(
+                max(self.kernel.now(), self._cpu_free), self._pump, conn
+            )
+        return ok
 
-    def _enter_network(self, channel: Channel, sized: list[tuple[Any, int]]) -> None:
-        if self.alive:
-            for message, size in sized:
-                self.network.send(channel, self.host_id, message, size)
+    def _pump(self, conn: int) -> None:
+        """Move one outbox frame onto the wire (control lane first).
+
+        One pump event exists per accepted push (scheduled at that push's
+        CPU completion), so on the uncongested path frames enter the
+        network at exactly the times the pre-flow-control model used.
+        When the link's committed backlog exceeds ``flow.link_window`` the
+        event re-arms itself for when the backlog has decayed to the
+        window — that wait, not an unbounded segment reservation, is what
+        makes a slow consumer's frames pile up in its bounded outbox.
+        """
+        if not self.alive:
+            return
+        box = self._outboxes.get(conn)
+        if box is None:
+            return
+        channel = self._channels.get(conn)
+        if channel is None:
+            self._retire_outbox(conn)
+            return
+        if not box.empty:
+            backlog = self.network.link_backlog(channel, self.host_id)
+            if backlog > self.flow.link_window:
+                self.kernel.schedule(
+                    max(backlog - self.flow.link_window, 1e-9), self._pump, conn
+                )
+                return
+            message = box.pop_next()
+            self.network.send(
+                channel, self.host_id, message, frames.frame_size(message)
+            )
+        if box.empty and (box.kicked or box.close_requested):
+            self._channels.pop(conn, None)
+            self._conn_ids.pop(channel.channel_id, None)
+            self._retire_outbox(conn)
+            self.network.close(channel, self.host_id)
+            if box.kicked and self.core is not None:
+                # mirror the asyncio runtime: the reader observing the
+                # kick-close delivers on_closed on the server side too
+                self.interpreter.execute(self.core.on_closed(conn))
 
     def deliver_multicast(self, conns: Sequence[int], message: Any) -> int:
-        channels = [self._channels[conn] for conn in conns if conn in self._channels]
-        if not channels:
-            return 0
         size = frames.frame_size(message)
+        fast: list[Channel] = []
+        queued: list[int] = []
+        for conn in conns:
+            channel = self._channels.get(conn)
+            box = self._outboxes.get(conn)
+            if channel is None or box is None or box.kicked:
+                continue
+            if box.empty and (
+                self.network.link_backlog(channel, self.host_id)
+                <= self.flow.link_window
+            ):
+                fast.append(channel)
+            else:
+                queued.append(conn)
+        if not fast and not queued:
+            return 0
         # one serialization on the CPU, however many receivers
         done = self._occupy_cpu(self.profile.send_cost(size))
-        self.stats.messages_sent += len(channels)
         self.stats.bytes_sent += size
-        self.kernel.schedule_at(
-            done, self._enter_network_multicast, channels, message, size
-        )
-        return len(channels)
+        self.stats.messages_sent += len(fast)
+        delivered = len(fast)
+        if fast:
+            self.kernel.schedule_at(
+                done, self._enter_network_multicast, fast, message, size
+            )
+        for conn in queued:
+            # congested receivers fall back to private unicast copies fed
+            # through their bounded outboxes (the shared-medium multicast
+            # already left without them)
+            box = self._outboxes[conn]
+            if box.push(message):
+                delivered += 1
+                self.stats.messages_sent += 1
+                self.kernel.schedule_at(done, self._pump, conn)
+        return delivered
 
     def _enter_network_multicast(self, channels: list, message: Any, size: int) -> None:
         if self.alive:
@@ -307,6 +430,13 @@ class SimHost(EffectBackend):
         self.network.connect(self.host_id, target, key)
 
     def close_connection(self, conn: int) -> None:
+        box = self._outboxes.get(conn)
+        if box is not None and not box.empty:
+            # flush queued frames first (TCP flushes buffered data before
+            # FIN): the outstanding pump events drain the outbox, and the
+            # last one performs the close
+            box.close_requested = True
+            return
         # close after already-queued writes have entered the
         # network (TCP flushes buffered data before FIN)
         self.kernel.schedule_at(
@@ -315,6 +445,7 @@ class SimHost(EffectBackend):
 
     def _do_close(self, conn: int) -> None:
         channel = self._channels.pop(conn, None)
+        self._retire_outbox(conn)
         if channel is not None:
             self._conn_ids.pop(channel.channel_id, None)
             self.network.close(channel, self.host_id)
@@ -385,6 +516,7 @@ class SimHost(EffectBackend):
         self._timers.clear()
         self._channels.clear()
         self._conn_ids.clear()
+        self._outboxes.clear()
         self.network.detach(self.host_id)
         if self.store is not None:
             self.store.close()

@@ -316,6 +316,24 @@ class SimNetwork:
             1 for name in by_segment if self._segments[name] is not src_segment
         ))
 
+    def link_backlog(self, channel: Channel, sender: str) -> float:
+        """Seconds of committed transmission time queued ahead of a new
+        send from *sender* on this channel's path.
+
+        This is the sim analog of "how full is the kernel socket buffer":
+        the host-side flow control (:mod:`repro.net.flowcontrol`) keeps
+        frames in its bounded outbox while the backlog exceeds the
+        configured ``link_window`` instead of committing them to segment
+        reservations unboundedly far in the future.
+        """
+        now = self._kernel.now()
+        src = self._attachment.get(sender)
+        backlog = 0.0 if src is None else src.busy_until - now
+        dst = self._attachment.get(channel.peer_of(sender))
+        if dst is not None and dst is not src:
+            backlog = max(backlog, dst.busy_until - now)
+        return max(0.0, backlog)
+
     def _deliver(self, channel: Channel, receiver: str, message: Any, size: int) -> None:
         if not channel.open:
             return  # connection died while the message was in flight

@@ -229,6 +229,7 @@ class ShardedSimHost(SimHost):
         core_clock: Clock | None = None,
         vnodes: int = 64,
         race_recorder: Any = None,
+        flow: Any = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
@@ -247,6 +248,7 @@ class ShardedSimHost(SimHost):
             store=None,  # storage is per shard, not host-wide
             sync_logging=sync_logging,
             middlewares=front_middlewares,
+            flow=flow,
         )
         self.config = config
         self.shards = shards

@@ -65,6 +65,18 @@ class EncodedFrame:
     def frame_size(self) -> int:
         return len(self.frame)
 
+    @property
+    def view(self) -> memoryview:
+        """Zero-copy view of the wire frame for gather-writes.
+
+        Safe to hand to ``StreamWriter.writelines`` because the backing
+        ``bytes`` is immutable (the no-mutation-after-cache invariant,
+        ``docs/protocol.md`` §6) and outlives the view via the per-instance
+        memo: the view keeps the ``EncodedFrame`` — and thus the buffer —
+        alive until the transport has flushed it.
+        """
+        return memoryview(self.frame)
+
 
 def encoded_frame(message: Any) -> EncodedFrame:
     """Return the (memoized) :class:`EncodedFrame` for *message*.

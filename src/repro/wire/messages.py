@@ -57,6 +57,8 @@ __all__ = [
     "MembershipReply",
     "GroupListReply",
     "Delivery",
+    "DisconnectReason",
+    "Disconnect",
     "MembershipNotice",
     "GroupDeletedNotice",
     "LockGranted",
@@ -467,10 +469,18 @@ class GroupListReply(Message):
 @register(56)
 @dataclass(frozen=True)
 class Delivery(Message):
-    """A sequenced multicast delivered to a group member."""
+    """A sequenced multicast delivered to a group member.
+
+    ``skipped`` lists seqnos of this group that flow control coalesced
+    away *for this receiver* (superseded ``bcastState`` frames — see
+    ``docs/flow-control.md``).  The receiver's contiguity check treats
+    them as accounted-for gaps; on the uncongested fast path the tuple is
+    empty and costs two bytes on the wire.
+    """
 
     group: str
     update: UpdateRecord
+    skipped: tuple[int, ...] = ()
 
 
 @register(57)
@@ -864,6 +874,30 @@ class ForkNotice(Message):
 
     group: str
     new_name: str
+
+
+class DisconnectReason(enum.IntEnum):
+    """Typed reason codes carried by :class:`Disconnect`."""
+
+    #: The connection's bounded outbox overflowed and coalescing could not
+    #: shrink it: the consumer is too slow for the traffic it subscribed
+    #: to (``docs/flow-control.md``, lag-kick).
+    SLOW_CONSUMER = 1
+    #: The server is shutting down in an orderly fashion.
+    SERVER_SHUTDOWN = 2
+    #: The peer violated the protocol.
+    PROTOCOL_ERROR = 3
+
+
+@register(63)
+@dataclass(frozen=True)
+class Disconnect(Message):
+    """Server-initiated disconnect notice, flushed on the control lane
+    before the transport is closed so the client learns *why* it lost the
+    connection (e.g. lag-kicked as a slow consumer)."""
+
+    reason: DisconnectReason
+    detail: str = ""
 
 
 @register(95)

@@ -1,0 +1,60 @@
+"""The flow-control doc-drift gate (tools/check_flow_docs.py) as a test.
+
+CI runs the script directly; this wrapper keeps the gate inside the
+normal test suite too, and pins the property that makes it useful: the
+required-name list is *derived* from the code's exports, so a new knob,
+lane, or disconnect reason cannot ship without documentation.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_flow_docs", REPO_ROOT / "tools" / "check_flow_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_flow_control_doc_covers_every_exported_name(capsys):
+    checker = _load_checker()
+    assert checker.main() == 0
+    assert "covers all" in capsys.readouterr().out
+
+
+def test_required_names_track_the_code_exports():
+    from repro.net.flowcontrol import Lane, policy_knobs
+    from repro.wire.messages import DisconnectReason
+
+    names = _load_checker().required_names()
+    for knob in policy_knobs():
+        assert knob in names
+    for lane in Lane:
+        assert lane.name in names
+    for reason in DisconnectReason:
+        assert reason.name in names
+    # today that is 4 knobs + 2 lanes + 3 reasons
+    assert len(names) == len(policy_knobs()) + len(Lane) + len(DisconnectReason)
+
+
+def test_gate_fails_when_a_name_goes_missing(monkeypatch, tmp_path, capsys):
+    checker = _load_checker()
+    doc = REPO_ROOT / "docs" / "flow-control.md"
+    stripped = tmp_path / "flow-control.md"
+    stripped.write_text(doc.read_text().replace("coalesce_watermark", "watermark"))
+    monkeypatch.setattr(checker, "DOC", stripped)
+    assert checker.main() == 1
+    assert "coalesce_watermark" in capsys.readouterr().err
+
+
+def test_gate_fails_when_the_doc_is_gone(monkeypatch, tmp_path, capsys):
+    checker = _load_checker()
+    monkeypatch.setattr(checker, "DOC", tmp_path / "nope.md")
+    assert checker.main() == 1
+    assert "does not exist" in capsys.readouterr().err

@@ -256,6 +256,82 @@ class TestPERF002RuntimesAccess:
         assert "PERF002" not in rule_ids(src)
 
 
+class TestPERF003UnboundedOutbox:
+    #: A module on the server send path (PERF003 is include-scoped).
+    HOST = "src/repro/runtime/host.py"
+
+    def test_fires_on_unbounded_asyncio_queue(self):
+        src = (
+            "import asyncio\n\n"
+            "def make_mailbox():\n"
+            "    return asyncio.Queue()\n"
+        )
+        assert "PERF003" in rule_ids(src, path=self.HOST)
+
+    def test_silent_on_bounded_queue(self):
+        src = (
+            "import asyncio\n\n"
+            "def make_mailbox(size):\n"
+            "    return asyncio.Queue(size)\n"
+        )
+        assert "PERF003" not in rule_ids(src, path=self.HOST)
+        src_kw = (
+            "import asyncio\n\n"
+            "def make_mailbox(size):\n"
+            "    return asyncio.Queue(maxsize=size)\n"
+        )
+        assert "PERF003" not in rule_ids(src_kw, path=self.HOST)
+
+    def test_fires_on_adhoc_outbox_append(self):
+        src = (
+            "def deliver(self, conn, frame):\n"
+            "    self._outboxes[conn].append(frame)\n"
+        )
+        assert "PERF003" in rule_ids(src, path=self.HOST)
+
+    def test_fires_on_outbox_put_nowait_in_sim(self):
+        src = (
+            "def deliver(self, conn, frame):\n"
+            "    self.outbox.put_nowait(frame)\n"
+        )
+        assert "PERF003" in rule_ids(src, path="src/repro/sim/host.py")
+
+    def test_silent_on_bounded_outbox_push(self):
+        src = (
+            "def deliver(self, conn, frame):\n"
+            "    return self._outboxes[conn].push(frame)\n"
+        )
+        assert "PERF003" not in rule_ids(src, path=self.HOST)
+
+    def test_silent_in_transport_layer(self):
+        # repro.net owns the sanctioned bounding (BoundedOutbox's deques,
+        # the rx queues that model kernel socket buffers).
+        src = (
+            "import asyncio\n\n"
+            "def make_rx():\n"
+            "    return asyncio.Queue()\n"
+        )
+        assert "PERF003" not in rule_ids(src, path="src/repro/net/memory.py")
+
+    def test_silent_in_client_event_queue(self):
+        src = (
+            "import asyncio\n\n"
+            "def make_events():\n"
+            "    return asyncio.Queue()\n"
+        )
+        assert "PERF003" not in rule_ids(
+            src, path="src/repro/runtime/client.py"
+        )
+
+    def test_noqa_suppresses(self):
+        src = (
+            "import asyncio\n\n"
+            "def make_mailbox():\n"
+            "    return asyncio.Queue()  # corona: noqa(PERF003)\n"
+        )
+        assert "PERF003" not in rule_ids(src, path=self.HOST)
+
+
 class TestSuppression:
     BAD = "import time\nx = time.time()  # corona: noqa(DET001) -- edge code\n"
 

@@ -111,7 +111,7 @@ class TestDispatch:
         assert interp.stats.multicast_fanout == 1
         assert interp.stats.multicast_drops == 2
         assert backend.actions[0] == ("deliver", 1, "ok")
-        assert any("unknown connection" in r.message for r in caplog.records)
+        assert any("unknown or kicked connection" in r.message for r in caplog.records)
 
 
 class TestBatching:

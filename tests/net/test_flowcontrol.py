@@ -1,0 +1,274 @@
+"""Unit tests for the bounded two-lane outbox (repro.net.flowcontrol).
+
+These exercise the policy object in isolation — no hosts, no I/O — and
+pin down the contract documented in docs/flow-control.md: lane
+classification, control-first drain order, watermark coalescing with
+skip annotation, the overflow sweep, and the coalesce-then-kick
+ordering.
+"""
+
+import pytest
+
+from repro.core.interpreter import DispatchStats
+from repro.net.flowcontrol import (
+    DEFAULT_FLOW,
+    BoundedOutbox,
+    FlowControlConfig,
+    Lane,
+    lane_of,
+    policy_knobs,
+)
+from repro.wire import frames
+from repro.wire.messages import (
+    Ack,
+    Delivery,
+    DeliveryMode,
+    Disconnect,
+    DisconnectReason,
+    MembershipNotice,
+    SequencedBcast,
+    UpdateKind,
+    UpdateRecord,
+)
+
+
+def delivery(seqno, kind=UpdateKind.STATE, object_id="obj", group="g", size=16):
+    return Delivery(
+        group,
+        UpdateRecord(seqno, kind, object_id, b"x" * size, "sender", 0.0),
+    )
+
+
+def outbox(stats=None, **knobs):
+    defaults = dict(
+        max_outbox_frames=8,
+        max_outbox_bytes=1 << 20,
+        coalesce_watermark=2,
+        link_window=0.25,
+    )
+    defaults.update(knobs)
+    return BoundedOutbox(
+        FlowControlConfig(**defaults), stats if stats is not None else DispatchStats()
+    )
+
+
+class TestLanes:
+    def test_only_client_deliveries_ride_the_bulk_lane(self):
+        assert lane_of(delivery(1)) is Lane.BULK
+        assert lane_of(Ack(1)) is Lane.CONTROL
+        assert lane_of(MembershipNotice("g", "alice", True, 0)) is Lane.CONTROL
+        assert lane_of(Disconnect(DisconnectReason.SLOW_CONSUMER)) is Lane.CONTROL
+        # replication traffic is control: a replica's log must stay
+        # complete, so SequencedBcast is never coalesced or kick-dropped.
+        bcast = SequencedBcast(
+            "g", delivery(1).update, "s1", 7, DeliveryMode.INCLUSIVE
+        )
+        assert lane_of(bcast) is Lane.CONTROL
+
+    def test_control_drains_first_but_each_lane_stays_fifo(self):
+        box = outbox()
+        box.push(delivery(1))
+        box.push(delivery(2))
+        box.push(Ack(1))
+        box.push(Ack(2))
+        popped = [box.pop_next() for _ in range(4)]
+        assert popped == [Ack(1), Ack(2), delivery(1), delivery(2)]
+        assert box.pop_next() is None
+
+    def test_pop_all_matches_pop_next_order(self):
+        def fill(box):
+            box.push(delivery(1))
+            box.push(Ack(1))
+            box.push(delivery(2))
+
+        one, two = outbox(), outbox()
+        fill(one)
+        fill(two)
+        drained = []
+        while (msg := one.pop_next()) is not None:
+            drained.append(msg)
+        assert drained == two.pop_all()
+        assert two.empty and two.queued_bytes == 0
+
+
+class TestCoalescing:
+    def test_below_watermark_pushes_are_plain_appends(self):
+        stats = DispatchStats()
+        box = outbox(stats, coalesce_watermark=4)
+        for seq in range(3):  # same object, still under the watermark
+            assert box.push(delivery(seq))
+        assert stats.outbox_coalesced == 0
+        assert box.depth == 3
+
+    def test_superseded_state_coalesces_above_watermark(self):
+        stats = DispatchStats()
+        box = outbox(stats)  # watermark 2
+        for seq in range(6):
+            assert box.push(delivery(seq, object_id=f"obj-{seq % 2}"))
+        # depth plateaus at the watermark; four frames coalesced away
+        assert box.depth == 2
+        assert stats.outbox_coalesced == 4
+        survivors = box.pop_all()
+        assert [d.update.seqno for d in survivors] == [4, 5]
+
+    def test_skipped_seqnos_annotate_the_next_queued_frame_of_the_group(self):
+        box = outbox()
+        for seq in range(4):
+            box.push(delivery(seq))  # one object: each push supersedes
+        first, second = box.pop_all()
+        # the receiver discovers the gap when it sees the next frame of
+        # the group, so that frame carries the accumulated seqnos
+        assert (first.update.seqno, first.skipped) == (2, (0, 1))
+        assert (second.update.seqno, second.skipped) == (3, ())
+
+    def test_skips_land_on_the_incoming_frame_when_nothing_is_queued_after(self):
+        box = outbox(coalesce_watermark=0)
+        box.push(delivery(1, object_id="a"))
+        box.push(delivery(2, object_id="b"))  # last queued frame of "b"
+        box.push(delivery(3, object_id="b"))  # supersedes it, no successor
+        survivors = box.pop_all()
+        assert [(d.update.seqno, d.skipped) for d in survivors] == [
+            (1, ()),
+            (3, (2,)),
+        ]
+
+    def test_updates_are_never_coalesced(self):
+        stats = DispatchStats()
+        box = outbox(stats, max_outbox_frames=16)
+        for seq in range(6):
+            assert box.push(delivery(seq, kind=UpdateKind.UPDATE))
+        assert stats.outbox_coalesced == 0
+        assert box.depth == 6
+
+    def test_different_objects_do_not_coalesce_each_other(self):
+        stats = DispatchStats()
+        box = outbox(stats, max_outbox_frames=16, coalesce_watermark=0)
+        box.push(delivery(1, object_id="a"))
+        box.push(delivery(2, object_id="b"))
+        assert stats.outbox_coalesced == 0
+        assert box.depth == 2
+
+
+class TestOverflow:
+    def test_sweep_then_kick_ordering(self):
+        """Overflow tries the sweep first; only when coalescing cannot
+        make room does the consumer get kicked."""
+        stats = DispatchStats()
+        # watermark above the frame cap: no incremental coalescing, so
+        # the queue genuinely fills with superseded STATE frames
+        box = outbox(stats, max_outbox_frames=4, coalesce_watermark=99)
+        for seq in range(4):
+            assert box.push(delivery(seq))
+        assert box.depth == 4
+        # the 5th push overflows, but the sweep collapses the three
+        # superseded frames — accepted, no kick
+        assert box.push(delivery(4))
+        assert stats.outbox_coalesced == 3
+        assert stats.outbox_kicks == 0
+        assert not box.kicked
+        assert box.depth == 2  # seq 3 (annotated) + seq 4
+
+    def test_kick_when_sweep_cannot_make_room(self):
+        stats = DispatchStats()
+        box = outbox(stats, max_outbox_frames=4, coalesce_watermark=99)
+        for seq in range(4):
+            assert box.push(delivery(seq, kind=UpdateKind.UPDATE))
+        assert not box.push(delivery(4, kind=UpdateKind.UPDATE))
+        assert box.kicked
+        assert box.kick_reason is DisconnectReason.SLOW_CONSUMER
+        assert stats.outbox_kicks == 1
+
+    def test_kick_discards_bulk_and_queues_typed_disconnect(self):
+        box = outbox(max_outbox_frames=4, coalesce_watermark=99)
+        box.push(Ack(7))
+        for seq in range(5):
+            box.push(delivery(seq, kind=UpdateKind.UPDATE))
+        # bulk lane discarded; control lane still drains in order and
+        # ends with the Disconnect notice — always the last frame
+        remaining = box.pop_all()
+        assert remaining[0] == Ack(7)
+        assert isinstance(remaining[-1], Disconnect)
+        assert remaining[-1].reason is DisconnectReason.SLOW_CONSUMER
+        assert all(not isinstance(m, Delivery) for m in remaining)
+
+    def test_pushes_after_kick_are_refused_even_control(self):
+        box = outbox(max_outbox_frames=4, coalesce_watermark=99)
+        for seq in range(5):
+            box.push(delivery(seq, kind=UpdateKind.UPDATE))
+        assert box.kicked
+        assert not box.push(delivery(9, kind=UpdateKind.UPDATE))
+        assert not box.push(Ack(1))
+
+    def test_byte_cap_triggers_the_same_policy(self):
+        stats = DispatchStats()
+        frame_bytes = frames.frame_size(delivery(0, kind=UpdateKind.UPDATE, size=256))
+        box = outbox(
+            stats,
+            max_outbox_frames=1024,
+            max_outbox_bytes=3 * frame_bytes,
+            coalesce_watermark=99,
+        )
+        for seq in range(3):
+            assert box.push(delivery(seq, kind=UpdateKind.UPDATE, size=256))
+        assert not box.push(delivery(3, kind=UpdateKind.UPDATE, size=256))
+        assert box.kicked and stats.outbox_kicks == 1
+
+    def test_control_frames_are_always_accepted(self):
+        box = outbox(max_outbox_frames=2, coalesce_watermark=99)
+        for i in range(10):  # far beyond every bound
+            assert box.push(Ack(i))
+        assert not box.kicked
+        assert box.depth == 10
+
+
+class TestAccounting:
+    def test_peak_gauges_track_high_water_marks(self):
+        box = outbox(max_outbox_frames=16, coalesce_watermark=99)
+        for seq in range(5):
+            box.push(delivery(seq, kind=UpdateKind.UPDATE))
+        peak_bytes = box.queued_bytes
+        while box.pop_next() is not None:
+            pass
+        assert box.empty
+        assert box.peak_depth == 5
+        assert box.peak_bytes == peak_bytes
+
+    def test_queued_bytes_track_encoded_frame_sizes(self):
+        box = outbox()
+        msgs = [delivery(1), Ack(2)]
+        for msg in msgs:
+            box.push(msg)
+        assert box.queued_bytes == sum(frames.frame_size(m) for m in msgs)
+
+    def test_close_requested_defaults_false(self):
+        box = outbox()
+        assert not box.close_requested
+
+
+class TestConfig:
+    def test_policy_knobs_lists_every_field(self):
+        assert policy_knobs() == (
+            "max_outbox_frames",
+            "max_outbox_bytes",
+            "coalesce_watermark",
+            "link_window",
+        )
+
+    def test_defaults_are_the_documented_ones(self):
+        assert DEFAULT_FLOW.max_outbox_frames == 1024
+        assert DEFAULT_FLOW.max_outbox_bytes == 16 * 1024 * 1024
+        assert DEFAULT_FLOW.coalesce_watermark == 64
+        assert DEFAULT_FLOW.link_window == 0.25
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"max_outbox_frames": 1},
+            {"max_outbox_bytes": 0},
+            {"coalesce_watermark": -1},
+            {"link_window": 0.0},
+        ],
+    )
+    def test_invalid_knobs_are_rejected(self, knobs):
+        with pytest.raises(ValueError):
+            FlowControlConfig(**knobs)

@@ -22,6 +22,7 @@ from repro.core.events import (
     TruncateWal,
     WriteCheckpoint,
 )
+from repro.net.flowcontrol import FlowControlConfig
 from repro.net.memory import MemoryNetwork
 from repro.runtime.host import AsyncioHost
 from repro.sim.host import SimHost
@@ -29,7 +30,7 @@ from repro.sim.kernel import SimKernel
 from repro.sim.network import SimNetwork
 from repro.sim.profiles import ETHERNET_10MBPS, ULTRASPARC_1
 from repro.storage.store import GroupStore
-from repro.wire.messages import Ack
+from repro.wire.messages import Ack, Delivery, UpdateKind, UpdateRecord
 
 
 def effect_script():
@@ -121,6 +122,125 @@ class TestEffectScriptParity:
         assert recovered.checkpoint_seqno == 1
         assert recovered.snapshot == b"snap"
         assert recovered.records == []
+
+
+TINY_FLOW = FlowControlConfig(
+    max_outbox_frames=8,
+    max_outbox_bytes=1 << 20,
+    coalesce_watermark=2,
+    link_window=0.25,
+)
+
+
+class SinkCore(ProtocolCore):
+    """Accepts connections and remembers them; never reacts otherwise."""
+
+    def __init__(self):
+        super().__init__()
+        self.connected = []
+
+    def handle_connected(self, conn, peer, key):
+        self.connected.append(conn)
+
+
+def _delivery(seqno, kind, object_id):
+    return Delivery(
+        "g", UpdateRecord(seqno, kind, object_id, b"x" * 64, "blaster", 0.0)
+    )
+
+
+def state_burst(conn):
+    """12 STATE frames over 2 object ids, far over coalesce_watermark=2:
+    every push past the first two supersedes its queued predecessor, so
+    the outbox plateaus at depth 2 and ten frames coalesce away.  The
+    trailing Ack rides the control lane.  All 13 sends form one
+    consecutive run, so they flush through deliver_batch on both
+    backends."""
+    script = [
+        SendMessage(conn, _delivery(i, UpdateKind.STATE, f"obj-{i % 2}"))
+        for i in range(12)
+    ]
+    script.append(SendMessage(conn, Ack(99)))
+    return script
+
+
+def update_burst(conn):
+    """12 UPDATE frames (append semantics — never coalescible) to one
+    object: the 9th push overflows max_outbox_frames=8, the sweep finds
+    nothing droppable, and the connection is lag-kicked; the rest are
+    refused.  Notify effects break the run so each send takes the
+    unbatched per-message path."""
+    script = []
+    for i in range(12):
+        script.append(SendMessage(conn, _delivery(i, UpdateKind.UPDATE, "obj")))
+        script.append(Notify("tick", i))
+    return script
+
+
+def run_burst_on_asyncio(make_script):
+    async def main():
+        net = MemoryNetwork()
+        core = SinkCore()
+        host = AsyncioHost(core, net, flow=TINY_FLOW)
+        await host.listen("svc")
+        await net.dial("svc")
+        await asyncio.sleep(0.05)
+        (conn,) = core.connected
+        # dispatch() is synchronous, so every push lands in the outbox
+        # before the writer task gets the loop back — the same
+        # accept/coalesce/kick sequence as one interpreter.execute()
+        # batch in the simulator.
+        host.dispatch(make_script(conn))
+        await asyncio.sleep(0.1)  # let the writer drain (or kick)
+        stats = host.dispatch_stats
+        await host.stop()
+        return stats
+
+    return asyncio.run(main())
+
+
+def run_burst_on_sim(make_script):
+    kernel = SimKernel()
+    network = SimNetwork(kernel)
+    network.add_segment(
+        "lan", ETHERNET_10MBPS.bytes_per_sec, ETHERNET_10MBPS.latency
+    )
+    core = SinkCore()
+    host = SimHost(kernel, network, "h", "lan", ULTRASPARC_1, flow=TINY_FLOW)
+    host.set_core(core)
+    peer = SimHost(kernel, network, "c", "lan", ULTRASPARC_1)
+    peer.set_core(ProtocolCore())
+    network.connect("c", "h")
+    kernel.run()
+    (conn,) = core.connected
+    host.interpreter.execute(make_script(conn))
+    kernel.run()
+    return host.dispatch_stats
+
+
+class TestFlowControlParity:
+    """The flow-control counters are deterministic policy outcomes, so
+    they must agree counter-for-counter across backends (the claim
+    docs/flow-control.md §8 makes about outbox_coalesced/outbox_kicks)."""
+
+    def test_coalescing_counters_match(self):
+        a_stats = run_burst_on_asyncio(state_burst)
+        s_stats = run_burst_on_sim(state_burst)
+        assert a_stats == s_stats
+        assert a_stats.outbox_coalesced == 10
+        assert a_stats.outbox_kicks == 0
+        assert a_stats.sends == 13 and a_stats.send_drops == 0
+
+    def test_kick_counters_match(self):
+        a_stats = run_burst_on_asyncio(update_burst)
+        s_stats = run_burst_on_sim(update_burst)
+        assert a_stats == s_stats
+        assert a_stats.outbox_kicks == 1
+        assert a_stats.outbox_coalesced == 0
+        # eight pushes accepted before the overflow, four refused after
+        # the kick; refusals are visible drops, never silent.
+        assert a_stats.sends == 8 and a_stats.send_drops == 4
+        assert a_stats.notifications == 12
 
 
 class TestTimerParity:

@@ -1,0 +1,115 @@
+"""End-to-end flow control in the simulator (full client/server stack).
+
+A LAN blaster saturates a modem member's downlink:
+
+* superseded ``bcastState`` frames coalesce in the server's bounded
+  outbox and the modem client fast-forwards over the announced gaps
+  (``Delivery.skipped``) while still converging on the final state;
+* non-coalescible ``bcastUpdate`` floods lag-kick the modem member,
+  which learns why via ``NOTIFY_KICKED``.
+
+The autouse trace fixture (tests/conftest.py) runs tracecheck over both
+scenarios, so they double as proof that the §4.1 ordering invariants
+hold in the presence of coalescing gaps — the client's own contiguity
+check (``GroupView.apply_delivery``) raises on any unexplained gap.
+"""
+
+from repro.core.events import NOTIFY_KICKED
+from repro.net.flowcontrol import FlowControlConfig
+from repro.sim.harness import CoronaWorld
+from repro.sim.profiles import MODEM_28_8
+
+FLOW = FlowControlConfig(
+    max_outbox_frames=256,
+    max_outbox_bytes=8 * 1024 * 1024,
+    coalesce_watermark=4,
+    link_window=0.25,
+)
+
+KICK_FLOW = FlowControlConfig(
+    max_outbox_frames=16,
+    max_outbox_bytes=1 << 20,
+    coalesce_watermark=4,
+    link_window=0.25,
+)
+
+
+def _mixed_speed_room(flow):
+    world = CoronaWorld()
+    world.add_segment("modem", MODEM_28_8)
+    server = world.add_server(flow=flow)
+    fast = world.add_client("fast")
+    slow = world.add_client("slow", segment="modem")
+    world.run()
+    fast.call("create_group", "g", True)
+    world.run()
+    fast.call("join_group", "g")
+    slow.call("join_group", "g")
+    world.run()
+    return world, server, fast, slow
+
+
+def _blast(world, sender, method, count, interval, size):
+    start = world.now + 0.5
+
+    def send(i):
+        sender.call(method, "g", "obj", bytes([i % 251]) * size)
+
+    for i in range(count):
+        world.kernel.schedule_at(start + i * interval, send, i)
+    world.run()
+
+
+class TestCoalescingEndToEnd:
+    def test_slow_member_skips_superseded_states_and_converges(self):
+        world, server, fast, slow = _mixed_speed_room(FLOW)
+        count = 50
+        _blast(world, fast, "bcast_state", count, interval=0.01, size=1500)
+
+        stats = server.host.dispatch_stats
+        assert stats.outbox_coalesced > 0
+        assert stats.outbox_kicks == 0
+
+        # the modem member received fewer frames than were broadcast —
+        # superseded STATE frames never crossed its link...
+        slow_seqnos = [d.record.seqno for _t, d in slow.deliveries]
+        assert 0 < len(slow_seqnos) < count
+        assert slow_seqnos == sorted(slow_seqnos)
+
+        # ...yet both members consumed the full sequence (the skipped
+        # annotations explained every gap; apply_delivery would have
+        # raised otherwise) and agree on the final object state.
+        fast_view = fast.core.views["g"]
+        slow_view = slow.core.views["g"]
+        assert slow_view.next_seqno == fast_view.next_seqno
+        final = bytes([(count - 1) % 251]) * 1500
+        assert fast_view.state.get("obj").materialized() == final
+        assert slow_view.state.get("obj").materialized() == final
+
+    def test_lan_member_sees_every_frame(self):
+        world, server, fast, slow = _mixed_speed_room(FLOW)
+        count = 50
+        before = len(fast.deliveries)
+        _blast(world, fast, "bcast_state", count, interval=0.01, size=1500)
+        # coalescing is per-connection: the uncongested member's frames
+        # are untouched
+        assert len(fast.deliveries) - before == count
+
+
+class TestLagKickEndToEnd:
+    def test_unrecoverable_consumer_is_kicked_with_reason(self):
+        world, server, fast, slow = _mixed_speed_room(KICK_FLOW)
+        count = 60
+        before = len(fast.deliveries)
+        _blast(world, fast, "bcast_update", count, interval=0.005, size=1500)
+
+        stats = server.host.dispatch_stats
+        assert stats.outbox_kicks == 1
+        assert stats.outbox_coalesced == 0  # updates are never coalesced
+
+        # the victim learned why it lost the connection
+        kicked = slow.events_of_kind(NOTIFY_KICKED)
+        assert len(kicked) == 1
+
+        # the blast continued for the healthy member
+        assert len(fast.deliveries) - before == count

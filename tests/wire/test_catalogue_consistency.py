@@ -28,7 +28,7 @@ CLIENT_TO_SERVER = {
 SERVER_TO_CLIENT = {
     m.HelloReply, m.Ack, m.ErrorReply, m.JoinReply, m.MembershipReply,
     m.GroupListReply, m.Delivery, m.MembershipNotice, m.GroupDeletedNotice,
-    m.LockGranted, m.PingReply, m.RebaseNotice, m.ForkNotice,
+    m.LockGranted, m.PingReply, m.RebaseNotice, m.ForkNotice, m.Disconnect,
 }
 
 
@@ -67,7 +67,7 @@ def test_replies_echo_request_ids():
 
 def test_unsolicited_messages_have_no_request_id():
     for cls in (m.Delivery, m.MembershipNotice, m.GroupDeletedNotice,
-                m.RebaseNotice, m.ForkNotice):
+                m.RebaseNotice, m.ForkNotice, m.Disconnect):
         fields = {f.name for f in dataclasses.fields(cls)}
         assert "request_id" not in fields, cls.__name__
 

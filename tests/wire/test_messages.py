@@ -48,6 +48,11 @@ _EXAMPLES = [
     m.MembershipReply(5, "g", ()),
     m.GroupListReply(6, (m.GroupInfo("g", False, 1, 0),)),
     m.Delivery("g", m.UpdateRecord(9, m.UpdateKind.UPDATE, "o", b"u", "c", 3.0)),
+    m.Delivery(
+        "g", m.UpdateRecord(9, m.UpdateKind.STATE, "o", b"s", "c", 3.0),
+        skipped=(7, 8),
+    ),
+    m.Disconnect(m.DisconnectReason.SLOW_CONSUMER, "send queue overflow"),
     m.MembershipNotice(
         "g",
         joined=(m.MemberInfo("c2", m.MemberRole.PRINCIPAL),),

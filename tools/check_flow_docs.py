@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Doc-drift gate for the flow-control contract.
+
+``docs/flow-control.md`` is the *normative* description of the transport
+flow-control policy.  This script fails (exit 1) when the document stops
+mentioning any name the code actually exports:
+
+* every ``FlowControlConfig`` knob (``repro.net.flowcontrol.policy_knobs()``);
+* every priority lane (``Lane``);
+* every typed disconnect reason (``DisconnectReason``).
+
+Run from the repo root with ``PYTHONPATH=src python tools/check_flow_docs.py``
+(CI does; see .github/workflows/ci.yml).  A new knob/lane/reason therefore
+cannot ship without its documentation.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.net.flowcontrol import Lane, policy_knobs
+from repro.wire.messages import DisconnectReason
+
+DOC = Path(__file__).resolve().parents[1] / "docs" / "flow-control.md"
+
+
+def required_names() -> list[str]:
+    names = list(policy_knobs())
+    names += [lane.name for lane in Lane]
+    names += [reason.name for reason in DisconnectReason]
+    return names
+
+
+def main() -> int:
+    if not DOC.exists():
+        print(f"check_flow_docs: {DOC} does not exist", file=sys.stderr)
+        return 1
+    text = DOC.read_text()
+    missing = [name for name in required_names() if name not in text]
+    if missing:
+        for name in missing:
+            print(
+                f"check_flow_docs: docs/flow-control.md does not mention "
+                f"{name!r} (exported by the flow-control layer)",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"check_flow_docs: docs/flow-control.md covers all "
+        f"{len(required_names())} exported policy names"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
