@@ -74,6 +74,16 @@ DEEP_RULE_DOCS: dict[str, tuple[Severity, str, str]] = {
         "going through call_front/run_front",
         "wrap the access in a closure handed to the front bridge",
     ),
+    "SCHED001": (
+        Severity.ERROR,
+        "shared group state (SharedState/SharedObject) is mutated "
+        "outside the scheduler commit path — under optimistic parallel "
+        "execution any such site can interleave with in-flight "
+        "speculation and corrupt the version checks",
+        "mutate through GroupRuntime.apply_and_deliver/reduce (the "
+        "serial commit points) or baseline the site with a "
+        "justification (client-side mirrors, recovery replay)",
+    ),
     "BLOCK001": (
         Severity.ERROR,
         "a blocking call (sleep, fsync, sync file/socket I/O, "
@@ -669,6 +679,55 @@ def _check_lock003(graph: ProgramGraph) -> list[Finding]:
     return findings
 
 
+# --------------------------------------------------------------------------
+# SCHED001: shared-state mutation outside the scheduler commit path
+# --------------------------------------------------------------------------
+
+#: The classes whose mutation the optimistic scheduler's version checks
+#: must observe completely.
+_SHARED_STATE_CLASSES = frozenset({
+    "repro.core.state.SharedState",
+    "repro.core.state.SharedObject",
+})
+
+#: Their mutating methods (everything else on them is a read).
+_STATE_MUTATORS = frozenset({"apply", "fold", "truncate"})
+
+#: Modules whose mutations ARE the commit path (the scheduler itself)
+#: or the classes' own internals (SharedState.apply -> SharedObject.apply).
+_COMMIT_PATH_MODULES = ("repro.core.scheduler", "repro.core.state")
+
+#: The serial commit entry points every sequenced mutation funnels
+#: through: apply in seqno order, and log reduction (a whole-state
+#: barrier — the scheduler flushes before it runs).
+_COMMIT_PATH_FUNCS = frozenset({
+    "repro.core.group_runtime.GroupRuntime.apply_and_deliver",
+    "repro.core.group_runtime.GroupRuntime.reduce",
+})
+
+
+def _check_sched001(graph: ProgramGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    for qual in sorted(graph.functions):
+        fn = graph.functions[qual]
+        if qual in _COMMIT_PATH_FUNCS or _excluded(fn.module, _COMMIT_PATH_MODULES):
+            continue
+        for node in ast.walk(fn.node):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _STATE_MUTATORS):
+                continue
+            ref = graph.expr_type(fn, node.func.value)
+            if ref is None or ref.base not in _SHARED_STATE_CLASSES:
+                continue
+            findings.append(_finding(
+                "SCHED001", fn, node,
+                f"{fn.qualname} calls `{_short(ref.base)}."
+                f"{node.func.attr}` outside the scheduler commit path",
+            ))
+    return findings
+
+
 def _node_contains(outer: ast.AST, inner: ast.AST) -> bool:
     return any(sub is inner for sub in ast.walk(outer))
 
@@ -681,6 +740,7 @@ _CHECKS = {
     "SHARD001": lambda g, w: _check_shard001(g, w),
     "SHARD002": lambda g, w: _check_shard002(g, w),
     "SHARD003": lambda g, w: _check_shard003(g, w),
+    "SCHED001": lambda g, w: _check_sched001(g),
     "BLOCK001": lambda g, w: _check_block001(g),
     "BLOCK002": lambda g, w: _check_block002(g),
     "LOCK002": lambda g, w: _check_lock002(g),

@@ -103,6 +103,21 @@ class RaceRecorder:
         with self._lock:
             self._events.append(event)
 
+    def wire_access(self, lane: str, message: Any, loc: str = "") -> None:
+        """Record one frame-cache touch of *message* on *lane*: the fill
+        (first encode) is a write, a reuse of the cached frame a read.
+
+        The optimistic scheduler's execution lanes warm delivery frames
+        outside any interpreter middleware; this is their hook into the
+        same frame-object model the ``wire=True`` middleware uses, so
+        the happens-before replay sees the lane's fill ordered (via the
+        commit join edge) before the front's cached-frame reads."""
+        obj = self._frame_key(message)
+        if hasattr(message, "_corona_wire_frame"):
+            self.read(lane, obj, loc)
+        else:
+            self.write(lane, obj, loc)
+
     def _frame_key(self, message: Any) -> str:
         # intern object identity into first-seen order so recorded traces
         # are deterministic across processes (id() is not)

@@ -9,9 +9,9 @@ effect-interpreter/runtime refactors do not shift the simulated cost
 model.
 
 Only deterministic (simulated-time) benchmarks belong here: fig3,
-table1, shard_scaling, and backpressure produce identical payloads on
-every machine, so any drift is a code change, not noise.  Wall-clock
-microbenchmarks (wire_codec) are archived but not gated.
+table1, shard_scaling, backpressure, and hot_group produce identical
+payloads on every machine, so any drift is a code change, not noise.
+Wall-clock microbenchmarks (wire_codec) are archived but not gated.
 """
 
 from __future__ import annotations
@@ -33,7 +33,7 @@ __all__ = [
 PROVENANCE_KEYS = frozenset({"benchmark", "python", "platform", "generated_by"})
 
 #: Benchmarks deterministic enough to gate (virtual-time simulations).
-GATED_BENCHMARKS = ("fig3", "table1", "shard_scaling", "backpressure")
+GATED_BENCHMARKS = ("fig3", "table1", "shard_scaling", "backpressure", "hot_group")
 
 
 def default_baseline_dir() -> Path:

@@ -110,6 +110,7 @@ _BENCHES = {
     "shards": ("shard_scaling", {"quick": {"n_groups": 8, "members": 3, "duration": 1.0}}),
     "mcast": ("multicast_ablation", {"quick": {"client_counts": (10, 30), "probes": 8}}),
     "backpressure": ("backpressure", {"quick": {"blast_count": 80, "churn_ops": 10}}),
+    "hot-group": ("hot_group", {"quick": {"members": 64, "msgs": 24, "conflict_pcts": (0, 50)}}),
 }
 
 

@@ -152,6 +152,16 @@ class GroupRuntime:
         member = group.member(client)
         if member.role is MemberRole.OBSERVER:
             raise NotAuthorizedError(f"observer {client!r} cannot broadcast")
+        scheduler = owner.scheduler
+        if scheduler is not None and scheduler.active:
+            if kind is UpdateKind.STATE:
+                # whole-object override: a barrier — everything
+                # speculated ahead of it must commit first, then the
+                # command itself runs on the serial path below
+                scheduler.flush()
+            else:
+                scheduler.submit(self, conn, client, msg, kind)
+                return
         record = self.sequence(kind, msg.object_id, msg.data, client)
         self.apply_and_deliver(record, msg.mode, exclude_conn=None)
         owner.send(conn, Ack(msg.request_id))
@@ -162,11 +172,14 @@ class GroupRuntime:
         record: UpdateRecord,
         mode: DeliveryMode,
         exclude_conn: ConnId | None,
+        delivery: Delivery | None = None,
     ) -> None:
         """Apply a sequenced record and fan it out to local members.
 
-        Shared by the local fast path and the replicated slow path (where
-        the record arrives already sequenced by the coordinator).
+        Shared by the local fast path, the replicated slow path (where
+        the record arrives already sequenced by the coordinator), and
+        the scheduler commit path, which passes the *delivery* it
+        prepared on an execution lane so the frame encodes only once.
         """
         group, owner = self.group, self.owner
         # keep the sequencer ahead of everything applied — a replica that
@@ -179,7 +192,8 @@ class GroupRuntime:
                 owner.emit(
                     AppendWal(group.name, record.seqno, frames.payload_of(record))
                 )
-        delivery = Delivery(group.name, record)
+        if delivery is None:
+            delivery = Delivery(group.name, record)
         targets = [
             m.conn
             for m in group.members()

@@ -147,6 +147,18 @@ class DispatchStats:
     #: Connections lag-kicked after coalescing could not shrink their
     #: outbox below the configured bounds.
     outbox_kicks: int = 0
+    #: Commands the optimistic intra-group scheduler executed inside a
+    #: speculation window of size > 1 (:mod:`repro.core.scheduler`).
+    commands_parallel: int = 0
+    #: Commands whose observed dependency versions moved before commit.
+    conflicts: int = 0
+    #: Serial re-executions performed after a detected conflict.
+    reexecutions: int = 0
+    #: In-order commits that had to wait for their execution to finish.
+    #: Real thread-pool waits on asyncio, modeled lane waits on the sim —
+    #: backend-specific timing, so unlike the other counters this one is
+    #: NOT expected to match across hosts in parity checks.
+    commit_stalls: int = 0
 
 
 class EffectBackend:

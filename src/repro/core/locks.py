@@ -80,6 +80,19 @@ class LockTable:
                     grants.append(grant)
         return grants
 
+    def held_by(self, client: ClientId) -> tuple[ObjectId, ...]:
+        """Object ids whose lock *client* currently holds (sorted).
+
+        The optimistic scheduler folds these into a command's dependency
+        set: an update by a lock holder must conflict with any concurrent
+        update of the locked objects.
+        """
+        return tuple(sorted(
+            object_id
+            for object_id, lock in self._locks.items()
+            if lock.holder == client
+        ))
+
     def holder(self, object_id: ObjectId) -> ClientId | None:
         """Current holder of the lock on *object_id* (None if free)."""
         lock = self._locks.get(object_id)

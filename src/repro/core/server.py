@@ -40,6 +40,7 @@ from repro.core.errors import (
 from repro.core.events import (
     CloseConnection,
     CreateGroupStorage,
+    Effect,
     ProtocolCore,
     PurgeGroupStorage,
 )
@@ -48,6 +49,7 @@ from repro.core.group_runtime import GroupRuntime, GroupsView
 from repro.core.ids import ClientId, ConnId, GroupId
 from repro.core.locks import LockGrant
 from repro.core.reduction import NeverReduce, ReductionPolicy
+from repro.core.scheduler import CommandScheduler
 from repro.core.session import AllowAll, GroupAction, SessionManager
 from repro.storage.store import RecoveredGroup
 from repro.wire import codec, frames
@@ -58,6 +60,7 @@ from repro.wire.messages import (
     BcastUpdateRequest,
     CreateGroupRequest,
     DeleteGroupRequest,
+    Delivery,
     DeliveryMode,
     ErrorReply,
     GetMembershipRequest,
@@ -86,6 +89,11 @@ from repro.wire.messages import (
 
 __all__ = ["ServerConfig", "ServerCore", "state_from_snapshot"]
 
+#: Message types that may join an open speculation window instead of
+#: flushing it (plain broadcasts; ``bcastState`` barriers inside
+#: ``GroupRuntime.broadcast`` after validation).
+_WINDOW_SAFE = (BcastStateRequest, BcastUpdateRequest)
+
 
 @dataclass
 class ServerConfig:
@@ -107,6 +115,12 @@ class ServerConfig:
     use_multicast: bool = False
     #: Admission control for the Hello handshake (paper §5.3 future work).
     authenticator: "Authenticator" = field(default_factory=lambda: _allow_any())
+    #: Execution lanes for dependency-aware optimistic parallel execution
+    #: inside each group (:mod:`repro.core.scheduler`).  0 = strictly
+    #: serial, the historical behaviour and the default.
+    exec_lanes: int = 0
+    #: Commands per speculation window before the owning worker flushes.
+    exec_window: int = 64
 
 
 class ServerCore(ProtocolCore):
@@ -146,6 +160,13 @@ class ServerCore(ProtocolCore):
             ReduceLogRequest: self._on_reduce_log,
             PingRequest: self._on_ping,
         }
+        #: Optimistic intra-group parallel scheduler, or ``None`` for the
+        #: strictly serial fast path (``exec_lanes == 0``).
+        self.scheduler: CommandScheduler | None = (
+            CommandScheduler(self, config.exec_lanes, config.exec_window)
+            if config.exec_lanes > 0
+            else None
+        )
         if recovered:
             self._recover(recovered)
 
@@ -231,6 +252,16 @@ class ServerCore(ProtocolCore):
     # ------------------------------------------------------------------
 
     def handle_message(self, conn: ConnId, message: Message) -> None:
+        scheduler = self.scheduler
+        if (
+            scheduler is not None
+            and scheduler.pending
+            and type(message) not in _WINDOW_SAFE
+        ):
+            # everything except plain broadcasts is a scheduling barrier:
+            # membership, locks, reduction, and queries must observe
+            # fully committed state
+            scheduler.flush()
         handler = self._dispatch.get(type(message))
         if handler is None:
             self._reply_error(
@@ -241,10 +272,38 @@ class ServerCore(ProtocolCore):
         try:
             handler(conn, message)
         except CoronaError as err:
+            if scheduler is not None and scheduler.pending:
+                # the error reply must not overtake speculated work on
+                # the same connection — commit first, reply after
+                scheduler.flush()
             self._reply_error(conn, getattr(message, "request_id", 0), err)
+
+    def handle_timer(self, key: str) -> None:
+        if self.scheduler is not None and self.scheduler.pending:
+            self.scheduler.flush()
+
+    def begin_batch(self) -> None:
+        """Open a speculation window (no-op on a serial core).
+
+        Worker loops bracket each mailbox batch with ``begin_batch`` /
+        ``end_batch``; in between, broadcasts execute optimistically on
+        the scheduler's lanes and commit in seqno order.
+        """
+        if self.scheduler is not None:
+            self.scheduler.open()
+
+    def end_batch(self) -> list[Effect]:
+        """Close the window, commit everything pending, and return the
+        effects those commits emitted."""
+        if self.scheduler is not None:
+            self.scheduler.close()
+        return self.drain()
 
     def handle_closed(self, conn: ConnId) -> None:
         """Client failure or disconnect: unobtrusive removal everywhere."""
+        if self.scheduler is not None and self.scheduler.pending:
+            # membership changes are whole-state barriers
+            self.scheduler.flush()
         client = self._conn_client.pop(conn, None)
         if client is None:
             return
@@ -411,10 +470,13 @@ class ServerCore(ProtocolCore):
         record: UpdateRecord,
         mode: DeliveryMode,
         exclude_conn: ConnId | None,
+        delivery: "Delivery | None" = None,
     ) -> None:
         """Apply a sequenced record on *group*'s runtime (compatibility
         entry point for callers holding a :class:`Group`)."""
-        self.runtimes[group.name].apply_and_deliver(record, mode, exclude_conn)
+        self.runtimes[group.name].apply_and_deliver(
+            record, mode, exclude_conn, delivery=delivery
+        )
 
     # ------------------------------------------------------------------
     # locks

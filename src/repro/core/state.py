@@ -154,6 +154,17 @@ class SharedState:
         except KeyError:
             raise NoSuchObjectError(f"no shared object {object_id!r}") from None
 
+    def version(self, object_id: ObjectId) -> SeqNo | None:
+        """Conflict-detection version of one object.
+
+        The seqno of the newest update reflected in the object, or
+        ``None`` when the object does not exist yet.  The optimistic
+        scheduler captures versions at submit and revalidates them at
+        commit — any intervening write moves the version.
+        """
+        obj = self._objects.get(object_id)
+        return None if obj is None else obj.last_seqno
+
     def apply(self, record: UpdateRecord) -> SharedObject:
         """Apply a sequenced update, creating the object on first touch."""
         obj = self._objects.get(record.object_id)

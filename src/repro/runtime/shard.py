@@ -55,6 +55,7 @@ from repro.core.interpreter import (
     Middleware,
     build_interpreter,
 )
+from repro.core.scheduler import ThreadPoolEngine
 from repro.core.server import ServerConfig, ServerCore
 from repro.net.transport import Transport
 from repro.runtime.host import AsyncioHost
@@ -444,6 +445,14 @@ class ShardWorkerBase(EffectBackend):
             self.interpreter.execute(self.core.on_closed(conn))
         elif kind == "list":
             _, conn, request_id = item
+            scheduler = self.core.scheduler
+            if scheduler is not None and scheduler.pending:
+                # ListGroups bypasses core dispatch, so the barrier the
+                # core applies to non-broadcast messages must happen
+                # here: commit and relay speculated work first, then
+                # read the log tips for the fragment
+                self.interpreter.execute(self.core.end_batch())
+                self.core.begin_batch()
             infos = tuple(
                 GroupInfo(g.name, g.persistent, len(g), g.log.next_seqno)
                 for g in self.core.groups.values()
@@ -485,6 +494,16 @@ class _ShardWorker(ShardWorkerBase):
             # front unencoded — frame-cache traffic is front-only
             middlewares = (self._recorder.middleware(self._lane, wire=False),)
         self._init_worker(index, config, clock, recovered, middlewares)
+        scheduler = self.core.scheduler
+        if scheduler is not None:
+            # scheduler counters land in this worker's interpreter stats
+            # and execution runs on a real thread pool
+            scheduler.stats = self.interpreter.stats
+            scheduler.engine = ThreadPoolEngine(
+                config.exec_lanes, name=f"corona-exec-{index}"
+            )
+            if self._recorder is not None:
+                scheduler.bind_recorder(self._recorder, self._lane)
         self._timers: dict[str, asyncio.TimerHandle] = {}
         self._mailbox_size = mailbox_size
         self._mailbox: asyncio.Queue | None = None
@@ -526,22 +545,60 @@ class _ShardWorker(ShardWorkerBase):
             for handle in self._timers.values():
                 handle.cancel()
             self._timers.clear()
+            if self.core.scheduler is not None:
+                self.core.scheduler.engine.close()
             self._loop.close()
 
     async def _main(self) -> None:
         assert self._mailbox is not None
+        # with a scheduler attached, drain the backlog greedily into one
+        # speculation window per wakeup — that batch is what the
+        # optimistic engine parallelizes; an idle shard (batch of one)
+        # never opens a window and stays on the serial fast path
+        window = (
+            self.core.config.exec_window
+            if self.core.scheduler is not None
+            else 1
+        )
         while True:
-            item = await self._mailbox.get()
-            if item is _STOP:
+            batch = [await self._mailbox.get()]
+            while len(batch) < window:
+                try:
+                    batch.append(self._mailbox.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            opened = False
+            if len(batch) > 1:
+                self.core.begin_batch()
+                opened = True
+            stopping = False
+            for item in batch:
+                if item is _STOP:
+                    # the sentinel is posted last (FIFO) — commit any
+                    # open window below, then exit
+                    stopping = True
+                    break
+                if type(item) is tuple and item and item[0] == "traced":
+                    _, token, item = item
+                    if self._recorder is not None:
+                        self._recorder.recv(
+                            self._lane, f"mbox:{self._lane}", token
+                        )
+                try:
+                    self.process_item(item)
+                except Exception:
+                    logger.exception(
+                        "shard %d failed processing %r", self.index, item
+                    )
+            if opened:
+                try:
+                    self.interpreter.execute(self.core.end_batch())
+                except Exception:
+                    logger.exception(
+                        "shard %d failed committing a batch", self.index
+                    )
+            if stopping:
                 return
-            if type(item) is tuple and item and item[0] == "traced":
-                _, token, item = item
-                if self._recorder is not None:
-                    self._recorder.recv(self._lane, f"mbox:{self._lane}", token)
-            try:
-                self.process_item(item)
-            except Exception:
-                logger.exception("shard %d failed processing %r", self.index, item)
 
     def post(self, item: Any) -> None:
         """Enqueue *item* from any thread.  The put suspends inside the

@@ -115,6 +115,10 @@ class SimHost(EffectBackend):
         # worker shard and points ``_lane`` at whichever is executing.
         self._lanes = CpuLanes(1)
         self._lane = 0
+        # Earliest-start floor for the active lane's next charge; the
+        # sharded subclass raises it while modeling work that must wait
+        # for an execution lane to finish (optimistic scheduler).
+        self._exec_floor = 0.0
         self._channels: dict[int, Channel] = {}
         self._conn_ids: dict[int, int] = {}  # channel_id -> conn_id
         self._outboxes: dict[int, BoundedOutbox] = {}
@@ -158,7 +162,8 @@ class SimHost(EffectBackend):
 
     def _occupy_cpu(self, cost: float) -> float:
         """Reserve *cost* seconds on the active lane; return completion."""
-        done = self._lanes.occupy(self._lane, cost, self.kernel.now())
+        start = max(self.kernel.now(), self._exec_floor)
+        done = self._lanes.occupy(self._lane, cost, start)
         self.stats.cpu_busy += cost
         return done
 

@@ -26,6 +26,7 @@ from typing import Any, Iterable
 
 from repro.core.clock import Clock
 from repro.core.interpreter import DispatchStats, Middleware
+from repro.core.scheduler import stable_lane
 from repro.core.server import ServerConfig
 from repro.runtime.shard import (
     ShardRouter,
@@ -39,9 +40,18 @@ from repro.sim.kernel import CpuLanes, EventHandle, SimKernel
 from repro.sim.network import SimNetwork
 from repro.sim.profiles import HostProfile
 from repro.storage.store import GroupStore, RecoveredGroup
-from repro.wire.messages import GroupInfo
+from repro.wire.messages import (
+    BcastStateRequest,
+    BcastUpdateRequest,
+    GroupInfo,
+)
 
 __all__ = ["ShardedSimHost"]
+
+#: Routed messages that may start a speculation window.  ``bcastState``
+#: itself barriers inside the runtime, but it keeps the window open for
+#: updates that follow it in the same burst.
+_WINDOW_OPENERS = (BcastStateRequest, BcastUpdateRequest)
 
 
 class _SimShardWorker(ShardWorkerBase):
@@ -69,6 +79,24 @@ class _SimShardWorker(ShardWorkerBase):
                 self._recorder.middleware(self._lane_name, wire=False),
             )
         self._init_worker(index, config, clock, recovered, middlewares)
+        # -- optimistic-scheduler mirror (repro.core.scheduler) --------
+        self._sched = self.core.scheduler
+        self._exec_lanes = max(0, config.exec_lanes)
+        #: First CpuLanes index of this shard's execution lanes.
+        self._exec_base = 1 + host.shards + index * self._exec_lanes
+        if self._sched is not None:
+            self._sched.stats = self.interpreter.stats
+            if self._recorder is not None:
+                self._sched.bind_recorder(self._recorder, self._lane_name)
+        #: Monotonic window id; a scheduled flush event for a window that
+        #: already closed (force-flush or barrier) sees a newer id and
+        #: no-ops, so every window flushes exactly once.
+        self._generation = 0
+        self._spreading = False
+        #: ``(group, seqno) -> modeled execution-done time`` of the
+        #: window just flushed; placement floors fan-out charges on it.
+        self._exec_done: dict[tuple, float] = {}
+        self._conflicted: set[tuple] = set()
         self._timers: dict[str, EventHandle] = {}
 
     # -- mailbox ---------------------------------------------------------
@@ -86,9 +114,131 @@ class _SimShardWorker(ShardWorkerBase):
         prev = self._host._lane
         self._host._lane = self.lane
         try:
+            if (
+                self._sched is not None
+                and not self._sched.active
+                and item[0] == "message"
+                and type(item[2]) in _WINDOW_OPENERS
+            ):
+                self._open_window()
             self.process_item(item)
+            if (
+                self._sched is not None
+                and self._sched.active
+                and self._sched.pending >= self.core.config.exec_window
+            ):
+                # force-flush a full window right away, the analogue of
+                # the asyncio worker's capped mailbox drain
+                self._flush_window(self._generation)
         finally:
             self._host._lane = prev
+
+    # -- speculation windows ----------------------------------------------
+
+    def _open_window(self) -> None:
+        """Start speculating: the window stays open while the shard's
+        lanes are busy and flushes when they would all go idle.
+
+        The flush event lands when the *previous* window's modeled work
+        (home-lane commits plus execution-lane charges) drains, so the
+        window collects every broadcast that arrives in that span —
+        window sizes self-regulate to the offered load, the
+        deterministic mirror of the asyncio worker's greedy mailbox
+        drain between wakeups.
+        """
+        host = self._host
+        self.core.begin_batch()
+        self._generation += 1
+        flush_at = max(host.kernel.now(), host._lanes.free_at(self.lane))
+        for k in range(self._exec_lanes):
+            flush_at = max(flush_at, host._lanes.free_at(self._exec_base + k))
+        host.kernel.schedule_at(flush_at, self._flush_window, self._generation)
+
+    def _flush_window(self, generation: int) -> None:
+        host = self._host
+        if (
+            not host.alive
+            or self._sched is None
+            or not self._sched.active
+            or generation != self._generation
+        ):
+            return
+        prev = host._lane
+        host._lane = self.lane
+        self._spreading = True
+        try:
+            effects = self.core.end_batch()
+            self._charge_window(self._sched.last_flush)
+            self.interpreter.execute(effects)
+        finally:
+            self._spreading = False
+            self._exec_done = {}
+            self._conflicted = set()
+            host._lane = prev
+        # a barrier mid-batch may have closed and reopened the window;
+        # bumping the generation here would orphan that reopened window,
+        # so only the guard above (active flag) handles reentry
+
+    def _charge_window(self, reports: tuple) -> None:
+        """Model the execution lanes for one flushed window.
+
+        Each commit's frame preparation is charged ``send_cost`` on its
+        assigned execution lane.  A conflicted command burns its lane
+        (the wasted optimistic attempt) *and* the home lane (the serial
+        re-execution).  When an execution finishes after the home lane
+        would commit, the home lane stalls — the modeled counterpart of
+        a thread-pool ``future.result()`` wait.
+        """
+        host = self._host
+        if not reports or self._exec_lanes < 1:
+            return
+        lanes = host._lanes
+        now = host.kernel.now()
+        stats = self.interpreter.stats
+        for r in reports:
+            cost = host.profile.send_cost(r.cost_bytes)
+            key = (r.group, r.seqno)
+            if r.conflicted:
+                lanes.occupy(self._exec_base + r.lane, cost, now)
+                self._exec_done[key] = lanes.occupy(self.lane, cost, now)
+                self._conflicted.add(key)
+                continue
+            done = lanes.occupy(self._exec_base + r.lane, cost, now)
+            self._exec_done[key] = done
+            if done > lanes.free_at(self.lane):
+                stats.commit_stalls += 1
+                lanes.stall(self.lane, done)
+
+    def _placement(self, conn: int, messages: tuple) -> tuple[int, float]:
+        """CPU lane + earliest-start floor for relaying *messages*.
+
+        While a flushed window's effects drain, pure ``Delivery`` runs
+        for records this window executed spread over the shard's
+        execution lanes (keyed by connection, so per-connection FIFO
+        holds); anything else — Acks, grants, conflicted or foreign
+        records — stays on the home lane.  The floor couples a fan-out
+        charge to its record's modeled execution completion.
+        """
+        host = self._host
+        if not self._spreading or self._exec_lanes < 1:
+            return host._lane, host._exec_floor
+        floor = 0.0
+        home = False
+        saw_delivery = False
+        for message in messages:
+            record = getattr(message, "update", None)
+            if record is None:
+                home = True
+                continue
+            saw_delivery = True
+            key = (message.group, record.seqno)
+            floor = max(floor, self._exec_done.get(key, 0.0))
+            if key in self._conflicted or key not in self._exec_done:
+                home = True
+        if home or not saw_delivery:
+            return self.lane, floor
+        lane = self._exec_base + stable_lane(f"conn:{conn}", self._exec_lanes)
+        return lane, floor
 
     # -- EffectBackend: sends (relayed through the front sessions) --------
 
@@ -103,17 +253,31 @@ class _SimShardWorker(ShardWorkerBase):
     def deliver(self, conn: int, message: Any) -> bool:
         if conn not in self.conns:
             return False
-        self._to_front(
-            lambda: self._host.sessions.shard_reply(conn, message)
-        )
+        lane, floor = self._placement(conn, (message,))
+        host = self._host
+        prev_lane, prev_floor = host._lane, host._exec_floor
+        host._lane, host._exec_floor = lane, floor
+        try:
+            self._to_front(
+                lambda: self._host.sessions.shard_reply(conn, message)
+            )
+        finally:
+            host._lane, host._exec_floor = prev_lane, prev_floor
         return True
 
     def deliver_batch(self, conn: int, messages: list[Any]) -> bool:
         if conn not in self.conns:
             return False
-        self._to_front(
-            lambda: self._host.sessions.shard_reply_batch(conn, messages)
-        )
+        lane, floor = self._placement(conn, tuple(messages))
+        host = self._host
+        prev_lane, prev_floor = host._lane, host._exec_floor
+        host._lane, host._exec_floor = lane, floor
+        try:
+            self._to_front(
+                lambda: self._host.sessions.shard_reply_batch(conn, messages)
+            )
+        finally:
+            host._lane, host._exec_floor = prev_lane, prev_floor
         return True
 
     def fragment_to_front(
@@ -252,7 +416,11 @@ class ShardedSimHost(SimHost):
         )
         self.config = config
         self.shards = shards
-        self._lanes = CpuLanes(1 + shards)  # lane 0 = front
+        # lane 0 = front, lanes 1..shards = worker home lanes, then
+        # exec_lanes modeled execution lanes per shard for the
+        # optimistic intra-group scheduler
+        exec_lanes = max(0, config.exec_lanes)
+        self._lanes = CpuLanes(1 + shards + shards * exec_lanes)
         self.router = ShardRouter(shards, vnodes=vnodes)
         clock = core_clock if core_clock is not None else kernel
         self.sessions = ShardSessions(config, clock, self.router, shards, self._post_item)

@@ -589,3 +589,89 @@ class TestRepoIsClean:
         config = load_config(root / "pyproject.toml")
         assert set(config.deepcheck_rules) == set(ALL_DEEP_RULES)
         assert config.deepcheck_baseline == "deepcheck-baseline.json"
+
+
+# The SharedState scaffold SCHED001 classifies: the real qualnames of
+# the state classes, a scheduler module, and the serial commit points.
+SCHED_SCAFFOLD = """
+class SharedObject:
+    def apply(self, record): pass
+    def truncate(self, upto): pass
+
+class SharedState:
+    def apply(self, record): pass
+    def fold(self, upto): pass
+    def version(self, object_id): return None
+    def get(self, object_id) -> SharedObject: return SharedObject()
+"""
+
+
+class TestSched001:
+    def test_fires_on_mutation_outside_commit_path(self):
+        findings = deep(
+            rules=("SCHED001",),
+            repro__core__state=SCHED_SCAFFOLD,
+            repro__replication__healer="""
+from repro.core.state import SharedState
+
+def heal(state: SharedState, record):
+    state.apply(record)
+""",
+        )
+        assert rule_ids(findings) == ["SCHED001"]
+        assert "SharedState.apply" in findings[0].message
+
+    def test_fires_on_shared_object_truncate_via_get(self):
+        findings = deep(
+            rules=("SCHED001",),
+            repro__core__state=SCHED_SCAFFOLD,
+            repro__replication__healer="""
+from repro.core.state import SharedState
+
+def rollback(state: SharedState, object_id, seqno):
+    state.get(object_id).truncate(seqno)
+""",
+        )
+        assert rule_ids(findings) == ["SCHED001"]
+        assert "SharedObject.truncate" in findings[0].message
+
+    def test_silent_in_scheduler_module_and_commit_points(self):
+        findings = deep(
+            rules=("SCHED001",),
+            repro__core__state=SCHED_SCAFFOLD,
+            repro__core__scheduler="""
+from repro.core.state import SharedState
+
+def commit(state: SharedState, record):
+    state.apply(record)
+""",
+            repro__core__group_runtime="""
+from repro.core.state import SharedState
+
+class GroupRuntime:
+    state: SharedState
+    def apply_and_deliver(self, record):
+        self.state.apply(record)
+    def reduce(self, upto):
+        self.state.fold(upto)
+""",
+        )
+        assert findings == []
+
+    def test_silent_on_reads_and_unrelated_apply(self):
+        findings = deep(
+            rules=("SCHED001",),
+            repro__core__state=SCHED_SCAFFOLD,
+            repro__other="""
+from repro.core.state import SharedState
+
+class Patch:
+    def apply(self, record): pass
+
+def observe(state: SharedState, patch: Patch, record):
+    version = state.version("doc")
+    patch.apply(record)
+    return version
+""",
+        )
+        assert findings == []
