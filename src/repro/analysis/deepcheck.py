@@ -10,7 +10,10 @@ loops); a *front* class holds such workers.  Shard-owned mutable state
 containers) must only be reached from its own loop; the blessed
 cross-thread surface is the mailbox (``post``), lifecycle methods, and
 the ``call_front``/``run_front`` bridges.  This family supersedes the
-naive PERF002 attribute scan.
+naive PERF002 attribute scan.  ``SHARD004`` extends it for the elastic
+topology: GroupRuntime state may only be touched under the owning
+worker's lease, because live migration can move a group between shards
+at any item boundary.
 
 ``BLOCK001–002`` — blocking-call reachability.  ``time.sleep``, fsync,
 sync file/socket I/O and ``subprocess`` must not run on an event loop:
@@ -51,6 +54,7 @@ __all__ = [
     "load_baseline",
     "split_baselined",
     "baseline_payload",
+    "unjustified_entries",
 ]
 
 DEEP_RULE_DOCS: dict[str, tuple[Severity, str, str]] = {
@@ -73,6 +77,16 @@ DEEP_RULE_DOCS: dict[str, tuple[Severity, str, str]] = {
         "shard-worker code touches front-loop state directly instead of "
         "going through call_front/run_front",
         "wrap the access in a closure handed to the front bridge",
+    ),
+    "SHARD004": (
+        Severity.ERROR,
+        "GroupRuntime state (or the ServerCore runtime table behind it) "
+        "is accessed outside the owning worker's lease — under live "
+        "migration a group's runtime may move between shards at any "
+        "item boundary, so only code running on the leased worker's "
+        "loop may touch it",
+        "read the immutable owned_groups/recovered_groups snapshots, "
+        "sample DispatchStats, or route the work through the mailbox",
     ),
     "SCHED001": (
         Severity.ERROR,
@@ -733,6 +747,65 @@ def _node_contains(outer: ast.AST, inner: ast.AST) -> bool:
 
 
 # --------------------------------------------------------------------------
+# SHARD004: GroupRuntime access outside the owning worker's lease
+# --------------------------------------------------------------------------
+
+#: The migratable unit: whichever worker holds the group's lease owns it.
+_RUNTIME_CLASS = "repro.core.group_runtime.GroupRuntime"
+_SERVER_CORE_CLASS = "repro.core.server.ServerCore"
+
+#: Modules that ARE the leased execution context: the core dispatch
+#: machinery runs inside whatever worker loop drives it, and the
+#: snapshot/restore module is only ever called from migrate handlers on
+#: the owning (or adopting) worker's loop.
+_LEASE_SANCTIONED_MODULES = ("repro.core", "repro.runtime.migration")
+
+
+def _lease_side_classes(graph: ProgramGraph, workers: set[str]) -> set[str]:
+    """Worker classes plus every base they inherit the item protocol
+    from (ShardWorkerBase and the sim worker share one lease side)."""
+    owned = set(workers)
+    for worker in sorted(workers):
+        owned.update(graph.mro(worker))
+    out = set(owned)
+    for qual in graph.classes:
+        if any(base in owned for base in graph.mro(qual)):
+            out.add(qual)
+    return out
+
+
+def _check_shard004(graph: ProgramGraph, workers: set[str]) -> list[Finding]:
+    lease_side = _lease_side_classes(graph, workers)
+    findings: list[Finding] = []
+    for qual in sorted(graph.functions):
+        fn = graph.functions[qual]
+        if _excluded(fn.module, _LEASE_SANCTIONED_MODULES):
+            continue
+        if fn.cls is not None and fn.cls in lease_side:
+            continue
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Attribute):
+                continue
+            ref = graph.expr_type(fn, node.value)
+            if ref is None:
+                continue
+            if ref.base == _RUNTIME_CLASS:
+                findings.append(_finding(
+                    "SHARD004", fn, node,
+                    f"{fn.qualname} touches GroupRuntime state "
+                    f"`.{node.attr}` outside the owning worker's lease",
+                ))
+            elif ref.base == _SERVER_CORE_CLASS and node.attr == "runtimes":
+                findings.append(_finding(
+                    "SHARD004", fn, node,
+                    f"{fn.qualname} reads the runtime table "
+                    f"`ServerCore.runtimes` outside the owning worker's "
+                    f"lease",
+                ))
+    return findings
+
+
+# --------------------------------------------------------------------------
 # driver
 # --------------------------------------------------------------------------
 
@@ -740,6 +813,7 @@ _CHECKS = {
     "SHARD001": lambda g, w: _check_shard001(g, w),
     "SHARD002": lambda g, w: _check_shard002(g, w),
     "SHARD003": lambda g, w: _check_shard003(g, w),
+    "SHARD004": lambda g, w: _check_shard004(g, w),
     "SCHED001": lambda g, w: _check_sched001(g),
     "BLOCK001": lambda g, w: _check_block001(g),
     "BLOCK002": lambda g, w: _check_block002(g),
@@ -863,3 +937,19 @@ def baseline_payload(findings: list[Finding], old: list[dict]) -> dict:
             ),
         })
     return {"findings": entries}
+
+
+def unjustified_entries(baseline: list[dict]) -> list[dict]:
+    """Baseline entries still carrying the ``--update-baseline``
+    placeholder (or nothing at all).
+
+    A baselined finding without a real justification is a silenced bug:
+    ``repro deepcheck`` fails while any remain, so the placeholder can
+    never be committed as if it were an explanation.
+    """
+    out = []
+    for entry in baseline:
+        text = str(entry.get("justification", "")).strip()
+        if not text or text.upper().startswith("TODO"):
+            out.append(entry)
+    return out

@@ -40,6 +40,7 @@ __all__ = [
     "events_from_jsonl",
     "inject_race",
     "seeded_sharded_trace",
+    "strip_migration_edges",
 ]
 
 RACE_RULE_DOCS: dict[str, tuple[Severity, str, str]] = {
@@ -266,6 +267,31 @@ def inject_race(events: list[RaceEvent]) -> list[RaceEvent]:
     return list(events) + [
         RaceEvent(lane_a, "write", "injected:frame", 0, "inject-a"),
         RaceEvent(lane_b, "write", "injected:frame", 0, "inject-b"),
+    ]
+
+
+def strip_migration_edges(events: list[RaceEvent]) -> list[RaceEvent]:
+    """Remove the migration handoff hops (the ``mig:*`` channels) from a
+    trace, keeping everything else.
+
+    The sharded hosts label the migration protocol's relays — the
+    ``migrate_*`` mailbox items and the worker→front lifecycle events —
+    with ``mig:`` instead of ``mbox:``.  Those hops are the
+    happens-before chain that orders the source's snapshot read of
+    ``wal:<group>`` before the destination's install write.  Stripping
+    them must therefore make a trace containing a live migration racy
+    (RACE001 on ``wal:<group>``): the edges are load-bearing, not
+    decorative.  Tests assert both directions (intact trace clean,
+    stripped trace flagged).
+    """
+    mig_tokens = {
+        e.token for e in events
+        if e.kind == "send" and e.obj.startswith("mig:")
+    }
+    return [
+        e for e in events
+        if not (e.kind == "send" and e.obj.startswith("mig:"))
+        and not (e.kind == "recv" and e.token in mig_tokens)
     ]
 
 

@@ -33,7 +33,9 @@ __all__ = [
 PROVENANCE_KEYS = frozenset({"benchmark", "python", "platform", "generated_by"})
 
 #: Benchmarks deterministic enough to gate (virtual-time simulations).
-GATED_BENCHMARKS = ("fig3", "table1", "shard_scaling", "backpressure", "hot_group")
+GATED_BENCHMARKS = (
+    "fig3", "table1", "shard_scaling", "backpressure", "hot_group", "migration"
+)
 
 
 def default_baseline_dir() -> Path:

@@ -20,6 +20,7 @@ __all__ = [
     "NotAMemberError",
     "AlreadyMemberError",
     "NotAuthorizedError",
+    "StaleEpochError",
     "LockError",
     "LockHeldError",
     "LockNotHeldError",
@@ -99,6 +100,14 @@ class NotAuthorizedError(GroupError):
     """The workspace session manager denied the requested action."""
 
     code = "corona.not_authorized"
+
+
+class StaleEpochError(GroupError):
+    """A command carried an ownership epoch older than the group's current
+    lease — the group migrated while the command was in flight.  The client
+    retries against the (re-routed) current owner."""
+
+    code = "corona.stale_epoch"
 
 
 class LockError(CoronaError):

@@ -159,6 +159,17 @@ class DispatchStats:
     #: backend-specific timing, so unlike the other counters this one is
     #: NOT expected to match across hosts in parity checks.
     commit_stalls: int = 0
+    #: Group snapshots this worker streamed out during a live migration.
+    migrations_out: int = 0
+    #: Migrated groups this worker adopted (snapshot installed + WAL tail
+    #: replayed into its own store segment).
+    migrations_in: int = 0
+    #: Migrations that aborted (destination crashed or was restarted
+    #: mid-transfer) with ownership returned to the source.
+    migration_aborts: int = 0
+    #: Commands rejected because they carried a stale ownership epoch
+    #: (the group migrated away while the command was in flight).
+    stale_epoch_rejects: int = 0
 
 
 class EffectBackend:

@@ -103,6 +103,33 @@ class LockTable:
         lock = self._locks.get(object_id)
         return len(lock.waiters) if lock else 0
 
+    def export(
+        self,
+    ) -> tuple[tuple[ObjectId, ClientId | None, tuple[tuple[ClientId, int], ...]], ...]:
+        """Structural dump for live migration: ``(object_id, holder,
+        waiters)`` per lock, insertion order (== grant fairness) preserved."""
+        return tuple(
+            (object_id, lock.holder, tuple(lock.waiters))
+            for object_id, lock in self._locks.items()
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        exported: tuple[
+            tuple[ObjectId, ClientId | None, tuple[tuple[ClientId, int], ...]], ...
+        ],
+    ) -> LockTable:
+        """Rebuild a table from :meth:`export` output: holders and FIFO
+        waiter queues carry over, so a blocking acquire queued before a
+        migration is granted on the new owner in the same order."""
+        table = cls()
+        for object_id, holder, waiters in exported:
+            table._locks[object_id] = _Lock(
+                holder=holder, waiters=deque(waiters)
+            )
+        return table
+
     @staticmethod
     def _pass_on(object_id: ObjectId, lock: _Lock) -> LockGrant | None:
         if lock.waiters:

@@ -131,3 +131,19 @@ class StateLog:
     def records(self) -> tuple[UpdateRecord, ...]:
         """Every retained record, oldest first."""
         return tuple(self._records)
+
+    @classmethod
+    def restore(
+        cls, records: tuple[UpdateRecord, ...], first_seqno: SeqNo
+    ) -> StateLog:
+        """Rebuild a log from a migration snapshot.
+
+        *first_seqno* preserves the reduction point: an empty log restored
+        with ``first_seqno=N`` still rejects ``since()`` requests for the
+        trimmed prefix exactly like the source's log did.
+        """
+        log = cls()
+        log._first_seqno = first_seqno
+        for record in records:
+            log.append(record)
+        return log

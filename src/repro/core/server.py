@@ -190,6 +190,35 @@ class ServerCore(ProtocolCore):
         return self._runtime_named(name).group
 
     # ------------------------------------------------------------------
+    # live migration (repro.runtime.shard drives these)
+    # ------------------------------------------------------------------
+
+    def detach_group(self, name: GroupId) -> GroupRuntime | None:
+        """Freeze half of a migration: unregister the runtime so no new
+        command can reach it, but keep the client indexes intact — the
+        members are still connected and, if the migration aborts, the
+        runtime is re-adopted as-is via :meth:`adopt_group`."""
+        return self.runtimes.pop(name, None)
+
+    def adopt_group(self, group: Group) -> GroupRuntime:
+        """Install a migrated-in (or abort-restored) group, re-linking
+        every member into the client→groups index so a later disconnect
+        removes them here, on the new owner."""
+        runtime = self.install_group(group)
+        for member in group.members():
+            self._client_groups.setdefault(member.client_id, set()).add(group.name)
+        return runtime
+
+    def forget_group(self, group: Group) -> None:
+        """Drop every reference to a migrated-away group without emitting
+        leave notices — the group still exists, it just lives elsewhere
+        now.  Safe to call whether or not the runtime is still (or again)
+        registered."""
+        self.runtimes.pop(group.name, None)
+        for member in group.members():
+            self._client_groups.get(member.client_id, set()).discard(group.name)
+
+    # ------------------------------------------------------------------
     # per-group hooks (the replication layer overrides these)
     # ------------------------------------------------------------------
 

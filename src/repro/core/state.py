@@ -197,3 +197,34 @@ class SharedState:
     def size_bytes(self) -> int:
         """Approximate memory held by the whole shared state."""
         return sum(obj.size_bytes() for obj in self._objects.values())
+
+    def export_objects(
+        self,
+    ) -> tuple[tuple[ObjectId, bytes, SeqNo, tuple[tuple[SeqNo, bytes], ...]], ...]:
+        """Structural dump for live migration: ``(id, base, base_seqno,
+        increments)`` per object, insertion order preserved.
+
+        Unlike :meth:`materialize_all` this keeps the base/increment split
+        intact, so the importer can restore the state *and* replay the WAL
+        tail without double-applying unfolded increments.
+        """
+        return tuple(
+            (obj.object_id, obj.base, obj.base_seqno, tuple(obj.increments))
+            for obj in self._objects.values()
+        )
+
+    @classmethod
+    def from_export(
+        cls,
+        exported: tuple[tuple[ObjectId, bytes, SeqNo, tuple[tuple[SeqNo, bytes], ...]], ...],
+    ) -> SharedState:
+        """Rebuild a state from :meth:`export_objects` output."""
+        state = cls()
+        for object_id, base, base_seqno, increments in exported:
+            state._objects[object_id] = SharedObject(
+                object_id=object_id,
+                base=base,
+                base_seqno=base_seqno,
+                increments=list(increments),
+            )
+        return state

@@ -19,9 +19,24 @@ proceed independently.  This module is that design over asyncio:
   shards.  Work arrives through a bounded FIFO mailbox.
 * :class:`ShardRouter` maps ``GroupId -> shard`` with a consistent-hash
   ring (stable across restarts and shard-count-preserving recoveries)
-  plus explicit pins for groups that live away from their natural owner
-  (placed while the owner was draining, or found in another shard's
-  store during recovery).
+  plus an explicit per-group *lease* for groups that live away from
+  their natural owner (placed while the owner was draining, found in
+  another shard's store during recovery, or moved by a live migration).
+  Each lease carries a monotone *epoch*; forwarded commands are stamped
+  with the epoch at routing time and a worker rejects commands whose
+  epoch is behind its lease (``corona.stale_epoch``) instead of
+  silently serving a group it no longer owns.
+
+Ownership moves only through live migration (``migrate_group``): the
+front freezes the group (buffering its commands), the source worker
+barriers its speculation window, snapshots the
+:class:`~repro.core.group_runtime.GroupRuntime` (state, log tail,
+membership, locks, sequencer) together with its durable base
+(checkpoint + WAL tail), the destination installs the snapshot and
+adopts the storage into its own segment, and the front then bumps the
+lease epoch and replays the buffered commands to the new owner.  A
+crash of either side mid-migration aborts cleanly: the source re-adopts
+its stashed runtime and the lease (and epoch) never move.
 
 A connection can span groups on several shards: the front lazily
 *introduces* the connection to a shard (a synthesized Hello carrying the
@@ -46,8 +61,14 @@ from typing import Any, Callable, Iterable
 
 from repro.core.auth import AllowAnyClient
 from repro.core.clock import Clock, MonotonicClock
-from repro.core.errors import CoronaError, NotAuthorizedError, ProtocolError
+from repro.core.errors import (
+    CoronaError,
+    NotAuthorizedError,
+    ProtocolError,
+    StaleEpochError,
+)
 from repro.core.events import CloseConnection, ProtocolCore
+from repro.core.group_runtime import GroupRuntime
 from repro.core.ids import ClientId, ConnId, GroupId
 from repro.core.interpreter import (
     DispatchStats,
@@ -59,6 +80,12 @@ from repro.core.scheduler import ThreadPoolEngine
 from repro.core.server import ServerConfig, ServerCore
 from repro.net.transport import Transport
 from repro.runtime.host import AsyncioHost
+from repro.runtime.migration import (
+    GroupSnapshot,
+    MigrationRecord,
+    restore_group,
+    snapshot_group,
+)
 from repro.storage.store import GroupStore, RecoveredGroup
 from repro.wire.messages import (
     AcquireLockRequest,
@@ -137,14 +164,21 @@ def shard_config(config: ServerConfig, index: int) -> ServerConfig:
 
 
 class ShardRouter:
-    """Consistent-hash placement of groups onto shards, with pins.
+    """Consistent-hash placement of groups onto shards, with leases.
 
     The ring (``vnodes`` points per shard, SHA-1 keyed) makes placement
     a pure function of the group name — two servers with the same shard
     count agree on every group's owner with no coordination, and a
     restart recovers each group onto the shard whose store holds it.
-    Pins record the exceptions: groups created while their natural owner
-    was draining, or discovered on a different shard during recovery.
+    A *lease* records the exceptions: groups created while their natural
+    owner was draining, discovered on a different shard during recovery,
+    or moved by a live migration.  :meth:`migrate` is the only operation
+    that moves an existing group's lease, and it bumps the group's
+    *epoch* — a monotone counter stamped onto every forwarded command so
+    a worker can reject commands routed before an ownership change
+    instead of silently misrouting them.  Epochs never decrease and
+    survive unpinning and even group deletion, so a stale in-flight
+    command cannot masquerade as current after a name is reused.
     """
 
     def __init__(self, shards: int, vnodes: int = 64) -> None:
@@ -158,7 +192,8 @@ class ShardRouter:
         )
         self._points = [h for h, _ in ring]
         self._owners = [s for _, s in ring]
-        self._pins: dict[GroupId, int] = {}
+        self._leases: dict[GroupId, int] = {}
+        self._epochs: dict[GroupId, int] = {}
         self._drained: set[int] = set()
 
     @staticmethod
@@ -172,33 +207,60 @@ class ShardRouter:
         return self._ring_owner(group, avoid=frozenset())
 
     def route(self, group: GroupId) -> int:
-        """Where requests for *group* go: its pin, else the ring owner.
+        """Where requests for *group* go: its lease, else the ring owner.
 
         Draining does NOT divert routing — a draining shard still owns
         (and must keep serving) the groups already placed on it.
         """
-        pinned = self._pins.get(group)
-        if pinned is not None:
-            return pinned
+        leased = self._leases.get(group)
+        if leased is not None:
+            return leased
         return self._ring_owner(group, avoid=frozenset())
 
     def assign(self, group: GroupId) -> int:
         """Placement for a group being *created* now.
 
-        Prefers the existing pin, then the natural owner; a draining
+        Prefers the existing lease, then the natural owner; a draining
         natural owner is skipped along the ring and the displaced
-        placement is pinned so later :meth:`route` calls stay stable.
+        placement is leased so later :meth:`route` calls stay stable.
         """
-        pinned = self._pins.get(group)
-        if pinned is not None and pinned not in self._drained:
-            return pinned
+        leased = self._leases.get(group)
+        if leased is not None and leased not in self._drained:
+            return leased
         natural = self._ring_owner(group, avoid=frozenset())
         if natural not in self._drained:
-            self._pins.pop(group, None)
+            self._leases.pop(group, None)
             return natural
         shard = self._ring_owner(group, avoid=self._drained)
-        self._pins[group] = shard
+        self._leases[group] = shard
         return shard
+
+    def migrate(self, group: GroupId, dst: int) -> int:
+        """Commit an ownership move: lease *group* to *dst* and bump its
+        epoch.  This is the ONLY way an existing group changes owner —
+        :meth:`pin` seeds recovery placement for groups a store already
+        holds, it never moves a live one.  Returns the new epoch."""
+        if not (0 <= dst < self.shards):
+            raise ValueError(f"no shard {dst} (have {self.shards})")
+        self._leases[group] = dst
+        self._epochs[group] = self._epochs.get(group, 0) + 1
+        return self._epochs[group]
+
+    def lease(self, group: GroupId) -> int | None:
+        """The shard holding *group*'s lease, or None (ring placement)."""
+        return self._leases.get(group)
+
+    def epoch(self, group: GroupId) -> int:
+        """Current ownership epoch of *group* (0 until first migration)."""
+        return self._epochs.get(group, 0)
+
+    def epochs(self) -> dict[GroupId, int]:
+        """Every group whose epoch ever moved (``repro topology``)."""
+        return dict(self._epochs)
+
+    def drained(self) -> frozenset[int]:
+        """Shards currently refusing new placements."""
+        return frozenset(self._drained)
 
     def _ring_owner(self, group: GroupId, avoid: frozenset[int] | set[int]) -> int:
         h = self._hash(group)
@@ -213,14 +275,17 @@ class ShardRouter:
     # -- pins and drains ------------------------------------------------
 
     def pin(self, group: GroupId, shard: int) -> None:
-        """Force *group* onto *shard* (recovery found it there)."""
-        self._pins[group] = shard
+        """Lease *group* to *shard* without an epoch bump (recovery found
+        its data there; no ownership ever moved)."""
+        self._leases[group] = shard
 
     def unpin(self, group: GroupId) -> None:
-        self._pins.pop(group, None)
+        """Drop the lease (the epoch, if any, survives)."""
+        self._leases.pop(group, None)
 
     def pins(self) -> dict[GroupId, int]:
-        return dict(self._pins)
+        """The full lease table (compatibility name)."""
+        return dict(self._leases)
 
     def drain(self, shard: int) -> None:
         """Stop placing NEW groups on *shard* (existing ones stay)."""
@@ -260,6 +325,16 @@ class ShardSessions(ProtocolCore):
         #: In-flight ListGroups scatter-gathers: (conn, request_id) ->
         #: {"remaining": shards yet to answer, "infos": fragments so far}.
         self._gathers: dict[tuple[ConnId, int], dict[str, Any]] = {}
+        #: In-flight migrations: group -> mutable state (see
+        #: :meth:`begin_migration` for the schema and phases).
+        self._migrations: dict[GroupId, dict[str, Any]] = {}
+        #: Ids tie worker relays to the migration attempt that caused
+        #: them, so relays from an aborted attempt cannot corrupt a
+        #: newer one for the same group.
+        self._migration_seq = 0
+        #: Finished migrations, oldest first (``repro topology`` and the
+        #: migration benchmark read freeze windows / bytes from here).
+        self.migration_log: list[MigrationRecord] = []
 
     # -- host entry points ----------------------------------------------
 
@@ -275,6 +350,13 @@ class ShardSessions(ProtocolCore):
                 self._scatter_list(conn, message.request_id)
             elif type(message) in _FORWARDED_SET:
                 client = self._client_of(conn)
+                mig = self._migrations.get(message.group)
+                if mig is not None:
+                    # the group is frozen mid-migration: hold the command
+                    # here; it replays, in arrival order, to whichever
+                    # shard owns the group once the migration settles
+                    mig["buffer"].append((conn, client, message))
+                    return
                 if isinstance(message, CreateGroupRequest):
                     shard = self.router.assign(message.group)
                 else:
@@ -337,13 +419,158 @@ class ShardSessions(ProtocolCore):
             # Introduce the already-authenticated client to the shard
             # core; its HelloReply echo is swallowed in shard_reply().
             self._post(shard, ("hello", conn, Hello(client_id=client)))
-        self._post(shard, ("message", conn, message))
+        # stamp the ownership epoch at routing time: if the group moves
+        # before the worker dequeues this, the command is rejected with
+        # corona.stale_epoch instead of silently served by a non-owner
+        self._post(
+            shard, ("message", conn, message, self.router.epoch(message.group))
+        )
 
     def forget_shard(self, index: int) -> None:
         """A shard restarted with a fresh core: every connection must be
         re-introduced before its next request lands there."""
         for seen in self._intro.values():
             seen.discard(index)
+
+    # -- live migration (front-loop only) ---------------------------------
+    #
+    # State machine per group:
+    #
+    #   begin_migration      "freezing"    commands buffer at the front;
+    #                                      source told to freeze+snapshot
+    #   migration_snapshot   "installing"  source detached the runtime;
+    #                                      destination told to install
+    #   migration_installed  (done)        lease moved, epoch bumped,
+    #                                      buffer replayed to destination
+    #
+    # abort_migrations_for_shard unwinds from any phase: destination down
+    # -> the source re-adopts its stashed runtime; source down -> any
+    # installed copy is discarded and the lease (and epoch) never move.
+
+    def begin_migration(self, group: GroupId, dst: int) -> None:
+        """Start moving *group* onto shard *dst*.
+
+        Validation is front-local; whether the group actually exists is
+        the source worker's call (``migration_failed`` unwinds cleanly).
+        """
+        if group in self._migrations:
+            raise ValueError(f"group {group!r} is already migrating")
+        if not (0 <= dst < self.shard_count):
+            raise ValueError(f"no shard {dst} (have {self.shard_count})")
+        src = self.router.route(group)
+        if dst == src:
+            raise ValueError(f"group {group!r} already lives on shard {dst}")
+        if dst in self.router.drained():
+            raise ValueError(f"shard {dst} is draining")
+        self._migration_seq += 1
+        mig_id = self._migration_seq
+        self._migrations[group] = {
+            "id": mig_id,
+            "src": src,
+            "dst": dst,
+            "epoch": self.router.epoch(group),
+            "phase": "freezing",
+            "buffer": [],
+            "record": MigrationRecord(
+                group=group, src=src, dst=dst,
+                epoch=self.router.epoch(group), started=self.clock.now(),
+            ),
+        }
+        self._post(src, ("migrate_out", group, mig_id))
+
+    def migrations(self) -> dict[GroupId, str]:
+        """Phase of every in-flight migration (introspection/tests)."""
+        return {group: mig["phase"] for group, mig in self._migrations.items()}
+
+    def migration_failed(self, group: GroupId, mig_id: int) -> None:
+        """Source relay: it does not host *group* (front-loop only)."""
+        mig = self._migrations.get(group)
+        if mig is None or mig["id"] != mig_id:
+            return
+        del self._migrations[group]
+        self._finish_migration(mig, "failed")
+
+    def migration_snapshot(
+        self, group: GroupId, src: int, snap: GroupSnapshot, mig_id: int
+    ) -> None:
+        """Source relay: the group is frozen and captured (front-loop
+        only).  Introduces live member connections to the destination,
+        flags members whose connection died during the freeze (the
+        source never saw those closes for the detached runtime), and
+        streams the snapshot on."""
+        mig = self._migrations.get(group)
+        if mig is None or mig["id"] != mig_id:
+            # this attempt was aborted while the snapshot was in flight:
+            # hand ownership straight back to the source
+            self._post(src, ("migrate_abort", group, mig_id))
+            return
+        mig["phase"] = "installing"
+        mig["record"].bytes = snap.size_bytes()
+        dst = mig["dst"]
+        dead = []
+        for client_id, conn, _role, _notices in snap.members:
+            if self._conn_client.get(conn) != client_id:
+                dead.append(client_id)
+                continue
+            seen = self._intro.setdefault(conn, set())
+            if dst not in seen:
+                seen.add(dst)
+                self._post(dst, ("hello", conn, Hello(client_id=client_id)))
+        self._post(
+            dst,
+            ("migrate_in", group, snap, mig["epoch"] + 1, tuple(dead), mig_id),
+        )
+
+    def migration_installed(self, group: GroupId, dst: int, mig_id: int) -> None:
+        """Destination relay: snapshot installed + storage adopted
+        (front-loop only).  Commits: the lease moves, the epoch bumps,
+        and the frozen backlog replays to the new owner."""
+        mig = self._migrations.get(group)
+        if mig is None or mig["id"] != mig_id:
+            # aborted mid-install (a shard restarted underneath it):
+            # drop that attempt's copy — the id check on the worker makes
+            # this a no-op if a newer attempt already owns the name
+            self._post(dst, ("migrate_discard", group, mig_id))
+            return
+        del self._migrations[group]
+        new_epoch = self.router.migrate(group, mig["dst"])
+        self._post(mig["src"], ("migrate_commit", group, mig_id))
+        self._post(mig["dst"], ("migrate_activate", group, mig_id))
+        self._finish_migration(mig, "committed", epoch=new_epoch)
+
+    def abort_migrations_for_shard(self, index: int) -> None:
+        """A shard crashed or restarted: unwind every migration it was
+        part of.  The lease never moved, so after the unwind the source
+        (or its restarted self, recovering from its own store) still
+        owns each group and the buffered commands replay there."""
+        for group, mig in list(self._migrations.items()):
+            if mig["dst"] == index:
+                del self._migrations[group]
+                self._post(mig["src"], ("migrate_abort", group, mig["id"]))
+                self._finish_migration(mig, "aborted")
+            elif mig["src"] == index:
+                del self._migrations[group]
+                if mig["phase"] == "installing":
+                    self._post(mig["dst"], ("migrate_discard", group, mig["id"]))
+                self._finish_migration(mig, "aborted")
+
+    def _finish_migration(
+        self, mig: dict[str, Any], outcome: str, epoch: int | None = None
+    ) -> None:
+        record = mig["record"]
+        record.finished = self.clock.now()
+        record.buffered = len(mig["buffer"])
+        record.outcome = outcome
+        if epoch is not None:
+            record.epoch = epoch
+        self.migration_log.append(record)
+        # replay the frozen backlog in arrival order through the normal
+        # routing path: fresh route, fresh epoch stamp, and connections
+        # that died during the freeze drop out here
+        for conn, client, message in mig["buffer"]:
+            if self._conn_client.get(conn) != client:
+                continue
+            self.handle_message(conn, message)
 
     # -- ListGroups scatter-gather ---------------------------------------
 
@@ -399,16 +626,27 @@ class ShardWorkerBase(EffectBackend):
 
     Mailbox items::
 
-        ("hello",   conn, Hello)    introduce an authenticated client
-        ("message", conn, Message)  a routed group-scoped request
-        ("closed",  conn)           the connection went away
-        ("list",    conn, rid)      answer one ListGroups fragment
+        ("hello",   conn, Hello)          introduce an authenticated client
+        ("message", conn, Message, epoch) a routed group-scoped request,
+                                          stamped with the lease epoch at
+                                          routing time (3-tuples: unstamped)
+        ("closed",  conn)                 the connection went away
+        ("list",    conn, rid)            answer one ListGroups fragment
+
+        ("migrate_out",      group, mid)                   freeze + stream out
+        ("migrate_in",       group, snap, epoch, dead, mid) install a snapshot
+        ("migrate_commit",   group, mid)                   source: let go
+        ("migrate_activate", group, mid)                   destination: serve
+        ("migrate_abort",    group, mid)                   source: take back
+        ("migrate_discard",  group, mid|None)              drop a stale copy
     """
 
     index: int
     core: ServerCore
     conns: set[int]
     recovered_groups: tuple[str, ...]
+    #: Race recorder (duck-typed); subclasses overwrite before use.
+    _recorder: Any = None
 
     def _init_worker(
         self,
@@ -423,12 +661,28 @@ class ShardWorkerBase(EffectBackend):
         self.interpreter = build_interpreter(self, middlewares)
         #: Immutable snapshot of the groups recovered from this shard's
         #: store, published before the worker loop starts so the front
-        #: can seed router pins without reaching into the live core.
+        #: can seed router leases without reaching into the live core.
         self.recovered_groups = tuple(sorted(recovered)) if recovered else ()
         #: Connections this shard has been introduced to; gates deliver()
         #: so sends after a forwarded close count as drops, exactly like
         #: the flat server's unknown-connection semantics.
         self.conns = set()
+        #: Race-trace lane name (matches the recorder middleware lane).
+        self._race_lane = f"shard{index}"
+        #: Lease epoch last seen per locally served group; commands
+        #: stamped with an older epoch are rejected (corona.stale_epoch).
+        self._group_epochs: dict[str, int] = {}
+        #: Groups frozen and streamed out, awaiting commit/abort:
+        #: name -> (migration id, stashed runtime).
+        self._migrating_out: dict[str, tuple[int, GroupRuntime]] = {}
+        #: Groups installed but not yet activated: name -> migration id.
+        #: Excluded from ListGroups fragments (the source still answers
+        #: for them from its stash until the commit lands).
+        self._importing: dict[str, int] = {}
+        #: Immutable snapshot of served group names, republished after
+        #: every item so the front-side topology controller can sample
+        #: placement without reaching into the live core.
+        self.owned_groups: tuple[str, ...] = self.recovered_groups
 
     def process_item(self, item: tuple) -> None:
         kind = item[0]
@@ -437,8 +691,13 @@ class ShardWorkerBase(EffectBackend):
             self.conns.add(conn)
             self.interpreter.execute(self.core.on_message(conn, hello))
         elif kind == "message":
-            _, conn, message = item
-            self.interpreter.execute(self.core.on_message(conn, message))
+            if len(item) == 4:
+                _, conn, message, epoch = item
+            else:
+                _, conn, message = item
+                epoch = None
+            if epoch is None or self._epoch_ok(conn, message, epoch):
+                self.interpreter.execute(self.core.on_message(conn, message))
         elif kind == "closed":
             _, conn = item
             self.conns.discard(conn)
@@ -453,13 +712,203 @@ class ShardWorkerBase(EffectBackend):
                 # read the log tips for the fragment
                 self.interpreter.execute(self.core.end_batch())
                 self.core.begin_batch()
+            # Frozen mid-migration groups answer from the stash; freshly
+            # installed ones stay invisible until activation — between
+            # the two, every scatter (whole-mailbox FIFO before or after
+            # the commit posts) counts each group exactly once.
             infos = tuple(
                 GroupInfo(g.name, g.persistent, len(g), g.log.next_seqno)
                 for g in self.core.groups.values()
+                if g.name not in self._importing
+            ) + tuple(
+                GroupInfo(
+                    rt.group.name, rt.group.persistent,
+                    len(rt.group), rt.group.log.next_seqno,
+                )
+                for _mid, rt in self._migrating_out.values()
             )
             self.fragment_to_front(conn, request_id, infos)
+        elif kind == "migrate_out":
+            _, group, mig_id = item
+            self._migrate_out(group, mig_id)
+        elif kind == "migrate_in":
+            _, group, snap, epoch, dead, mig_id = item
+            self._migrate_in(group, snap, epoch, dead, mig_id)
+        elif kind == "migrate_commit":
+            _, group, mig_id = item
+            self._migrate_commit(group, mig_id)
+        elif kind == "migrate_activate":
+            _, group, mig_id = item
+            if self._importing.get(group) == mig_id:
+                del self._importing[group]
+        elif kind == "migrate_abort":
+            _, group, mig_id = item
+            self._migrate_abort(group, mig_id)
+        elif kind == "migrate_discard":
+            _, group, mig_id = item
+            self._migrate_discard(group, mig_id)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown mailbox item {item!r}")
+        self._publish_groups()
+
+    # -- epoch fencing ----------------------------------------------------
+
+    def _epoch_ok(self, conn: int, message: Message, epoch: int) -> bool:
+        group = getattr(message, "group", None)
+        if group is None:
+            return True
+        known = self._group_epochs.get(group)
+        if known is None or epoch > known:
+            # first sight of the group (or the front re-leased it to us
+            # at a higher epoch): adopt the front's stamp
+            self._group_epochs[group] = epoch
+            return True
+        if epoch == known:
+            return True
+        self.interpreter.stats.stale_epoch_rejects += 1
+        scheduler = self.core.scheduler
+        if scheduler is not None and scheduler.pending:
+            # the rejection must not overtake speculated replies on the
+            # same connection (mirrors the core's error-path barrier)
+            self.interpreter.execute(self.core.end_batch())
+            self.core.begin_batch()
+        err = StaleEpochError(
+            f"group {group!r} migrated: command carries epoch {epoch}, "
+            f"lease is at epoch {known}"
+        )
+        self.core.send(
+            conn,
+            ErrorReply(getattr(message, "request_id", 0), err.code, str(err)),
+        )
+        self.interpreter.execute(self.core.drain())
+        return False
+
+    # -- migration protocol (source side) ---------------------------------
+
+    def _migrate_out(self, group: str, mig_id: int) -> None:
+        runtime = self.core.runtimes.get(group)
+        if runtime is None:
+            self.migration_event_to_front("migration_failed", group, mig_id)
+            return
+        scheduler = self.core.scheduler
+        if scheduler is not None and scheduler.pending:
+            # freeze barrier: every speculated command must commit (and
+            # its effects relay) before the state is captured
+            self.interpreter.execute(self.core.end_batch())
+            self.core.begin_batch()
+        snap = snapshot_group(runtime, self.store)
+        self.core.detach_group(group)
+        self._migrating_out[group] = (mig_id, runtime)
+        self.interpreter.stats.migrations_out += 1
+        if self._recorder is not None:
+            # the snapshot read is the source end of the handoff edge:
+            # the race checker must see it ordered before the
+            # destination's install write via the mig: relay hops
+            self._recorder.read(self._race_lane, f"wal:{group}")
+        self.migration_event_to_front(
+            "migration_snapshot", group, self.index, snap, mig_id
+        )
+
+    def _migrate_commit(self, group: str, mig_id: int) -> None:
+        entry = self._migrating_out.get(group)
+        if entry is None or entry[0] != mig_id:
+            return
+        del self._migrating_out[group]
+        _mid, runtime = entry
+        self.core.forget_group(runtime.group)
+        # WAL segment handoff: the destination's store owns the group's
+        # durable state now; this shard's segments are dead weight
+        self.purge_group_storage(group)
+        self._group_epochs.pop(group, None)
+
+    def _migrate_abort(self, group: str, mig_id: int) -> None:
+        entry = self._migrating_out.get(group)
+        if entry is None or entry[0] != mig_id:
+            return
+        del self._migrating_out[group]
+        _mid, runtime = entry
+        restored = self.core.adopt_group(runtime.group)
+        # reconcile closes that arrived while the group was detached:
+        # handle_closed skipped it (not in runtimes), but conns tracked
+        # the disconnect, so strip those members now — with notices,
+        # exactly as if the close had been processed normally
+        for member in list(runtime.group.members()):
+            if member.conn not in self.conns:
+                restored.remove_member(member.client_id)
+        self.interpreter.stats.migration_aborts += 1
+        self.interpreter.execute(self.core.drain())
+
+    # -- migration protocol (destination side) ----------------------------
+
+    def _migrate_in(
+        self,
+        group: str,
+        snap: GroupSnapshot,
+        epoch: int,
+        dead: tuple[str, ...],
+        mig_id: int,
+    ) -> None:
+        group_obj = restore_group(snap)
+        runtime = self.core.adopt_group(group_obj)
+        self._importing[group] = mig_id
+        self._group_epochs[group] = epoch
+        self.adopt_group_storage(snap)
+        self.interpreter.stats.migrations_in += 1
+        if self._recorder is not None:
+            # destination end of the handoff edge (see _migrate_out)
+            self._recorder.write(self._race_lane, f"wal:{group}")
+        for client_id in dead:
+            # the member's connection died during the freeze and the
+            # source could not process the close for the detached
+            # runtime — deliver the removal (with notices) exactly once,
+            # here on the new owner
+            if group_obj.is_member(client_id):
+                runtime.remove_member(client_id)
+        self.interpreter.execute(self.core.drain())
+        self.migration_event_to_front(
+            "migration_installed", group, self.index, mig_id
+        )
+
+    def _migrate_discard(self, group: str, mig_id: int | None) -> None:
+        """Drop a copy that lost its migration (or, with ``mig_id=None``,
+        a recovered copy whose lease points elsewhere)."""
+        if mig_id is not None and self._importing.get(group) != mig_id:
+            return
+        self._importing.pop(group, None)
+        self._group_epochs.pop(group, None)
+        runtime = self.core.runtimes.get(group)
+        if runtime is not None:
+            self.core.forget_group(runtime.group)
+            self.purge_group_storage(group)
+
+    # -- hooks the backends fill in ---------------------------------------
+
+    def _publish_groups(self) -> None:
+        # every item adds or removes at most one group, so a length
+        # check is enough to notice a change without sorting every time
+        if len(self.core.runtimes) != len(self.owned_groups):
+            self.owned_groups = tuple(sorted(self.core.runtimes))
+
+    def adopt_group_storage(self, snap: GroupSnapshot) -> None:
+        """Install a migrated group's durable base into this shard's own
+        store segment (no-op when the deployment does not persist)."""
+        store = getattr(self, "store", None)
+        if store is not None:
+            store.adopt(
+                snap.name,
+                snap.meta_payload,
+                snap.wal_base,
+                snap.wal_snapshot,
+                list(snap.wal_records),
+            )
+
+    def migration_event_to_front(self, method: str, *args: Any) -> None:
+        """Relay a migration lifecycle event to the front's sessions
+        core.  These relays are the ``mig:`` happens-before hops of the
+        handoff protocol — stripping them from a race trace must make
+        the source's snapshot read and the destination's install write
+        concurrent (see tests)."""
+        raise NotImplementedError
 
     def fragment_to_front(
         self, conn: int, request_id: int, infos: tuple[GroupInfo, ...]
@@ -639,6 +1088,22 @@ class _ShardWorker(ShardWorkerBase):
             lambda: self._host.sessions.list_fragment(conn, request_id, infos)
         )
 
+    def migration_event_to_front(self, method: str, *args: Any) -> None:
+        token = 0
+        if self._recorder is not None:
+            # "mig:" labels mark the handoff hops so analysis tooling
+            # can isolate (and tests can strip) the migration edges
+            token = self._recorder.send(self._lane, "mig:front")
+        self._host.call_front(
+            lambda: getattr(self._host.sessions, method)(*args), token
+        )
+
+    def queue_depth(self) -> int:
+        """Approximate mailbox backlog, readable from the front thread
+        (a single int read; staleness only skews control decisions)."""
+        mailbox = self._mailbox
+        return 0 if mailbox is None else mailbox.qsize()
+
     # -- EffectBackend: timers (on the shard's own loop) ------------------
 
     def start_timer(self, key: str, delay: float) -> None:
@@ -745,6 +1210,7 @@ class ShardedHost:
         self.workers: list[_ShardWorker] = []
         self._retired: list[DispatchStats] = []
         self._loop: asyncio.AbstractEventLoop | None = None
+        self._controller_task: asyncio.Future | None = None
         self._stopping = False
 
     # -- lifecycle -------------------------------------------------------
@@ -762,6 +1228,9 @@ class ShardedHost:
         if self._stopping:
             return
         self._stopping = True
+        if self._controller_task is not None:
+            self._controller_task.cancel()
+            self._controller_task = None
         await self.front.stop()
         # each worker flushes and closes its own store inside stop():
         # storage handles never leave their shard
@@ -799,9 +1268,18 @@ class ShardedHost:
     def undrain_shard(self, index: int) -> None:
         self.router.undrain(index)
 
+    def migrate_group(self, group: GroupId, dst: int) -> None:
+        """Begin a live migration of *group* onto shard *dst* (call from
+        the front event loop).  The group freezes briefly while its
+        state streams over; commands arriving meanwhile buffer at the
+        front and replay to the new owner in order."""
+        self.sessions.begin_migration(group, dst)
+
     def restart_shard(self, index: int) -> _ShardWorker:
         """Crash-restart one shard: stop it, recover its store into a
-        fresh core, and make the front re-introduce every connection."""
+        fresh core, and make the front re-introduce every connection.
+        Migrations the shard was part of abort cleanly — ownership stays
+        where the lease says it is."""
         old = self.workers[index]
         old.stop()  # joins the thread and closes the worker-owned store
         # ordered by the join above: the retired loop can no longer run
@@ -811,13 +1289,61 @@ class ShardedHost:
         self.workers[index] = worker
         worker.start()
         self._seed_pins_for(worker)
+        # after the fresh worker is reachable: unwind in-flight
+        # migrations (buffered commands may replay onto it)
+        self.sessions.abort_migrations_for_shard(index)
+        self.front.dispatch(self.sessions.drain())
         return worker
+
+    # -- autoscaling control loop -----------------------------------------
+
+    def start_controller(
+        self, config: Any = None, ticks: int | None = None
+    ) -> Any:
+        """Run a :class:`~repro.runtime.topology.TopologyController` on
+        the front loop: sample per-shard load every ``sample_interval``
+        seconds and apply the actions it decides (split hot shards via
+        migration, merge idle ones, restart wedged workers).  *ticks*
+        bounds the number of samples (None = until stop())."""
+        from repro.runtime.topology import TopologyConfig, TopologyController
+
+        controller = TopologyController(config or TopologyConfig())
+        self._controller_task = asyncio.ensure_future(
+            self._controller_loop(controller, ticks)
+        )
+        return controller
+
+    async def _controller_loop(self, controller: Any, ticks: int | None) -> None:
+        from repro.runtime.topology import sample_workers
+
+        done = 0
+        while not self._stopping and (ticks is None or done < ticks):
+            await asyncio.sleep(controller.config.sample_interval)
+            done += 1
+            actions = controller.observe(sample_workers(self.workers))
+            self.apply_topology_actions(actions)
+
+    def apply_topology_actions(self, actions: Iterable[Any]) -> None:
+        """Apply controller decisions (front loop only)."""
+        from repro.runtime.topology import MigrateGroup, RestartShard
+
+        for action in actions:
+            if isinstance(action, MigrateGroup):
+                try:
+                    self.sessions.begin_migration(action.group, action.dst)
+                except ValueError:
+                    pass  # raced a concurrent migration/drain; next cycle
+            elif isinstance(action, RestartShard):
+                self.restart_shard(action.shard)
 
     # -- internals --------------------------------------------------------
 
     def _post(self, shard: int, item: tuple) -> None:
         if self.race_recorder is not None:
-            token = self.race_recorder.send("front", f"mbox:shard{shard}")
+            # migration protocol hops get their own channel label so the
+            # analysis layer can tell handoff edges from routine traffic
+            label = "mig" if item[0].startswith("migrate_") else "mbox"
+            token = self.race_recorder.send("front", f"{label}:shard{shard}")
             item = ("traced", token, item)
         self.workers[shard].post(item)
 
@@ -839,7 +1365,7 @@ class ShardedHost:
         )
 
     def _seed_pins(self) -> None:
-        """Pin every recovered group that lives away from its natural
+        """Lease every recovered group that lives away from its natural
         ring owner, so routing after a restart matches where the data
         actually is — deterministically."""
         for worker in self.workers:
@@ -849,7 +1375,13 @@ class ShardedHost:
         # recovered_groups is an immutable snapshot published before the
         # worker thread started — the front never reads the live core
         for name in worker.recovered_groups:
-            if self.router.natural(name) != worker.index:
+            lease = self.router.lease(name)
+            if lease is not None and lease != worker.index:
+                # the lease moved while this shard was down (the group
+                # migrated away): the recovered copy is stale — the
+                # lease holder is authoritative, drop the local replica
+                self._post(worker.index, ("migrate_discard", name, None))
+            elif lease is None and self.router.natural(name) != worker.index:
                 self.router.pin(name, worker.index)
 
     def call_front(self, fn: Callable[[], None], token: int = 0) -> None:

@@ -98,12 +98,21 @@ class _SimShardWorker(ShardWorkerBase):
         self._exec_done: dict[tuple, float] = {}
         self._conflicted: set[tuple] = set()
         self._timers: dict[str, EventHandle] = {}
+        #: Mailbox backlog gauge for the topology controller: the front
+        #: increments at post, ``process`` decrements on delivery.
+        self.queued = 0
+        #: Set by :meth:`close` (shard restart / host crash): events
+        #: already scheduled against this worker object become no-ops,
+        #: the modeled version of a dead thread's mailbox draining into
+        #: the void.
+        self.closed = False
 
     # -- mailbox ---------------------------------------------------------
 
     def process(self, item: tuple) -> None:
         """Handle one mailbox item on this shard's CPU lane."""
-        if not self._host.alive:
+        self.queued = max(0, self.queued - 1)
+        if self.closed or not self._host.alive:
             return
         if type(item) is tuple and item and item[0] == "traced":
             _, token, item = item
@@ -157,7 +166,8 @@ class _SimShardWorker(ShardWorkerBase):
     def _flush_window(self, generation: int) -> None:
         host = self._host
         if (
-            not host.alive
+            self.closed
+            or not host.alive
             or self._sched is None
             or not self._sched.active
             or generation != self._generation
@@ -287,6 +297,32 @@ class _SimShardWorker(ShardWorkerBase):
             lambda: self._host.sessions.list_fragment(conn, request_id, infos)
         )
 
+    def migration_event_to_front(self, method: str, *args: Any) -> None:
+        # Scheduled (not run inline) so the relay lands as its own kernel
+        # event, exactly like call_soon_threadsafe on the asyncio host —
+        # chaos tests rely on these deterministic preemption points to
+        # interleave crashes and commands mid-migration.
+        host = self._host
+        delay = 0.0
+        if method == "migration_snapshot":
+            # streaming the frozen group's state dominates the handoff;
+            # charging it as one bulk send in virtual time makes freeze
+            # windows (and the mid-migration interleavings the chaos
+            # tests crash into) non-degenerate instead of instantaneous
+            delay = host.profile.send_cost(args[2].size_bytes())
+        token = 0
+        if self._recorder is not None:
+            token = self._recorder.send(self._lane_name, "mig:front")
+        fn = lambda: getattr(host.sessions, method)(*args)  # noqa: E731
+        host.kernel.schedule(delay, host.run_front, fn, token)
+
+    def adopt_group_storage(self, snap: Any) -> None:
+        # the WAL segment handoff costs one bulk write on the shared disk
+        host = self._host
+        host._occupy_cpu(host.profile.log_overhead)
+        host.disk.write(snap.size_bytes())
+        super().adopt_group_storage(snap)
+
     # -- EffectBackend: timers --------------------------------------------
 
     def start_timer(self, key: str, delay: float) -> None:
@@ -302,7 +338,7 @@ class _SimShardWorker(ShardWorkerBase):
 
     def _fire_timer(self, key: str) -> None:
         self._timers.pop(key, None)
-        if not self._host.alive:
+        if self.closed or not self._host.alive:
             return
         prev = self._host._lane
         self._host._lane = self.lane
@@ -368,6 +404,7 @@ class _SimShardWorker(ShardWorkerBase):
         self._host.shutdown(reason)
 
     def close(self) -> None:
+        self.closed = True
         for handle in self._timers.values():
             handle.cancel()
         self._timers.clear()
@@ -426,45 +463,70 @@ class ShardedSimHost(SimHost):
         self.sessions = ShardSessions(config, clock, self.router, shards, self._post_item)
         self.set_core(self.sessions)
         root = Path(store_root) if store_root is not None else None
-        persists = config.stateful and config.persist
+        self._store_root = root
+        self._core_clock = clock
+        self._retired: list[DispatchStats] = []
         self.workers: list[_SimShardWorker] = []
         for index in range(shards):
-            store: GroupStore | None = None
-            recovered: dict[str, RecoveredGroup] | None = None
-            if persists and root is not None:
-                store = GroupStore(root / f"shard{index}")
-                recovered = store.recover_all()
-            self.workers.append(
-                _SimShardWorker(
-                    self, index, shard_config(config, index), clock, recovered, store
-                )
-            )
+            self.workers.append(self._build_worker(index))
         self._seed_pins()
 
+    def _build_worker(self, index: int) -> _SimShardWorker:
+        store: GroupStore | None = None
+        recovered: dict[str, RecoveredGroup] | None = None
+        persists = self.config.stateful and self.config.persist
+        if persists and self._store_root is not None:
+            store = GroupStore(self._store_root / f"shard{index}")
+            recovered = store.recover_all()
+        return _SimShardWorker(
+            self,
+            index,
+            shard_config(self.config, index),
+            self._core_clock,
+            recovered,
+            store,
+        )
+
     def _seed_pins(self) -> None:
-        """Pin recovered groups living away from their natural ring
+        """Lease recovered groups living away from their natural ring
         owner, so post-restart routing matches where the data is."""
         for worker in self.workers:
-            # recovered_groups is the immutable snapshot _init_worker
-            # published — the front never reads the live shard core
-            for name in worker.recovered_groups:
-                if self.router.natural(name) != worker.index:
-                    self.router.pin(name, worker.index)
+            self._seed_pins_for(worker)
+
+    def _seed_pins_for(self, worker: _SimShardWorker) -> None:
+        # recovered_groups is the immutable snapshot _init_worker
+        # published — the front never reads the live shard core
+        for name in worker.recovered_groups:
+            lease = self.router.lease(name)
+            if lease is not None and lease != worker.index:
+                # the lease moved while this shard was down: the holder
+                # is authoritative, the recovered copy is a stale replica
+                self._post_item(worker.index, ("migrate_discard", name, None))
+            elif lease is None and self.router.natural(name) != worker.index:
+                self.router.pin(name, worker.index)
 
     # -- routing plumbing -------------------------------------------------
 
     def _post_item(self, shard: int, item: tuple) -> None:
         # Zero-delay kernel events; insertion-order tie-breaking makes
-        # this a deterministic FIFO mailbox per shard.
+        # this a deterministic FIFO mailbox per shard.  The worker object
+        # is bound at post time: items posted before a restart die with
+        # the old worker (its ``closed`` flag), like a dead thread's
+        # mailbox.
         if self.race_recorder is not None:
-            token = self.race_recorder.send("front", f"mbox:shard{shard}")
+            label = "mig" if item[0].startswith("migrate_") else "mbox"
+            token = self.race_recorder.send("front", f"{label}:shard{shard}")
             item = ("traced", token, item)
-        self.kernel.schedule(0.0, self.workers[shard].process, item)
+        worker = self.workers[shard]
+        worker.queued += 1
+        self.kernel.schedule(0.0, worker.process, item)
 
     def run_front(self, fn: Any, token: int = 0) -> None:
         """Run a sessions-core method and execute what it emitted through
         the front interpreter (the sim analogue of ``call_front``).
         *token* carries the race-recorder hop id when tracing is on."""
+        if not self.alive:
+            return
         if token and self.race_recorder is not None:
             self.race_recorder.recv("front", "mbox:front", token)
         fn()
@@ -474,10 +536,88 @@ class ShardedSimHost(SimHost):
 
     @property
     def dispatch_stats(self) -> DispatchStats:
-        """Aggregated counters: front interpreter + every shard's."""
+        """Aggregated counters: front interpreter + every shard's
+        (including retired workers from shard restarts)."""
         parts = [self.interpreter.stats]
         parts.extend(w.interpreter.stats for w in self.workers)
+        parts.extend(self._retired)
         return aggregate_stats(parts)
+
+    # -- elastic topology --------------------------------------------------
+
+    def migrate_group(self, group: str, dst: int) -> None:
+        """Begin a live migration of *group* onto shard *dst* — the
+        deterministic mirror of :meth:`ShardedHost.migrate_group`."""
+        self.run_front(lambda: self.sessions.begin_migration(group, dst))
+
+    def drain_shard(self, index: int) -> None:
+        self.router.drain(index)
+
+    def undrain_shard(self, index: int) -> None:
+        self.router.undrain(index)
+
+    def restart_shard(self, index: int) -> _SimShardWorker:
+        """Crash-restart one shard deterministically: the old worker's
+        pending events become no-ops, its store is recovered into a
+        fresh core, and in-flight migrations it was part of abort with
+        ownership staying where the lease says."""
+        old = self.workers[index]
+        old.close()
+        self._retired.append(old.interpreter.stats)  # noqa: SHARD001
+        # the crash drops whatever CPU work the lanes had queued
+        self._lanes.set_free(old.lane, self.kernel.now())
+        for k in range(old._exec_lanes):
+            self._lanes.set_free(old._exec_base + k, self.kernel.now())
+        self.sessions.forget_shard(index)
+        worker = self._build_worker(index)
+        self.workers[index] = worker
+        self._seed_pins_for(worker)
+        # after the fresh worker is reachable: unwind in-flight
+        # migrations (buffered commands may replay onto it)
+        self.sessions.abort_migrations_for_shard(index)
+        self.interpreter.execute(self.sessions.drain())
+        return worker
+
+    def start_controller(self, config: Any = None, ticks: int = 8) -> Any:
+        """Drive a :class:`~repro.runtime.topology.TopologyController`
+        from the kernel: one observation every ``sample_interval``
+        virtual seconds, *ticks* times.  Bounded by construction — an
+        open-ended repeating event would keep ``kernel.run()`` from ever
+        draining."""
+        from repro.runtime.topology import (
+            TopologyConfig,
+            TopologyController,
+            sample_workers,
+        )
+
+        controller = TopologyController(config or TopologyConfig())
+
+        def tick(remaining: int) -> None:
+            if not self.alive or remaining <= 0:
+                return
+            actions = controller.observe(sample_workers(self.workers))
+            self.apply_topology_actions(actions)
+            self.kernel.schedule(
+                controller.config.sample_interval, tick, remaining - 1
+            )
+
+        self.kernel.schedule(controller.config.sample_interval, tick, ticks)
+        return controller
+
+    def apply_topology_actions(self, actions: Iterable[Any]) -> None:
+        """Apply controller decisions (same semantics as the asyncio
+        host's; restarts use the deterministic sim restart)."""
+        from repro.runtime.topology import MigrateGroup, RestartShard
+
+        for action in actions:
+            if isinstance(action, MigrateGroup):
+                try:
+                    self.sessions.begin_migration(action.group, action.dst)
+                    self.interpreter.execute(self.sessions.drain())
+                except ValueError:
+                    pass  # raced a concurrent migration/drain; next cycle
+            elif isinstance(action, RestartShard):
+                self.restart_shard(action.shard)
 
     # -- failure ----------------------------------------------------------
 

@@ -186,6 +186,42 @@ class GroupStore:
         files.checkpoints.save(seqno, snapshot)
         files.rotate(seqno + 1)
 
+    def latest_checkpoint(self, group: str) -> tuple[int, bytes] | None:
+        """The newest intact checkpoint ``(seqno, snapshot)``, if any.
+
+        Migration uses this to ship the durable base of a group alongside
+        its WAL tail, so the destination's segment starts from the same
+        fold point the source's did.
+        """
+        if not self._group_dir(group).exists():
+            return None
+        return self._files(group).checkpoints.load_latest()
+
+    def adopt(
+        self,
+        group: str,
+        meta: bytes,
+        checkpoint_seqno: int,
+        snapshot: bytes | None,
+        records: list[tuple[int, bytes]],
+    ) -> None:
+        """Install a migrated group's durable state into this store.
+
+        The WAL segment handoff of live migration: any stale local copy is
+        purged, the source's checkpoint (if one exists) is persisted with a
+        segment rotation at ``checkpoint_seqno + 1``, and the shipped WAL
+        tail is group-committed into the fresh segment — after which
+        :meth:`recover` on this store rebuilds the group exactly as the
+        source would have.
+        """
+        if self.has_group(group):
+            self.delete_group(group)
+        self.create_group(group, meta)
+        if snapshot is not None:
+            self.checkpoint(group, checkpoint_seqno, snapshot)
+        self.append_many(group, records)
+        self.flush(group)
+
     # -- recovery ------------------------------------------------------------
 
     def recover(self, group: str) -> RecoveredGroup:

@@ -1,0 +1,65 @@
+"""The elastic-topology doc-drift gate (tools/check_topology_docs.py).
+
+CI runs the script directly; this wrapper keeps the gate inside the
+normal test suite too, and pins the property that makes it useful: the
+required-name list is *derived* from the code's exports, so a new
+control-loop knob, migration outcome, or fencing surface cannot ship
+without documentation.
+"""
+
+import importlib.util
+from dataclasses import fields
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_topology_docs", REPO_ROOT / "tools" / "check_topology_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_topology_doc_covers_every_exported_name(capsys):
+    checker = _load_checker()
+    assert checker.main() == 0
+    assert "covers all" in capsys.readouterr().out
+
+
+def test_required_names_track_the_code_exports():
+    from repro.core.errors import StaleEpochError
+    from repro.runtime.migration import OUTCOMES
+    from repro.runtime.topology import TopologyConfig
+
+    names = _load_checker().required_names()
+    for f in fields(TopologyConfig):
+        assert f.name in names
+    for outcome in OUTCOMES:
+        assert outcome in names
+    assert StaleEpochError.code in names
+    assert "SHARD004" in names
+    assert "strip_migration_edges" in names
+    # knobs + outcomes + 2 phases + code + counter + rule + helper
+    assert len(names) == len(fields(TopologyConfig)) + len(OUTCOMES) + 6
+
+
+def test_gate_fails_when_a_name_goes_missing(monkeypatch, tmp_path, capsys):
+    checker = _load_checker()
+    doc = REPO_ROOT / "docs" / "architecture.md"
+    stripped = tmp_path / "architecture.md"
+    stripped.write_text(
+        doc.read_text().replace("hot_queue_depth", "hot_depth")
+    )
+    monkeypatch.setattr(checker, "DOC", stripped)
+    assert checker.main() == 1
+    assert "hot_queue_depth" in capsys.readouterr().err
+
+
+def test_gate_fails_when_the_doc_is_gone(monkeypatch, tmp_path, capsys):
+    checker = _load_checker()
+    monkeypatch.setattr(checker, "DOC", tmp_path / "nope.md")
+    assert checker.main() == 1
+    assert "does not exist" in capsys.readouterr().err

@@ -29,7 +29,10 @@ class TestDeepcheckCli:
         assert "BLOCK001" in out
         assert "new" in out
 
-    def test_update_baseline_then_clean(self, tmp_path, capsys):
+    def test_update_baseline_requires_real_justifications(self, tmp_path, capsys):
+        """--update-baseline writes TODO placeholders, and the gate keeps
+        failing until every one is replaced with an actual explanation —
+        a baselined finding without a justification is a silenced bug."""
         root = make_tree(tmp_path)
         baseline = tmp_path / "baseline.json"
         assert deepcheck_main(
@@ -39,9 +42,16 @@ class TestDeepcheckCli:
         assert payload["findings"]
         assert payload["findings"][0]["justification"] == "TODO: justify or fix"
         capsys.readouterr()
-        assert deepcheck_main([str(root), "--baseline", str(baseline)]) == 0
+        # the placeholder cannot pass as if it were an explanation
+        assert deepcheck_main([str(root), "--baseline", str(baseline)]) == 1
         out = capsys.readouterr().out
         assert "0 new" in out
+        assert "unjustified" in out
+        # a real justification clears the gate
+        for entry in payload["findings"]:
+            entry["justification"] = "fixture: blocking sleep is the point"
+        baseline.write_text(json.dumps(payload))
+        assert deepcheck_main([str(root), "--baseline", str(baseline)]) == 0
 
     def test_stale_baseline_entries_are_reported(self, tmp_path, capsys):
         root = make_tree(tmp_path)

@@ -1,0 +1,195 @@
+"""Property tests for the lease-aware router and unit tests for the
+autoscaling controller.
+
+The router property the elastic layer leans on: once a group holds a
+lease, ``route()`` answers that lease no matter what other churn the
+router sees — creations, drains, undrains, unpins of *other* groups,
+or further migrations of this one (the latest lease wins, epoch up by
+one each time).  Hypothesis drives arbitrary operation sequences; the
+oracle is a dict.
+
+The controller tests feed synthetic :class:`ShardSample` rounds and
+check the three rules (restart wedged > split hot > merge idle), the
+cooldown hysteresis, and that wedge detection keeps counting *through*
+a cooldown.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.shard import ShardRouter
+from repro.runtime.topology import (
+    MigrateGroup,
+    RestartShard,
+    ShardSample,
+    TopologyConfig,
+    TopologyController,
+)
+
+SHARDS = 4
+
+GROUPS = [f"g{i}" for i in range(8)]
+
+#: One router mutation: (op, group-index-or-shard).
+_ops = st.one_of(
+    st.tuples(st.just("assign"), st.integers(0, len(GROUPS) - 1)),
+    st.tuples(st.just("migrate"), st.integers(0, len(GROUPS) - 1),
+              st.integers(0, SHARDS - 1)),
+    st.tuples(st.just("unpin"), st.integers(0, len(GROUPS) - 1)),
+    st.tuples(st.just("drain"), st.integers(0, SHARDS - 1)),
+    st.tuples(st.just("undrain"), st.integers(0, SHARDS - 1)),
+)
+
+
+class TestRouterLeaseProperty:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(_ops, max_size=40))
+    def test_route_follows_the_latest_lease(self, ops):
+        router = ShardRouter(SHARDS)
+        leases = {}          # the oracle: group -> last lease, if any
+        epochs = {}
+        for op in ops:
+            if op[0] == "assign":
+                group = GROUPS[op[1]]
+                shard = router.assign(group)
+                # assign may create or drop a lease; mirror the router's
+                # published table rather than re-deriving its ring logic
+                leases = dict(router.pins())
+                assert router.route(group) == shard
+            elif op[0] == "migrate":
+                group, dst = GROUPS[op[1]], op[2]
+                new_epoch = router.migrate(group, dst)
+                leases[group] = dst
+                epochs[group] = epochs.get(group, 0) + 1
+                assert new_epoch == epochs[group]
+            elif op[0] == "unpin":
+                leases.pop(GROUPS[op[1]], None)
+                router.unpin(GROUPS[op[1]])
+            elif op[0] == "drain":
+                router.drain(op[1])
+            else:
+                router.undrain(op[1])
+            # the invariant: every leased group routes to its lease,
+            # drains notwithstanding; epochs never regress
+            for group, shard in leases.items():
+                assert router.route(group) == shard
+            for group, epoch in epochs.items():
+                assert router.epoch(group) == epoch
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(_ops, max_size=40))
+    def test_unleased_routing_is_pure(self, ops):
+        """Groups nobody leased always route to the ring owner — church
+        of consistent hashing: independent routers agree forever."""
+        router = ShardRouter(SHARDS)
+        reference = ShardRouter(SHARDS)
+        for op in ops:
+            if op[0] == "assign":
+                router.assign(GROUPS[op[1]])
+            elif op[0] == "migrate":
+                router.migrate(GROUPS[op[1]], op[2])
+            elif op[0] == "unpin":
+                router.unpin(GROUPS[op[1]])
+            elif op[0] == "drain":
+                router.drain(op[1])
+            else:
+                router.undrain(op[1])
+        for name in ("other-0", "other-1", "other-2"):
+            assert router.route(name) == reference.route(name)
+
+
+def _sample(shard, depth, accepted, groups=("a", "b")):
+    return ShardSample(
+        shard=shard, queue_depth=depth, accepted=accepted,
+        commit_stalls=0, groups=tuple(groups),
+    )
+
+
+def _quiet(n, accepted=0):
+    return [_sample(s, 0, accepted, groups=("x%d" % s,)) for s in range(n)]
+
+
+class TestControllerRules:
+    def test_split_hot_peels_group_to_coldest(self):
+        ctrl = TopologyController(TopologyConfig(hot_queue_depth=10))
+        actions = ctrl.observe([
+            _sample(0, 50, 100, groups=("gb", "ga", "gc")),
+            _sample(1, 3, 10, groups=("gd",)),
+            _sample(2, 1, 5, groups=()),
+        ])
+        assert actions == [MigrateGroup("ga", 0, 2)]
+
+    def test_one_giant_group_cannot_be_split(self):
+        ctrl = TopologyController(TopologyConfig(hot_queue_depth=10))
+        actions = ctrl.observe([
+            _sample(0, 50, 100, groups=("only",)),
+            _sample(1, 0, 0, groups=()),
+        ])
+        assert actions == []
+
+    def test_merge_idle_consolidates_smallest_onto_busiest(self):
+        ctrl = TopologyController(TopologyConfig(idle_queue_depth=2))
+        actions = ctrl.observe([
+            _sample(0, 0, 10, groups=("a", "b", "c")),
+            _sample(1, 1, 10, groups=("z",)),
+        ])
+        assert actions == [MigrateGroup("z", 1, 0)]
+
+    def test_no_merge_while_anyone_is_busy(self):
+        # depth 5: neither hot (default 32) nor idle (2) — nothing fires
+        ctrl = TopologyController(TopologyConfig(idle_queue_depth=2))
+        actions = ctrl.observe([
+            _sample(0, 5, 10, groups=("a", "b")),
+            _sample(1, 0, 10, groups=("z",)),
+        ])
+        assert actions == []
+
+    def test_wedged_worker_restarts_after_n_flat_samples(self):
+        cfg = TopologyConfig(hot_queue_depth=10, wedged_samples=3)
+        ctrl = TopologyController(cfg)
+        wedged = [_sample(0, 99, accepted=7, groups=("a",)),
+                  _sample(1, 0, accepted=1, groups=("b", "c"))]
+        assert ctrl.observe(wedged) == []          # first sight: no delta yet
+        assert ctrl.observe(wedged) == []          # flat x1
+        assert ctrl.observe(wedged) == []          # flat x2
+        assert ctrl.observe(wedged) == [RestartShard(0)]
+        # restart outranks the (also matching) split rule
+        assert all(not isinstance(a, MigrateGroup) for a in ctrl.decisions)
+
+    def test_cooldown_suppresses_actions(self):
+        cfg = TopologyConfig(hot_queue_depth=10, cooldown_samples=2)
+        ctrl = TopologyController(cfg)
+
+        def hot(tick):
+            # accepted keeps rising: hot but NOT wedged
+            return [_sample(0, 50, 100 + 10 * tick, groups=("a", "b")),
+                    _sample(1, 0, 10 + tick, groups=("c",))]
+
+        assert ctrl.observe(hot(0)) == [MigrateGroup("a", 0, 1)]
+        assert ctrl.observe(hot(1)) == []          # cooling
+        assert ctrl.observe(hot(2)) == []          # cooling
+        assert ctrl.observe(hot(3)) == [MigrateGroup("a", 0, 1)]
+
+    def test_wedge_counting_continues_through_cooldown(self):
+        cfg = TopologyConfig(
+            hot_queue_depth=10, wedged_samples=3, cooldown_samples=3
+        )
+        ctrl = TopologyController(cfg)
+        # fire a split to enter cooldown...
+        hot = [_sample(0, 50, 100, groups=("a", "b")),
+               _sample(1, 0, 10, groups=("c",))]
+        assert ctrl.observe(hot)
+        # ...while shard 1 wedges during the quiet period
+        wedged = [_sample(0, 0, 200, groups=("b",)),
+                  _sample(1, 99, accepted=10, groups=("c", "d"))]
+        assert ctrl.observe(wedged) == []          # cooldown (flat seen x0)
+        assert ctrl.observe(wedged) == []          # cooldown (flat x1)
+        assert ctrl.observe(wedged) == []          # cooldown (flat x2)
+        # cooldown over and the wedge counter is already ripe
+        assert ctrl.observe(wedged) == [RestartShard(1)]
+
+    def test_quiet_topology_decides_nothing(self):
+        ctrl = TopologyController()
+        for _ in range(10):
+            assert ctrl.observe(_quiet(3)) == []
+        assert ctrl.decisions == []

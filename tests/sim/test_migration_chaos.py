@@ -1,0 +1,261 @@
+"""Seeded chaos tests for live group migration.
+
+Every scenario runs under virtual time (deterministic by construction)
+and, via the suite conftest, doubles as a tracecheck ordering check and
+a happens-before race check.  The invariants:
+
+* **Delivery parity** — migrating a group mid-stream changes *when*
+  things happen, never *what* is delivered: per (client, group) the
+  delivery stream is byte-identical to the same workload without the
+  migration.
+* **Crash mid-migration aborts cleanly** — whichever side dies, the
+  source keeps the lease, the epoch does not move, and no accepted
+  command is lost (freeze-buffered commands replay on the source).
+* **Membership churn** mid-migration (joins/leaves landing in the
+  freeze buffer) replays to a consistent view on the new owner.
+* **ListGroups exactly-once** — a scatter-gather racing a migration
+  still reports every group exactly once, name-sorted.
+"""
+
+import pytest
+
+from repro.core.server import ServerConfig
+from repro.sim.harness import CoronaWorld
+
+SHARDS = 3
+
+
+def _build(tmp_path, persist=True, n_groups=3, members=2, suffix=""):
+    world = CoronaWorld()
+    server = world.add_sharded_server(
+        shards=SHARDS,
+        store_root=tmp_path / f"shards{suffix}" if persist else None,
+        config=ServerConfig(
+            server_id="server", stateful=True, persist=persist
+        ),
+    )
+    clients = [world.add_client(client_id=f"c{i}") for i in range(members)]
+    world.run()
+    groups = [f"room-{i}" for i in range(n_groups)]
+    for group in groups:
+        created = clients[0].call("create_group", group, persist)
+        world.run()
+        assert created.ok
+        joins = [client.call("join_group", group) for client in clients]
+        world.run()
+        assert all(j.ok for j in joins)
+    return world, server, clients, groups
+
+
+def _delivery_streams(clients):
+    """Per (client, group): the full delivery stream, time excluded."""
+    streams = {}
+    for client in clients:
+        for _t, event in client.deliveries:
+            rec = event.record
+            streams.setdefault((client.client_id, event.group), []).append(
+                (rec.seqno, rec.kind, rec.object_id, rec.data, rec.sender)
+            )
+    return streams
+
+
+class TestDeliveryParity:
+    def _run(self, tmp_path, migrate: bool):
+        world, server, clients, groups = _build(
+            tmp_path, persist=False, suffix=f"-{migrate}"
+        )
+        host = server.host
+        # grow every group's state first so each snapshot is big enough
+        # to open a real freeze window (the stream cost is modelled in
+        # virtual time) — otherwise nothing would ever buffer and the
+        # parity claim would be vacuous
+        seeded = [clients[0].call("bcast_state", g, "bulk", bytes(100_000))
+                  for g in groups]
+        world.run()
+        assert all(s.ok for s in seeded)
+        start = world.now
+        # identical offered load in both runs: fixed-time sends that
+        # straddle the (optional) migration windows
+        for n in range(60):
+            sender = clients[n % len(clients)]
+            sender.at(
+                start + 0.01 + n * 0.002,
+                "bcast_update", groups[n % len(groups)], "doc",
+                b"payload-%d" % n,
+            )
+        if migrate:
+            for i, group in enumerate(groups):
+                dst = (host.router.route(group) + 1) % SHARDS
+                world.kernel.schedule_at(
+                    start + 0.03 + i * 0.02, host.migrate_group, group, dst
+                )
+        world.run()
+        if migrate:
+            committed = [r for r in host.sessions.migration_log
+                         if r.outcome == "committed"]
+            assert len(committed) == len(groups)
+            assert sum(r.buffered for r in committed) > 0, (
+                "no command crossed a freeze window; parity is vacuous"
+            )
+        return _delivery_streams(clients)
+
+    def test_migration_preserves_delivery_streams(self, tmp_path):
+        baseline = self._run(tmp_path, migrate=False)
+        migrated = self._run(tmp_path, migrate=True)
+        assert migrated == baseline
+
+
+class TestCrashMidMigration:
+    def _start_migration(self, world, host, group, dst):
+        host.migrate_group(group, dst)
+        assert host.sessions.migrations().get(group) == "freezing"
+
+    def test_dst_crash_while_installing_aborts_to_source(self, tmp_path):
+        world, server, clients, groups = _build(tmp_path, n_groups=1)
+        a, b = clients
+        host, group = server.host, groups[0]
+        src = host.router.route(group)
+        dst = (src + 1) % SHARDS
+        self._start_migration(world, host, group, dst)
+        # commands accepted while frozen land in the migration buffer
+        buffered = [a.call("bcast_update", group, "doc", b"frozen-%d" % i)
+                    for i in range(3)]
+        # step until the snapshot streamed and the install is in flight
+        for _ in range(500):
+            if host.sessions.migrations().get(group) == "installing":
+                break
+            world.run(1)
+        assert host.sessions.migrations().get(group) == "installing"
+        host.restart_shard(dst)
+        world.run()
+        # source keeps the lease, the epoch never moved
+        assert host.router.route(group) == src
+        assert host.router.epoch(group) == 0
+        assert group in host.workers[src].core.runtimes
+        assert group not in host.workers[dst].core.runtimes
+        assert host.sessions.migration_log[-1].outcome == "aborted"
+        # nothing lost: the freeze-buffered commands replayed on the
+        # source and were delivered
+        assert all(c.ok for c in buffered)
+        streams = _delivery_streams([b])
+        payloads = [d for (_s, _k, _o, d, _snd) in streams[("c1", group)]]
+        assert payloads[-3:] == [b"frozen-0", b"frozen-1", b"frozen-2"]
+        sent = a.call("bcast_update", group, "doc", b"after-abort")
+        world.run()
+        assert sent.ok
+
+    def test_src_crash_while_freezing_keeps_lease_and_state(self, tmp_path):
+        world, server, clients, groups = _build(tmp_path, n_groups=1)
+        a, _b = clients
+        host, group = server.host, groups[0]
+        seqno_before = host.workers[
+            host.router.route(group)
+        ].core.runtimes[group].group.log.next_seqno
+        src = host.router.route(group)
+        dst = (src + 1) % SHARDS
+        self._start_migration(world, host, group, dst)
+        host.restart_shard(src)
+        world.run()
+        assert host.router.route(group) == src
+        assert host.router.epoch(group) == 0
+        # recovered from its own store: the WAL never left the source
+        assert group in host.workers[src].core.runtimes
+        assert group not in host.workers[dst].core.runtimes
+        assert host.sessions.migration_log[-1].outcome == "aborted"
+        runtime = host.workers[src].core.runtimes[group]
+        assert runtime.group.log.next_seqno == seqno_before
+        # membership is not durable: clients re-join, then resume
+        rejoined = a.call("join_group", group)
+        world.run()
+        assert rejoined.ok
+        sent = a.call("bcast_update", group, "doc", b"after-src-crash")
+        world.run()
+        assert sent.ok
+
+
+class TestChurnMidMigration:
+    def test_membership_churn_in_freeze_buffer(self, tmp_path):
+        world, server, clients, groups = _build(tmp_path, n_groups=1)
+        a, b = clients
+        host, group = server.host, groups[0]
+        joiner = world.add_client(client_id="late")
+        world.run()
+        dst = (host.router.route(group) + 1) % SHARDS
+        host.migrate_group(group, dst)
+        assert host.sessions.migrations().get(group) == "freezing"
+        # churn lands in the freeze buffer and replays on the new owner
+        joined = joiner.call("join_group", group)
+        left = b.call("leave_group", group)
+        world.run()
+        assert joined.ok and left.ok
+        assert host.router.route(group) == dst
+        assert host.sessions.migration_log[-1].outcome == "committed"
+        members = {
+            m.client_id
+            for m in host.workers[dst].core.runtimes[group].group.members()
+        }
+        assert members == {"c0", "late"}
+        before = len(joiner.deliveries)
+        sent = a.call("bcast_update", group, "doc", b"post-churn")
+        world.run()
+        assert sent.ok
+        assert len(joiner.deliveries) == before + 1
+        # the leave replayed too: the departed member got nothing
+        assert not [1 for _t, e in b.deliveries if e.group == group]
+
+    def test_list_groups_exactly_once_during_migration(self, tmp_path):
+        world, server, clients, groups = _build(tmp_path, n_groups=6)
+        a, _b = clients
+        host = server.host
+        # start migrations for half the groups, then scatter-gather while
+        # they are frozen/in flight
+        for group in groups[::2]:
+            host.migrate_group(group, (host.router.route(group) + 1) % SHARDS)
+        assert host.sessions.migrations()
+        listed = a.call("list_groups")
+        world.run()
+        assert listed.ok
+        names = [info.name for info in listed.value]
+        assert names == sorted(groups), names
+        assert len(names) == len(set(names)), "a group was counted twice"
+        assert all(
+            r.outcome == "committed" for r in host.sessions.migration_log
+        )
+
+
+class TestMigrationBlast:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_racing_blast_with_migrations(self, tmp_path, seed):
+        """Sends racing a rolling wave of migrations: everything accepted
+        is delivered exactly once to every member, per-group FIFO."""
+        world, server, clients, groups = _build(
+            tmp_path, persist=False, n_groups=4, suffix=f"-{seed}"
+        )
+        host = server.host
+        start = world.now
+        for n in range(40):
+            sender = clients[(n + seed) % len(clients)]
+            sender.at(
+                start + 0.005 + n * 0.003,
+                "bcast_update", groups[(n + seed) % len(groups)], "obj",
+                b"s%d-%d" % (seed, n),
+            )
+        for i, group in enumerate(groups):
+            dst = (host.router.route(group) + 1 + seed) % SHARDS
+            if dst == host.router.route(group):
+                dst = (dst + 1) % SHARDS
+            world.kernel.schedule_at(
+                start + 0.02 + i * 0.015, host.migrate_group, group, dst
+            )
+        world.run()
+        assert all(r.outcome == "committed"
+                   for r in host.sessions.migration_log)
+        streams = _delivery_streams(clients)
+        for group in groups:
+            per_client = [streams.get((c.client_id, group), [])
+                          for c in clients]
+            # every member saw the identical stream (same order, no
+            # duplicates, no gaps: seqnos strictly increasing)
+            assert per_client[0] == per_client[1]
+            seqnos = [s for (s, *_rest) in per_client[0]]
+            assert seqnos == sorted(set(seqnos))

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Doc-drift gate for the elastic-topology contract.
+
+``docs/architecture.md`` §8 ("Elastic topology") is the normative
+description of live migration and the autoscaling control loop.  This
+script fails (exit 1) when the document stops mentioning any name the
+code actually exports:
+
+* every ``TopologyConfig`` knob (the control-loop thresholds);
+* every migration outcome label (``repro.runtime.migration.OUTCOMES``)
+  plus the two in-flight phases (``freezing``, ``installing``);
+* the fencing error code (``corona.stale_epoch``) and its counter
+  (``stale_epoch_rejects``);
+* the lease-discipline deepcheck rule (``SHARD004``) and the
+  strip-the-edge helper (``strip_migration_edges``).
+
+Run from the repo root with
+``PYTHONPATH=src python tools/check_topology_docs.py`` (CI does; see
+.github/workflows/ci.yml).  A new knob or phase therefore cannot ship
+without its documentation.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import fields
+from pathlib import Path
+
+from repro.core.errors import StaleEpochError
+from repro.runtime.migration import OUTCOMES
+from repro.runtime.topology import TopologyConfig
+
+DOC = Path(__file__).resolve().parents[1] / "docs" / "architecture.md"
+
+#: The front's in-flight migration phases (see ShardSessions).
+PHASES = ("freezing", "installing")
+
+
+def required_names() -> list[str]:
+    names = [f.name for f in fields(TopologyConfig)]
+    names += list(OUTCOMES) + list(PHASES)
+    names += [StaleEpochError.code, "stale_epoch_rejects"]
+    names += ["SHARD004", "strip_migration_edges"]
+    return names
+
+
+def main() -> int:
+    if not DOC.exists():
+        print(f"check_topology_docs: {DOC} does not exist", file=sys.stderr)
+        return 1
+    text = DOC.read_text()
+    missing = [name for name in required_names() if name not in text]
+    if missing:
+        for name in missing:
+            print(
+                f"check_topology_docs: docs/architecture.md does not mention "
+                f"{name!r} (exported by the elastic-topology layer)",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"check_topology_docs: docs/architecture.md covers all "
+        f"{len(required_names())} exported topology names"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
