@@ -17,6 +17,10 @@ PERF002   direct ``.runtimes`` access outside the owning cores/routers
 PERF003   unbounded send-queue growth outside the flow-controlled
           transport layer (unbounded ``asyncio.Queue()`` or appends to
           ad-hoc outboxes; a slow consumer then buffers without limit)
+PERF004   whole-state materialization (``materialize_all`` /
+          ``materialize_selected``) outside ``core/transfer.py`` — it
+          copies every object's bytes at once and dodges the snapshot
+          cache and the chunked streaming path
 EFF001    isinstance dispatch over Effect types outside the effect
           interpreter (hand-rolled dispatch chains drift between hosts)
 ========  ==================================================================
@@ -115,6 +119,14 @@ RULE_DOCS: dict[str, tuple[Severity, str, str]] = {
         "hosts already do), or give the asyncio.Queue an explicit "
         "maxsize and handle the full case",
     ),
+    "PERF004": (
+        Severity.ERROR,
+        "whole-state materialization outside core/transfer.py copies "
+        "every object's bytes in one shot, bypassing the snapshot cache "
+        "and the chunked streaming transfer path",
+        "ask repro.core.transfer (build_snapshot / build_checkpoint) for "
+        "snapshots; for a single object use SharedObject.materialized()",
+    ),
     "EFF001": (
         Severity.ERROR,
         "isinstance branching over Effect types re-creates the per-host "
@@ -182,6 +194,15 @@ DEFAULT_EXCLUDES: dict[str, tuple[str, ...]] = {
     # a send path), so it stays unbounded by design.
     "PERF003": (
         "repro.runtime.client",
+    ),
+    # core.transfer is the one sanctioned whole-state reader (and owns
+    # the snapshot cache); core.state defines the methods; the ISIS-like
+    # baseline materializes monolithically *by design* — it exists to be
+    # the slow contrast the paper argues against.
+    "PERF004": (
+        "repro.core.transfer",
+        "repro.core.state",
+        "repro.baselines",
     ),
     # The interpreter is the one sanctioned place that reasons about
     # effect types (registration validation, fault-rule matching).
@@ -595,6 +616,38 @@ def _check_unbounded_outbox(info: ModuleInfo) -> Iterator[Finding]:
 
 
 # --------------------------------------------------------------------------
+# PERF004: whole-state materialization outside core/transfer.py
+# --------------------------------------------------------------------------
+
+#: SharedState methods that copy every (or many) objects' bytes at once.
+_MATERIALIZE_METHODS = {"materialize_all", "materialize_selected"}
+
+
+def _check_whole_state_materialize(info: ModuleInfo) -> Iterator[Finding]:
+    """Flag any ``<expr>.materialize_all()`` / ``.materialize_selected()``.
+
+    These SharedState methods flatten whole group state into fresh byte
+    strings.  ``core/transfer.py`` is the one sanctioned caller: it owns
+    the snapshot cache (so repeat joins don't re-copy) and the chunked
+    streaming path (so big states don't monopolize the outbox).  A call
+    anywhere else re-introduces the O(state) stall and cache miss the
+    transfer module exists to prevent.  Exclude-scoped: the sanctioned
+    modules are listed in ``DEFAULT_EXCLUDES["PERF004"]``.
+    """
+    for node in ast.walk(info.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MATERIALIZE_METHODS
+        ):
+            yield _finding(
+                info, "PERF004", node,
+                f"call to .{node.func.attr}() materializes whole group "
+                "state outside repro.core.transfer",
+            )
+
+
+# --------------------------------------------------------------------------
 # EFF001: isinstance dispatch over Effect types
 # --------------------------------------------------------------------------
 
@@ -678,6 +731,8 @@ def check_module(info: ModuleInfo, rule_ids: list[str]) -> list[Finding]:
             findings.extend(_check_runtimes_access(info))
         elif rule_id == "PERF003":
             findings.extend(_check_unbounded_outbox(info))
+        elif rule_id == "PERF004":
+            findings.extend(_check_whole_state_materialize(info))
         elif rule_id == "EFF001":
             findings.extend(_check_effect_dispatch(info))
     return findings

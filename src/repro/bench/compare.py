@@ -34,7 +34,8 @@ PROVENANCE_KEYS = frozenset({"benchmark", "python", "platform", "generated_by"})
 
 #: Benchmarks deterministic enough to gate (virtual-time simulations).
 GATED_BENCHMARKS = (
-    "fig3", "table1", "shard_scaling", "backpressure", "hot_group", "migration"
+    "fig3", "table1", "shard_scaling", "backpressure", "hot_group",
+    "migration", "state_transfer",
 )
 
 

@@ -10,7 +10,7 @@ reported numbers.  Absolute values depend on the calibrated cost models in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dataclasses_replace
 
 import numpy as np
 
@@ -26,7 +26,9 @@ from repro.sim.profiles import (
     ETHERNET_10MBPS,
     ETHERNET_100MBPS,
     MODEM_28_8,
+    MODEM_TO_LAN_RAMP,
     PENTIUM_II_200,
+    SAWTOOTH_MOBILE,
     SPARC_20,
     ULTRASPARC_1,
     HostProfile,
@@ -40,7 +42,9 @@ __all__ = [
     "msgsize_sweep",
     "aggregate_throughput",
     "join_latency",
+    "join_policy_matrix",
     "state_transfer",
+    "transfer_stream",
     "logging_ablation",
     "log_reduction",
     "failover",
@@ -574,6 +578,194 @@ def state_transfer(
         for policy_name, spec in specs:
             ms, received = _transfer_join(spec, profile, n_objects, object_bytes, n_updates)
             rows.append(TransferRow(policy_name, link_name, ms, received))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Chunked, resumable, bandwidth-adaptive state transfer (streaming joins)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StreamRow:
+    """One streaming-join scenario of :func:`transfer_stream`."""
+
+    scenario: str
+    state_kb: int
+    #: Virtual ms from the join request to the first *live* Delivery —
+    #: the paper's interactivity metric for slow clients.
+    first_update_ms: float
+    #: Virtual ms from the join request to the completed join (state
+    #: fully reassembled, catch-up log replayed).
+    converged_ms: float
+    bytes_received: int
+    chunked_transfers: int
+    resumes: int
+    #: Final replica byte-identical to a monolithic FULL join's.
+    parity: bool
+
+
+def _final_state(view) -> dict[str, bytes]:
+    return {
+        oid: view.state.get(oid).materialized()
+        for oid in view.state.object_ids()
+    }
+
+
+def _stream_join(
+    scenario: str,
+    link_profile,
+    *,
+    chunked: bool,
+    n_objects: int = 40,
+    object_bytes: int = 10_000,
+    updates: int = 6,
+    update_interval: float = 10.0,
+    outage: tuple[float, float] | None = None,
+) -> StreamRow:
+    """Join a large-state group over *link_profile* while a LAN member
+    keeps broadcasting, optionally cutting the joiner's link mid-stream."""
+    world = CoronaWorld()
+    world.add_server(profile=ULTRASPARC_1)
+    # Create the link at its t=0 rate only; a varying profile's step
+    # schedule is rebased to the join start below (the setup phase runs
+    # virtual time to quiescence, which would burn an absolute schedule).
+    from repro.sim.profiles import NetProfile
+
+    world.add_segment("client-link", NetProfile(
+        link_profile.name, link_profile.bytes_per_sec, link_profile.latency,
+    ))
+    world.set_hop_latency("lan", "client-link", CAMPUS_HOP_LATENCY)
+    seeder = world.add_client(host_id="seeder")
+    world.run()
+    initial = tuple(
+        ObjectState(f"obj-{i}", bytes(object_bytes)) for i in range(n_objects)
+    )
+    seeder.call("create_group", "g", True, initial)
+    world.run()
+    seeder.call("join_group", "g")
+    world.run()
+
+    joiner = world.add_client(
+        host_id="joiner", segment="client-link", request_timeout=600.0,
+        auto_reconnect=True, reconnect_backoff=1.0,
+    )
+    world.run()
+    before = joiner.host.stats.bytes_received
+    start = world.now
+    done_at: list[float] = []
+    joiner.host.on_notify(
+        lambda kind, payload: done_at.append(world.now)
+        if kind == "reply" and not done_at else None
+    )
+    steps = getattr(link_profile, "steps", ())
+    if steps:
+        world.vary_rate("client-link", steps, base=start)
+    join = joiner.call(
+        "join_group", "g", transfer=TransferSpec(chunked=chunked)
+    )
+    for i in range(updates):
+        seeder.at(start + 2.0 + i * update_interval,
+                  "bcast_update", "g", f"obj-{i % n_objects}", b"live!")
+    if outage is not None:
+        cut_at, heal_at = outage
+        world.kernel.schedule_at(
+            start + cut_at,
+            lambda: world.network.partition({"joiner"}, {"server", "seeder"}),
+        )
+        world.kernel.schedule_at(start + heal_at, world.network.heal)
+    world.run()
+    assert join.ok, join.error
+    view = join.reply.value
+    received = joiner.host.stats.bytes_received - before
+    stats = world.servers["server"].host.interpreter.stats
+
+    # parity: a reference client takes the monolithic FULL snapshot of
+    # the same final state over the LAN
+    reference = world.add_client(host_id="reference", request_timeout=600.0)
+    world.run()
+    ref_join = reference.call("join_group", "g", transfer=TransferSpec())
+    world.run()
+    assert ref_join.ok, ref_join.error
+    ref_view = ref_join.reply.value
+    parity = (
+        view.next_seqno == ref_view.next_seqno
+        and _final_state(view) == _final_state(ref_view)
+    )
+    return StreamRow(
+        scenario=scenario,
+        state_kb=n_objects * object_bytes // 1000,
+        first_update_ms=(
+            (joiner.deliveries[0][0] - start) * 1000.0
+            if joiner.deliveries else -1.0
+        ),
+        converged_ms=(done_at[0] - start) * 1000.0,
+        bytes_received=received,
+        chunked_transfers=stats.chunked_transfers,
+        resumes=stats.transfer_resumes,
+        parity=parity,
+    )
+
+
+def transfer_stream() -> list[StreamRow]:
+    """Streaming joins: monolithic vs chunked over fixed and time-varying
+    links, with a mid-transfer disconnect/resume and a small-state
+    fast-path control pair."""
+    return [
+        _stream_join("monolithic/modem", MODEM_28_8, chunked=False),
+        _stream_join("chunked/modem", MODEM_28_8, chunked=True),
+        _stream_join(
+            "chunked/modem+outage", MODEM_28_8, chunked=True,
+            outage=(30.0, 45.0),
+        ),
+        _stream_join("chunked/ramp", MODEM_TO_LAN_RAMP, chunked=True),
+        _stream_join(
+            "chunked/sawtooth", SAWTOOTH_MOBILE, chunked=True,
+            n_objects=100,
+        ),
+        _stream_join(
+            "small/monolithic", MODEM_28_8, chunked=False,
+            n_objects=2, object_bytes=1_000, update_interval=0.5,
+        ),
+        _stream_join(
+            "small/chunked", MODEM_28_8, chunked=True,
+            n_objects=2, object_bytes=1_000, update_interval=0.5,
+        ),
+    ]
+
+
+@dataclass
+class JoinPolicyRow:
+    policy: str
+    chunked: bool
+    join_ms: float
+    bytes_received: int
+
+
+def join_policy_matrix(
+    n_objects: int = 10, object_bytes: int = 10_000, n_updates: int = 20,
+) -> list[JoinPolicyRow]:
+    """Modem-link join cost for every :class:`TransferPolicy`, each taken
+    both monolithically and chunked (small transfers fall back to the
+    monolithic fast path; only FULL here is big enough to stream)."""
+    specs = {
+        TransferPolicy.FULL: TransferSpec(),
+        TransferPolicy.LATEST_N: TransferSpec(
+            policy=TransferPolicy.LATEST_N, last_n=10),
+        TransferPolicy.SELECTED: TransferSpec(
+            policy=TransferPolicy.SELECTED, object_ids=("obj-0",)),
+        TransferPolicy.SINCE_SEQNO: TransferSpec(
+            policy=TransferPolicy.SINCE_SEQNO, since_seqno=n_updates // 2),
+        TransferPolicy.NONE: TransferSpec(policy=TransferPolicy.NONE),
+    }
+    rows = []
+    for policy in TransferPolicy:
+        for chunked in (False, True):
+            spec = dataclasses_replace(specs[policy], chunked=chunked)
+            ms, received = _transfer_join(
+                spec, MODEM_28_8, n_objects, object_bytes, n_updates
+            )
+            rows.append(JoinPolicyRow(policy.name, chunked, ms, received))
     return rows
 
 

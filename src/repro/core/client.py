@@ -49,6 +49,7 @@ from repro.core.events import (
     NOTIFY_RECONNECT_FAILED,
     NOTIFY_REJOINED,
     NOTIFY_REPLY,
+    NOTIFY_TRANSFER_PROGRESS,
     CancelTimer,
     Notify,
     OpenConnection,
@@ -58,11 +59,15 @@ from repro.core.events import (
 from repro.core.ids import ConnId, GroupId, RequestId, SeqNo
 from repro.core.ordering import FifoChecker
 from repro.core.state import SharedState
+from repro.wire import codec
 from repro.wire.messages import (
+    SNAP_CHUNKED,
+    SNAP_DELTA,
     Ack,
     AcquireLockRequest,
     BcastStateRequest,
     BcastUpdateRequest,
+    ChunkAck,
     CreateGroupRequest,
     DeleteGroupRequest,
     Delivery,
@@ -91,8 +96,10 @@ from repro.wire.messages import (
     RebaseNotice,
     ReduceLogRequest,
     ReleaseLockRequest,
+    StateChunk,
     StateSnapshot,
     TransferPolicy,
+    TransferResume,
     TransferSpec,
     UpdateKind,
     UpdateRecord,
@@ -104,6 +111,7 @@ __all__ = [
     "GroupView",
     "ReplyEvent",
     "DeliveryEvent",
+    "TransferProgress",
     "TIMER_RECONNECT",
     "REQUEST_TIMER_PREFIX",
     "request_timer",
@@ -159,6 +167,57 @@ class DeliveryEvent:
     record: UpdateRecord
 
 
+@dataclass(frozen=True)
+class TransferProgress:
+    """Chunked-transfer progress, surfaced via
+    ``Notify('transfer_progress', ...)`` after every reassembled chunk."""
+
+    group: GroupId
+    received_bytes: int
+    total_bytes: int
+
+
+@dataclass
+class _IncomingTransfer:
+    """Client-side reassembly state of one chunked join transfer.
+
+    Lives from the ``SNAP_CHUNKED`` marker :class:`JoinReply` until the
+    final chunk decodes (or the transfer is abandoned).  Survives a
+    connection loss so the client can ``TransferResume`` from
+    ``len(received)`` — the first byte it does not have — instead of
+    restarting.
+    """
+
+    group: GroupId
+    marker: StateSnapshot
+    #: The app-facing join/rejoin request this transfer will complete.
+    request_id: RequestId
+    kind: str  # "join" or "rejoin"
+    role: MemberRole
+    notify_membership: bool
+    spec: TransferSpec
+    members: tuple[MemberInfo, ...] = ()
+    #: Learned from the first chunk (the marker does not carry it).
+    transfer_id: int = -1
+    total_bytes: int = 0
+    received: bytearray = field(default_factory=bytearray)
+    #: Live deliveries that arrived during the transfer — already
+    #: surfaced to the application via ``NOTIFY_DELIVERY`` — replayed
+    #: into the replica once the final chunk decodes.
+    buffered: list[tuple[UpdateRecord, tuple[SeqNo, ...]]] = field(
+        default_factory=list
+    )
+    #: In-flight ``TransferResume`` handshake, when one is pending.
+    resume_request_id: RequestId = 0
+
+    @property
+    def have_seqno(self) -> SeqNo:
+        """Newest seqno this client holds for the group (for resume)."""
+        if self.buffered:
+            return self.buffered[-1][0].seqno
+        return self.marker.next_seqno - 1
+
+
 @dataclass
 class GroupView:
     """Client-side replica of one joined group."""
@@ -186,10 +245,23 @@ class GroupView:
 
         When the snapshot is the exact suffix after what we already have
         (a ``SINCE_SEQNO`` transfer), its updates are applied
-        incrementally; anything else (a reduction happened, we fell too
-        far behind) replaces the replica wholesale.
+        incrementally; a ``SNAP_DELTA`` snapshot is an overlay — the
+        shipped objects replace ours wholesale, everything else is
+        untouched-since-our-seqno and therefore already byte-identical;
+        anything else (forced FULL — a reduction happened and no delta
+        was allowed, or we fell too far behind) replaces the replica
+        wholesale.
         """
-        if (
+        if snapshot.flags & SNAP_DELTA:
+            for obj in snapshot.objects:
+                self.state.apply(UpdateRecord(
+                    snapshot.base_seqno, UpdateKind.STATE,
+                    obj.object_id, obj.data, "", 0.0,
+                ))
+            self.next_seqno = snapshot.next_seqno
+            self.pending_exclusive.clear()
+            self.fifo = FifoChecker()
+        elif (
             not snapshot.objects
             and snapshot.base_seqno == self.next_seqno - 1
         ):
@@ -252,7 +324,10 @@ class ClientCore(ProtocolCore):
         self._request_ids = itertools.count(1)
         self._pending: dict[RequestId, str] = {}
         self._pending_bcast: dict[RequestId, tuple[GroupId, DeliveryMode, UpdateKind, str, bytes]] = {}
-        self._join_params: dict[RequestId, tuple[MemberRole, bool]] = {}
+        self._join_params: dict[RequestId, tuple[MemberRole, bool, TransferSpec]] = {}
+        #: In-flight chunked transfers, keyed by group (at most one per
+        #: group; a newer join supersedes).
+        self._transfers: dict[GroupId, _IncomingTransfer] = {}
 
     # ------------------------------------------------------------------
     # connection lifecycle
@@ -276,7 +351,21 @@ class ClientCore(ProtocolCore):
         was_connected = self.connected
         self._conn = None
         self.connected = False
+        transfer_requests = {
+            t.request_id for t in self._transfers.values()
+        } | {
+            t.resume_request_id for t in self._transfers.values()
+            if t.resume_request_id
+        }
         for request_id, kind in list(self._pending.items()):
+            if request_id in transfer_requests and kind != "resume":
+                # A join backed by a resumable transfer survives the
+                # disconnect; give it a fresh timeout window to span the
+                # reconnect + resume handshake.
+                self.emit(StartTimer(
+                    request_timer(request_id), self.config.request_timeout
+                ))
+                continue
             self._finish(request_id, kind, error=NotConnectedError("connection lost"))
         if was_connected:
             self.emit(Notify(NOTIFY_DISCONNECTED, self.server_id))
@@ -291,6 +380,8 @@ class ClientCore(ProtocolCore):
     def _rejoin_groups(self) -> None:
         """After a reconnect, resynchronize every group we were in."""
         for view in self.views.values():
+            if view.name in self._transfers:
+                continue  # an interrupted chunked rejoin resumes instead
             self._rejoining.add(view.name)
             spec = TransferSpec(
                 policy=TransferPolicy.SINCE_SEQNO,
@@ -335,7 +426,7 @@ class ClientCore(ProtocolCore):
             "join",
             lambda rid: JoinGroupRequest(rid, group, role, spec, notify_membership),
         )
-        self._join_params[request_id] = (role, notify_membership)
+        self._join_params[request_id] = (role, notify_membership, spec)
         return request_id
 
     def leave_group(self, group: GroupId) -> RequestId:
@@ -418,6 +509,8 @@ class ClientCore(ProtocolCore):
             self.server_id = message.server_id
             self._backoff = self.config.reconnect_backoff
             self.emit(Notify(NOTIFY_CONNECTED, message.server_id))
+            if self._transfers:
+                self._resume_transfers()
             if reconnecting and self.config.auto_reconnect:
                 self._rejoin_groups()
         elif isinstance(message, Ack):
@@ -431,6 +524,13 @@ class ClientCore(ProtocolCore):
                 ))
                 return
             kind = self._pending.get(message.request_id, "")
+            if kind == "resume":
+                # The server refused the resume (session expired or the
+                # suffix was reduced away): restart the join from scratch.
+                self._pending.pop(message.request_id, None)
+                self.emit(CancelTimer(request_timer(message.request_id)))
+                self._resume_rejected(message.request_id)
+                return
             self._pending_bcast.pop(message.request_id, None)
             self._finish(
                 message.request_id, kind,
@@ -438,7 +538,9 @@ class ClientCore(ProtocolCore):
             )
         elif isinstance(message, JoinReply):
             group = message.snapshot.group
-            if group in self._rejoining and group in self.views:
+            if message.snapshot.flags & SNAP_CHUNKED:
+                self._on_chunk_marker(message)
+            elif group in self._rejoining and group in self.views:
                 self._rejoining.discard(group)
                 view = self.views[group]
                 view.resync(message.snapshot)
@@ -449,8 +551,8 @@ class ClientCore(ProtocolCore):
                 view = GroupView(name=group)
                 view.apply_snapshot(message.snapshot)
                 view.members = message.members
-                role, notify = self._join_params.pop(
-                    message.request_id, (MemberRole.PRINCIPAL, False)
+                role, notify, _spec = self._join_params.pop(
+                    message.request_id, (MemberRole.PRINCIPAL, False, TransferSpec())
                 )
                 view.role = role
                 view.notify_membership = notify
@@ -466,6 +568,8 @@ class ClientCore(ProtocolCore):
             self._finish(message.request_id, "ping", value=message.server_time)
         elif isinstance(message, Delivery):
             self._on_delivery(message)
+        elif isinstance(message, StateChunk):
+            self._on_state_chunk(conn, message)
         elif isinstance(message, MembershipNotice):
             view = self.views.get(message.group)
             if view is not None:
@@ -511,6 +615,17 @@ class ClientCore(ProtocolCore):
         self._finish(message.request_id, kind, value=None)
 
     def _on_delivery(self, message: Delivery) -> None:
+        transfer = self._transfers.get(message.group)
+        if transfer is not None:
+            # Mid-transfer: the replica is not ready, but the application
+            # hears the update NOW — that is the whole point of streaming.
+            # The record is replayed into the replica after the final
+            # chunk decodes.
+            transfer.buffered.append((message.update, message.skipped))
+            self.emit(Notify(
+                NOTIFY_DELIVERY, DeliveryEvent(message.group, message.update)
+            ))
+            return
         view = self.views.get(message.group)
         if view is not None:
             view.apply_delivery(
@@ -518,6 +633,175 @@ class ClientCore(ProtocolCore):
                 skipped=message.skipped,
             )
         self.emit(Notify(NOTIFY_DELIVERY, DeliveryEvent(message.group, message.update)))
+
+    # ------------------------------------------------------------------
+    # chunked state transfer (contract: docs/protocol.md)
+    # ------------------------------------------------------------------
+
+    def _on_chunk_marker(self, message: JoinReply) -> None:
+        """A ``SNAP_CHUNKED`` marker: the snapshot follows as chunks."""
+        group = message.snapshot.group
+        kind = self._pending.get(message.request_id)
+        if kind == "resume":
+            transfer = self._transfers.get(group)
+            if transfer is not None:
+                # Resume accepted: keep the reassembled bytes, refresh
+                # the membership view, give the app request fresh time.
+                transfer.members = message.members
+                transfer.resume_request_id = 0
+                if transfer.request_id in self._pending:
+                    self.emit(StartTimer(
+                        request_timer(transfer.request_id),
+                        self.config.request_timeout,
+                    ))
+            self._finish(message.request_id, "resume", value=group)
+            return
+        if kind not in ("join", "rejoin"):
+            return  # late marker for a request that already completed
+        if kind == "rejoin":
+            view = self.views.get(group)
+            role = view.role if view is not None else MemberRole.PRINCIPAL
+            notify = view.notify_membership if view is not None else False
+            spec = TransferSpec(
+                policy=TransferPolicy.SINCE_SEQNO,
+                since_seqno=(view.next_seqno - 1) if view is not None else -1,
+                chunked=True,
+                allow_delta=True,
+            )
+        else:
+            role, notify, spec = self._join_params.get(
+                message.request_id, (MemberRole.PRINCIPAL, False, TransferSpec())
+            )
+        self._transfers[group] = _IncomingTransfer(
+            group=group,
+            marker=message.snapshot,
+            request_id=message.request_id,
+            kind=kind,
+            role=role,
+            notify_membership=notify,
+            spec=spec,
+            members=message.members,
+        )
+        # The join request stays pending until the final chunk decodes;
+        # chunk arrivals re-arm its timeout below.
+        self.emit(StartTimer(
+            request_timer(message.request_id), self.config.request_timeout
+        ))
+
+    def _on_state_chunk(self, conn: ConnId, message: StateChunk) -> None:
+        transfer = self._transfers.get(message.group)
+        if transfer is None:
+            return  # abandoned transfer — stale chunk, drop
+        if transfer.transfer_id < 0:
+            transfer.transfer_id = message.transfer_id
+        elif message.transfer_id != transfer.transfer_id:
+            return  # chunk from a superseded transfer
+        have = len(transfer.received)
+        if message.offset < have:
+            return  # duplicate overlap after a resume race
+        if message.offset > have:
+            raise ProtocolError(
+                f"chunk gap at byte {have} in transfer for {message.group!r}"
+            )
+        transfer.received += message.data
+        transfer.total_bytes = message.total_bytes
+        self.send(conn, ChunkAck(
+            message.group, transfer.transfer_id, len(transfer.received)
+        ))
+        if transfer.request_id in self._pending:
+            # progress resets the request timeout — a long transfer is
+            # not a stuck one
+            self.emit(StartTimer(
+                request_timer(transfer.request_id), self.config.request_timeout
+            ))
+        self.emit(Notify(NOTIFY_TRANSFER_PROGRESS, TransferProgress(
+            message.group, len(transfer.received), message.total_bytes
+        )))
+        if message.last:
+            self._complete_transfer(transfer)
+
+    def _complete_transfer(self, transfer: _IncomingTransfer) -> None:
+        """Final chunk arrived: decode, install, replay the catch-up log."""
+        del self._transfers[transfer.group]
+        snapshot = codec.decode(bytes(transfer.received))
+        if not isinstance(snapshot, StateSnapshot):
+            raise ProtocolError(
+                f"chunk stream for {transfer.group!r} decoded to "
+                f"{type(snapshot).__name__}, not StateSnapshot"
+            )
+        view = self.views.get(transfer.group)
+        rejoined = transfer.kind == "rejoin" and view is not None
+        if rejoined:
+            self._rejoining.discard(transfer.group)
+            view.resync(snapshot)
+        else:
+            view = GroupView(name=transfer.group)
+            view.apply_snapshot(snapshot)
+            view.role = transfer.role
+            view.notify_membership = transfer.notify_membership
+            self.views[transfer.group] = view
+        view.members = transfer.members
+        for record, skipped in transfer.buffered:
+            if record.seqno >= view.next_seqno:
+                view.apply_delivery(
+                    record, own_id=self.config.client_id, skipped=skipped
+                )
+        self._finish(transfer.request_id, transfer.kind, value=view)
+        if rejoined:
+            self.emit(Notify(NOTIFY_REJOINED, view))
+
+    def _resume_transfers(self) -> None:
+        """After a reconnect, pick every interrupted transfer back up."""
+        for transfer in list(self._transfers.values()):
+            if transfer.transfer_id < 0:
+                # No chunk ever arrived, so there is nothing to resume —
+                # restart the join from scratch.
+                del self._transfers[transfer.group]
+                self._restart_join(transfer)
+                continue
+            rid = self._request(
+                "resume",
+                lambda r, t=transfer: TransferResume(
+                    r, t.group, t.transfer_id, len(t.received), t.have_seqno
+                ),
+            )
+            transfer.resume_request_id = rid
+
+    def _resume_rejected(self, resume_rid: RequestId) -> None:
+        for group, transfer in list(self._transfers.items()):
+            if transfer.resume_request_id == resume_rid:
+                del self._transfers[group]
+                self._restart_join(transfer)
+                return
+
+    def _restart_join(self, transfer: _IncomingTransfer) -> None:
+        """Fall back to a fresh join, reusing the still-pending app
+        request so the caller's await completes normally."""
+        if self._conn is None or transfer.request_id not in self._pending:
+            # Can't restart (gone again, or the request already failed);
+            # surface the loss if anyone is still waiting.
+            if transfer.request_id in self._pending:
+                self._finish(
+                    transfer.request_id, transfer.kind,
+                    error=NotConnectedError("connection lost mid-transfer"),
+                )
+            return
+        spec = transfer.spec
+        if transfer.kind == "rejoin":
+            view = self.views.get(transfer.group)
+            since = (view.next_seqno - 1) if view is not None else -1
+            spec = TransferSpec(
+                policy=TransferPolicy.SINCE_SEQNO, since_seqno=since,
+                chunked=True, allow_delta=spec.allow_delta,
+            )
+            self._rejoining.add(transfer.group)
+        self.send(self._conn, JoinGroupRequest(
+            transfer.request_id, transfer.group, transfer.role, spec,
+            transfer.notify_membership,
+        ))
+        self.emit(StartTimer(
+            request_timer(transfer.request_id), self.config.request_timeout
+        ))
 
     # ------------------------------------------------------------------
     # timeouts
@@ -539,6 +823,12 @@ class ClientCore(ProtocolCore):
         kind = self._pending.get(request_id)
         if kind is None:
             return
+        if kind == "resume":
+            # The resume handshake stalled; restart the join instead of
+            # surfacing an error for an internal request.
+            self._pending.pop(request_id, None)
+            self._resume_rejected(request_id)
+            return
         self._pending_bcast.pop(request_id, None)
         self._finish(
             request_id, kind,
@@ -558,7 +848,18 @@ class ClientCore(ProtocolCore):
         if self._pending.pop(request_id, None) is None:
             return  # already completed (late reply after timeout)
         self._join_params.pop(request_id, None)
+        if error is not None:
+            # A join that dies takes its half-done transfer with it; the
+            # server-side session expires via its own TTL.
+            for group, transfer in list(self._transfers.items()):
+                if transfer.request_id == request_id:
+                    del self._transfers[group]
         self.emit(CancelTimer(request_timer(request_id)))
+        if kind == "resume":
+            # Internal plumbing of the reconnect path, not an application
+            # request — the app-visible reply is the join's, when the
+            # resumed stream completes.
+            return
         self.emit(
             Notify(
                 NOTIFY_REPLY,

@@ -47,6 +47,7 @@ __all__ = [
     "NOTIFY_REBASED",
     "NOTIFY_FORKED",
     "NOTIFY_KICKED",
+    "NOTIFY_TRANSFER_PROGRESS",
 ]
 
 # Well-known ``Notify.kind`` tags.  Cores, hosts, and tests share these
@@ -64,6 +65,7 @@ NOTIFY_REJOINED = "rejoined"
 NOTIFY_REBASED = "rebased"
 NOTIFY_FORKED = "forked"
 NOTIFY_KICKED = "kicked"
+NOTIFY_TRANSFER_PROGRESS = "transfer_progress"
 
 
 @dataclass(frozen=True)

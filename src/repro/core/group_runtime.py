@@ -41,9 +41,11 @@ from repro.core.events import AppendWal, SendMulticast, WriteCheckpoint
 from repro.core.group import Group
 from repro.core.ids import ClientId, ConnId, GroupId
 from repro.core.locks import LockGrant
-from repro.core.transfer import build_snapshot
+from repro.core.transfer import build_checkpoint, build_snapshot
 from repro.wire import frames
 from repro.wire.messages import (
+    SNAP_DELTA,
+    SNAP_FORCED_FULL,
     AcquireLockRequest,
     Ack,
     Delivery,
@@ -86,6 +88,10 @@ class GroupRuntime:
             raise AlreadyMemberError(f"{client!r} already joined {group.name!r}")
         if owner.config.stateful:
             snapshot = build_snapshot(group, msg.transfer)
+            if snapshot.flags & SNAP_FORCED_FULL:
+                owner.stats.forced_full_transfers += 1
+            if snapshot.flags & SNAP_DELTA:
+                owner.stats.delta_transfers += 1
         else:
             # A stateless sequencer has no state to transfer.
             snapshot = StateSnapshot(
@@ -95,13 +101,26 @@ class GroupRuntime:
                 updates=(),
                 next_seqno=group.log.next_seqno,
             )
+        reply_snapshot = snapshot
+        if owner.config.stateful and msg.transfer.chunked:
+            marker = owner.start_transfer(
+                client, snapshot,
+                role=msg.role, notify_membership=msg.notify_membership,
+            )
+            if marker is not None:
+                reply_snapshot = marker
         member = group.add_member(
             client, conn, msg.role, wants_membership_notices=msg.notify_membership
         )
         owner.send(
             conn,
-            JoinReply(msg.request_id, snapshot, self.membership_for_reply()),
+            JoinReply(msg.request_id, reply_snapshot, self.membership_for_reply()),
         )
+        if reply_snapshot is not snapshot:
+            # The member is in the group before the first chunk is
+            # planned, so every concurrent update fans out to it live —
+            # chunks and deliveries interleave on the bulk lane.
+            owner.pump_transfer(group.name, client)
         owner._notify_membership(group, joined=(member.info(),), left=())
 
     def remove_member(self, client: ClientId) -> None:
@@ -255,13 +274,7 @@ class GroupRuntime:
             if owner.on_checkpoint is not None:
                 owner.on_checkpoint(group.name, tip)
             if owner.config.persist:
-                snapshot = StateSnapshot(
-                    group=group.name,
-                    base_seqno=tip,
-                    objects=group.state.materialize_all(),
-                    updates=(),
-                    next_seqno=tip + 1,
-                )
+                snapshot = build_checkpoint(group, tip)
                 owner.emit(
                     WriteCheckpoint(group.name, tip, frames.payload_of(snapshot))
                 )

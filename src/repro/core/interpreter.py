@@ -170,6 +170,20 @@ class DispatchStats:
     #: Commands rejected because they carried a stale ownership epoch
     #: (the group migrated away while the command was in flight).
     stale_epoch_rejects: int = 0
+    #: Joins answered with a chunked stream (``SNAP_CHUNKED`` marker +
+    #: ``StateChunk`` frames) instead of one monolithic snapshot.
+    chunked_transfers: int = 0
+    #: Chunked transfers successfully resumed after a mid-transfer
+    #: disconnect (``TransferResume`` accepted, no acked bytes re-sent).
+    transfer_resumes: int = 0
+    #: ``SINCE_SEQNO`` joins whose suffix was reduced away and that were
+    #: answered with a delta snapshot (``SNAP_DELTA``) — only the objects
+    #: touched after the client's seqno.
+    delta_transfers: int = 0
+    #: ``SINCE_SEQNO`` joins degraded all the way to FULL because the
+    #: suffix was gone and the client did not allow a delta — previously
+    #: a silent fallback, now flagged ``SNAP_FORCED_FULL`` and counted.
+    forced_full_transfers: int = 0
 
 
 class EffectBackend:

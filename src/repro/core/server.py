@@ -36,6 +36,7 @@ from repro.core.errors import (
     NotAMemberError,
     NotAuthorizedError,
     ProtocolError,
+    StaleStateError,
 )
 from repro.core.events import (
     CloseConnection,
@@ -43,14 +44,17 @@ from repro.core.events import (
     Effect,
     ProtocolCore,
     PurgeGroupStorage,
+    StartTimer,
 )
 from repro.core.group import Group
 from repro.core.group_runtime import GroupRuntime, GroupsView
 from repro.core.ids import ClientId, ConnId, GroupId
+from repro.core.interpreter import DispatchStats
 from repro.core.locks import LockGrant
 from repro.core.reduction import NeverReduce, ReductionPolicy
 from repro.core.scheduler import CommandScheduler
 from repro.core.session import AllowAll, GroupAction, SessionManager
+from repro.core.transfer import OutgoingTransfer, TransferConfig, chunk_marker
 from repro.storage.store import RecoveredGroup
 from repro.wire import codec, frames
 from repro.wire.messages import (
@@ -58,6 +62,7 @@ from repro.wire.messages import (
     AcquireLockRequest,
     BcastStateRequest,
     BcastUpdateRequest,
+    ChunkAck,
     CreateGroupRequest,
     DeleteGroupRequest,
     Delivery,
@@ -71,10 +76,12 @@ from repro.wire.messages import (
     Hello,
     HelloReply,
     JoinGroupRequest,
+    JoinReply,
     LeaveGroupRequest,
     ListGroupsRequest,
     LockGranted,
     MemberInfo,
+    MemberRole,
     MembershipNotice,
     Message,
     PingReply,
@@ -83,6 +90,7 @@ from repro.wire.messages import (
     ReduceLogRequest,
     ReleaseLockRequest,
     StateSnapshot,
+    TransferResume,
     UpdateKind,
     UpdateRecord,
 )
@@ -91,8 +99,23 @@ __all__ = ["ServerConfig", "ServerCore", "state_from_snapshot"]
 
 #: Message types that may join an open speculation window instead of
 #: flushing it (plain broadcasts; ``bcastState`` barriers inside
-#: ``GroupRuntime.broadcast`` after validation).
-_WINDOW_SAFE = (BcastStateRequest, BcastUpdateRequest)
+#: ``GroupRuntime.broadcast`` after validation).  ``ChunkAck`` only moves
+#: a transfer's byte cursor — it reads no group state, so it must not
+#: serialize speculated work.
+_WINDOW_SAFE = (BcastStateRequest, BcastUpdateRequest, ChunkAck)
+
+#: Prefix of the per-transfer resume-TTL timer key.
+_TRANSFER_TTL_PREFIX = "transfer-ttl:"
+
+
+@dataclass
+class _TransferSession:
+    """One client's in-flight chunked transfer, plus what the server
+    needs to re-admit the member when the transfer resumes."""
+
+    transfer: OutgoingTransfer
+    role: MemberRole
+    notify_membership: bool
 
 
 @dataclass
@@ -121,6 +144,8 @@ class ServerConfig:
     exec_lanes: int = 0
     #: Commands per speculation window before the owning worker flushes.
     exec_window: int = 64
+    #: Chunked/resumable state-transfer knobs (:mod:`repro.core.transfer`).
+    transfer: TransferConfig = field(default_factory=TransferConfig)
 
 
 class ServerCore(ProtocolCore):
@@ -145,6 +170,14 @@ class ServerCore(ProtocolCore):
         #: Observer (trace validation) notified after each state-log
         #: reduction: ``fn(group_name, fold_seqno)``.
         self.on_checkpoint: Callable[[GroupId, int], None] | None = None
+        #: Transfer/snapshot counters.  Hosts rebind this to their
+        #: interpreter's :class:`DispatchStats` (the same pattern the
+        #: optimistic scheduler uses) so the counts surface alongside the
+        #: dispatch counters; a bare core keeps its own instance.
+        self.stats = DispatchStats()
+        #: In-flight chunked transfers, keyed by ``(group, client)``.
+        self._transfers: dict[tuple[GroupId, ClientId], _TransferSession] = {}
+        self._next_transfer_id = 1
         self._dispatch: dict[type, Callable[[ConnId, Any], None]] = {
             Hello: self._on_hello,
             CreateGroupRequest: self._on_create,
@@ -159,6 +192,8 @@ class ServerCore(ProtocolCore):
             ReleaseLockRequest: self._on_release_lock,
             ReduceLogRequest: self._on_reduce_log,
             PingRequest: self._on_ping,
+            ChunkAck: self._on_chunk_ack,
+            TransferResume: self._on_transfer_resume,
         }
         #: Optimistic intra-group parallel scheduler, or ``None`` for the
         #: strictly serial fast path (``exec_lanes == 0``).
@@ -215,6 +250,7 @@ class ServerCore(ProtocolCore):
         now.  Safe to call whether or not the runtime is still (or again)
         registered."""
         self.runtimes.pop(group.name, None)
+        self._drop_transfers_of(group.name)
         for member in group.members():
             self._client_groups.get(member.client_id, set()).discard(group.name)
 
@@ -308,6 +344,9 @@ class ServerCore(ProtocolCore):
             self._reply_error(conn, getattr(message, "request_id", 0), err)
 
     def handle_timer(self, key: str) -> None:
+        if key.startswith(_TRANSFER_TTL_PREFIX):
+            self._expire_transfer(int(key[len(_TRANSFER_TTL_PREFIX):]))
+            return
         if self.scheduler is not None and self.scheduler.pending:
             self.scheduler.flush()
 
@@ -342,6 +381,14 @@ class ServerCore(ProtocolCore):
             runtime = self.runtimes.get(group_name)
             if runtime is not None and runtime.group.is_member(client):
                 runtime.remove_member(client)
+        now = self.clock.now()
+        for (_group, owner_client), session in self._transfers.items():
+            if owner_client == client and not session.transfer.paused:
+                session.transfer.pause(now)
+                self.emit(StartTimer(
+                    f"{_TRANSFER_TTL_PREFIX}{session.transfer.transfer_id}",
+                    self.config.transfer.resume_ttl,
+                ))
 
     # ------------------------------------------------------------------
     # handshake
@@ -417,6 +464,7 @@ class ServerCore(ProtocolCore):
 
     def _drop_group(self, group: Group) -> None:
         del self.runtimes[group.name]
+        self._drop_transfers_of(group.name)
         if self._persists:
             self.emit(PurgeGroupStorage(group.name))
 
@@ -424,6 +472,9 @@ class ServerCore(ProtocolCore):
         client = self._client_of(conn)
         self._authorize(client, GroupAction.JOIN, msg.group)
         runtime = self._runtime_named(msg.group)
+        # A fresh join supersedes any resumable transfer left over from a
+        # previous attempt — the client chose to restart, not resume.
+        self._transfers.pop((msg.group, client), None)
         runtime.join(conn, client, msg)
         self._client_groups.setdefault(client, set()).add(msg.group)
 
@@ -433,6 +484,7 @@ class ServerCore(ProtocolCore):
         if not runtime.group.is_member(client):
             raise NotAMemberError(f"{client!r} is not in {msg.group!r}")
         self._client_groups.get(client, set()).discard(msg.group)
+        self._transfers.pop((msg.group, client), None)
         runtime.remove_member(client)
         self.send(conn, Ack(msg.request_id))
 
@@ -506,6 +558,125 @@ class ServerCore(ProtocolCore):
         self.runtimes[group.name].apply_and_deliver(
             record, mode, exclude_conn, delivery=delivery
         )
+
+    # ------------------------------------------------------------------
+    # chunked state transfer (contract: docs/protocol.md)
+    # ------------------------------------------------------------------
+
+    def start_transfer(
+        self,
+        client: ClientId,
+        snapshot: StateSnapshot,
+        *,
+        role: MemberRole,
+        notify_membership: bool,
+    ) -> StateSnapshot | None:
+        """Open a chunked transfer session for *snapshot* if it is worth
+        chunking; returns the ``SNAP_CHUNKED`` marker to put in the
+        :class:`JoinReply`, or ``None`` to stay on the monolithic path
+        (small payloads keep the byte/timing-identical cached fast path).
+        """
+        cfg = self.config.transfer
+        if len(frames.payload_of(snapshot)) <= cfg.chunk_threshold_bytes:
+            return None
+        transfer = OutgoingTransfer(
+            group=snapshot.group,
+            client=client,
+            transfer_id=self._next_transfer_id,
+            snapshot=snapshot,
+            config=cfg,
+            now=self.clock.now(),
+        )
+        self._next_transfer_id += 1
+        self._transfers[(snapshot.group, client)] = _TransferSession(
+            transfer, role, notify_membership
+        )
+        self.stats.chunked_transfers += 1
+        return chunk_marker(snapshot)
+
+    def pump_transfer(self, group: GroupId, client: ClientId) -> None:
+        """Send every chunk the transfer's in-flight window allows."""
+        session = self._transfers.get((group, client))
+        conn = self._client_conn.get(client)
+        if session is None or conn is None:
+            return
+        for chunk in session.transfer.next_chunks():
+            self.send(conn, chunk)
+
+    def _on_chunk_ack(self, conn: ConnId, msg: ChunkAck) -> None:
+        client = self._client_of(conn)
+        key = (msg.group, client)
+        session = self._transfers.get(key)
+        if session is None or session.transfer.transfer_id != msg.transfer_id:
+            # Ack for a finished or superseded transfer — harmless.
+            return
+        for chunk in session.transfer.on_ack(msg.offset, self.clock.now()):
+            self.send(conn, chunk)
+        if session.transfer.done:
+            del self._transfers[key]
+
+    def _on_transfer_resume(self, conn: ConnId, msg: TransferResume) -> None:
+        client = self._client_of(conn)
+        key = (msg.group, client)
+        session = self._transfers.get(key)
+        now = self.clock.now()
+        if (session is None
+                or session.transfer.transfer_id != msg.transfer_id
+                or (session.transfer.expires_at is not None
+                    and now >= session.transfer.expires_at)):
+            self._transfers.pop(key, None)
+            raise StaleStateError(
+                f"transfer {msg.transfer_id} for {msg.group!r} is not "
+                f"resumable; rejoin instead"
+            )
+        runtime = self._runtime_named(msg.group)
+        group = runtime.group
+        # The catch-up suffix must still exist: the frozen payload plus
+        # the deliveries after ``have_seqno`` is what reaches tip state.
+        # StaleStateError propagates to the client, which rejoins fresh.
+        try:
+            missed = group.log.since(msg.have_seqno)
+        except StaleStateError:
+            self._transfers.pop(key, None)
+            raise
+        if not session.transfer.resume(msg.offset, now):
+            self._transfers.pop(key, None)
+            raise StaleStateError(
+                f"offset {msg.offset} is outside transfer {msg.transfer_id}"
+            )
+        self.stats.transfer_resumes += 1
+        if group.is_member(client):
+            group.member(client).conn = conn
+        else:
+            member = group.add_member(
+                client, conn, session.role,
+                wants_membership_notices=session.notify_membership,
+            )
+            self._client_groups.setdefault(client, set()).add(msg.group)
+            self._notify_membership(group, joined=(member.info(),), left=())
+        self.send(conn, JoinReply(
+            msg.request_id,
+            chunk_marker(session.transfer.snapshot),
+            self._membership_for_reply(group),
+        ))
+        # Replay the deliveries the client missed while disconnected;
+        # they land in its catch-up buffer like any live update.
+        for record in missed:
+            self.send(conn, Delivery(group.name, record))
+        self.pump_transfer(msg.group, client)
+
+    def _expire_transfer(self, transfer_id: int) -> None:
+        """TTL fired: forget the session if it is still paused."""
+        for key, session in list(self._transfers.items()):
+            transfer = session.transfer
+            if (transfer.transfer_id == transfer_id and transfer.paused
+                    and transfer.expires_at is not None
+                    and self.clock.now() >= transfer.expires_at):
+                del self._transfers[key]
+
+    def _drop_transfers_of(self, group: GroupId) -> None:
+        for key in [k for k in self._transfers if k[0] == group]:
+            del self._transfers[key]
 
     # ------------------------------------------------------------------
     # locks

@@ -13,8 +13,12 @@ Policies:
   right for append-style tools like the chat box).
 * ``SELECTED`` — materialized state of the named objects only.
 * ``SINCE_SEQNO`` — the update suffix after a seqno the client already has
-  (reconnection); falls back to ``FULL`` when reduction trimmed the
-  suffix away.
+  (reconnection).  When reduction trimmed the suffix away the outcome
+  depends on the spec: with ``allow_delta`` the server ships a **delta
+  snapshot** — only the objects touched after the client's seqno,
+  materialized at the tip (flag ``SNAP_DELTA``) — otherwise it degrades
+  to ``FULL`` and says so with the ``SNAP_FORCED_FULL`` flag, which the
+  owner also counts in ``DispatchStats.forced_full_transfers``.
 * ``NONE`` — no state at all (pure notification subscriber).
 
 ``FULL`` snapshots are memoized per group: repeated joins against an
@@ -25,19 +29,128 @@ re-materializing and re-serializing the whole shared state per joiner.
 The cache keys on the identity and mutation counters of the group's
 ``state`` and ``log``, so any append, overwrite, reduction, rollback or
 wholesale state replacement (recovery, rebase) invalidates it.
+
+Chunked transfer (the streaming path, contract: ``docs/protocol.md``):
+when a spec asks for ``chunked`` and the encoded snapshot payload
+exceeds ``TransferConfig.chunk_threshold_bytes``, the server answers the
+join with a *marker* snapshot (``SNAP_CHUNKED``, no objects/updates) and
+streams the real payload as :class:`~repro.wire.messages.StateChunk`
+frames planned by :class:`OutgoingTransfer`.  The planner keeps a
+bounded in-flight window clocked by :class:`~repro.wire.messages.
+ChunkAck` and adapts the chunk size to the acked-bytes/elapsed-time
+bandwidth estimate, between ``chunk_floor_bytes`` and
+``chunk_ceiling_bytes``.  Because the chunk stream is a byte-exact slice
+of the one snapshot payload, reassembly is byte-identical to the
+monolithic path by construction, and a resume after disconnect restarts
+at the first byte the client does not have — never re-sending acked
+data.
+
+This module is also the *only* place allowed to materialize whole group
+state (lint rule ``PERF004``): everything else must go through
+:func:`build_snapshot` / :func:`build_checkpoint` so the memoization and
+delta logic cannot be bypassed by accident.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, fields, replace
+
 from repro.core.errors import FrameTooLargeError, StaleStateError
 from repro.core.group import Group
+from repro.core.ids import ClientId, GroupId, SeqNo
 from repro.wire import frames
-from repro.wire.messages import StateSnapshot, TransferPolicy, TransferSpec
+from repro.wire.messages import (
+    SNAP_CHUNKED,
+    SNAP_DELTA,
+    SNAP_FORCED_FULL,
+    ObjectState,
+    StateChunk,
+    StateSnapshot,
+    TransferPolicy,
+    TransferSpec,
+)
 
-__all__ = ["build_snapshot"]
+__all__ = [
+    "build_snapshot",
+    "build_checkpoint",
+    "TransferConfig",
+    "DEFAULT_TRANSFER",
+    "transfer_knobs",
+    "OutgoingTransfer",
+    "chunk_marker",
+]
 
 #: Group attribute holding the memoized FULL snapshot and its cache key.
 _CACHE_ATTR = "_corona_full_snapshot_cache"
+
+
+@dataclass(frozen=True)
+class TransferConfig:
+    """The chunked state-transfer policy knobs (normative: ``docs/protocol.md``).
+
+    Every field name here is part of the documented contract — a CI check
+    (``tools/check_transfer_docs.py``) fails if ``docs/protocol.md`` stops
+    mentioning one of them.
+    """
+
+    #: Encoded snapshot payloads at or below this size are sent monolithic
+    #: even when the client asked for ``chunked`` — small joins keep the
+    #: byte/timing-identical cached fast path.
+    chunk_threshold_bytes: int = 64 * 1024
+    #: First chunk size of every transfer, before any bandwidth sample.
+    initial_chunk_bytes: int = 4 * 1024
+    #: Adaptation floor: chunks never shrink below this, so slow links
+    #: still make progress instead of drowning in per-frame overhead.
+    chunk_floor_bytes: int = 1024
+    #: Adaptation ceiling: chunks never grow beyond this, so one chunk
+    #: can never monopolize the bulk lane for long (live ``Delivery``
+    #: frames interleave at chunk granularity).
+    chunk_ceiling_bytes: int = 256 * 1024
+    #: In-flight window, in chunks: unacked bytes are capped at
+    #: ``inflight_chunks * chunk_bytes``, which is what paces the stream
+    #: against the consumer instead of dumping the payload in the outbox.
+    inflight_chunks: int = 4
+    #: The adaptation target: chunk size is steered toward the bytes the
+    #: observed bandwidth moves in this many seconds.
+    target_chunk_seconds: float = 0.25
+    #: EWMA weight of each new acked-bytes/elapsed bandwidth sample
+    #: (0 < gain <= 1; higher adapts faster, lower smooths more).
+    bandwidth_gain: float = 0.3
+    #: How long a disconnected transfer stays resumable before the server
+    #: forgets it (seconds); a ``TransferResume`` after expiry is refused
+    #: and the client falls back to a fresh join.
+    resume_ttl: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.chunk_threshold_bytes < 0:
+            raise ValueError("chunk_threshold_bytes must be >= 0")
+        if self.chunk_floor_bytes <= 0:
+            raise ValueError("chunk_floor_bytes must be positive")
+        if self.chunk_ceiling_bytes < self.chunk_floor_bytes:
+            raise ValueError("chunk_ceiling_bytes must be >= chunk_floor_bytes")
+        if not (self.chunk_floor_bytes
+                <= self.initial_chunk_bytes
+                <= self.chunk_ceiling_bytes):
+            raise ValueError(
+                "initial_chunk_bytes must lie within [floor, ceiling]"
+            )
+        if self.inflight_chunks < 1:
+            raise ValueError("inflight_chunks must be >= 1")
+        if self.target_chunk_seconds <= 0:
+            raise ValueError("target_chunk_seconds must be positive")
+        if not (0.0 < self.bandwidth_gain <= 1.0):
+            raise ValueError("bandwidth_gain must be in (0, 1]")
+        if self.resume_ttl <= 0:
+            raise ValueError("resume_ttl must be positive")
+
+
+DEFAULT_TRANSFER = TransferConfig()
+
+
+def transfer_knobs() -> tuple[str, ...]:
+    """Names of every exported transfer knob (consumed by the doc-drift CI
+    check and by ``docs/protocol.md`` itself)."""
+    return tuple(f.name for f in fields(TransferConfig))
 
 
 def build_snapshot(group: Group, spec: TransferSpec) -> StateSnapshot:
@@ -76,9 +189,14 @@ def build_snapshot(group: Group, spec: TransferSpec) -> StateSnapshot:
         try:
             updates = group.log.since(spec.since_seqno)
         except StaleStateError:
-            # The suffix was reduced away; the client's cached state is
-            # unusable, so degrade to a full transfer.
-            return _full(group, tip, next_seqno)
+            # The suffix was reduced away.  Ship a delta of the touched
+            # objects when the client can merge one; otherwise degrade to
+            # FULL — loudly, via the SNAP_FORCED_FULL flag (the owner
+            # counts it in DispatchStats.forced_full_transfers).
+            if spec.allow_delta:
+                return _delta(group, spec.since_seqno, tip, next_seqno)
+            full = _full(group, tip, next_seqno)
+            return replace(full, flags=full.flags | SNAP_FORCED_FULL)
         return StateSnapshot(
             group=group.name,
             base_seqno=spec.since_seqno,
@@ -97,6 +215,21 @@ def build_snapshot(group: Group, spec: TransferSpec) -> StateSnapshot:
         )
 
     raise ValueError(f"unknown transfer policy {spec.policy!r}")
+
+
+def build_checkpoint(group: Group, tip: SeqNo) -> StateSnapshot:
+    """The folded-state checkpoint log reduction persists (WAL compaction).
+
+    Lives here rather than in the reduction path so that every whole-state
+    materialization goes through this module (lint rule ``PERF004``).
+    """
+    return StateSnapshot(
+        group=group.name,
+        base_seqno=tip,
+        objects=group.state.materialize_all(),
+        updates=(),
+        next_seqno=tip + 1,
+    )
 
 
 def _full(group: Group, tip: int, next_seqno: int) -> StateSnapshot:
@@ -122,3 +255,191 @@ def _full(group: Group, tip: int, next_seqno: int) -> StateSnapshot:
         pass
     setattr(group, _CACHE_ATTR, (key, snapshot))
     return snapshot
+
+
+def _delta(
+    group: Group, since_seqno: SeqNo, tip: int, next_seqno: int
+) -> StateSnapshot:
+    """Only the objects touched after *since_seqno*, materialized at tip.
+
+    An object whose ``last_seqno`` is at or below the client's seqno has
+    byte-identical content on both sides (materialized state only changes
+    through applied updates), so omitting it is lossless; the client
+    overlays the shipped objects wholesale and keeps the rest.
+    """
+    state = group.state
+    touched = []
+    for object_id in state.object_ids():
+        obj = state.get(object_id)
+        if obj.last_seqno > since_seqno:
+            touched.append(ObjectState(object_id, obj.materialized()))
+    return StateSnapshot(
+        group=group.name,
+        base_seqno=tip,
+        objects=tuple(touched),
+        updates=(),
+        next_seqno=next_seqno,
+        flags=SNAP_DELTA,
+    )
+
+
+def chunk_marker(snapshot: StateSnapshot) -> StateSnapshot:
+    """The empty ``SNAP_CHUNKED`` snapshot announcing a chunk stream.
+
+    Carries the real snapshot's seqno bookkeeping (and its ``SNAP_DELTA``
+    / ``SNAP_FORCED_FULL`` flags) so the client can set up its view and
+    catch-up buffer before the first chunk arrives.
+    """
+    return StateSnapshot(
+        group=snapshot.group,
+        base_seqno=snapshot.base_seqno,
+        objects=(),
+        updates=(),
+        next_seqno=snapshot.next_seqno,
+        flags=snapshot.flags | SNAP_CHUNKED,
+    )
+
+
+class OutgoingTransfer:
+    """Server-side chunk planner for one join's snapshot stream.
+
+    Owns the byte cursor over the encoded snapshot payload and decides,
+    purely from acks and the config, which :class:`StateChunk` frames to
+    emit next.  No I/O and no clock of its own — callers pass ``now`` so
+    both backends (wall clock and virtual time) drive the same logic.
+
+    The in-flight window (``inflight_chunks * chunk_bytes`` unacked
+    bytes) is what lets live ``Delivery`` traffic interleave: the bulk
+    lane never holds more than a window of chunk bytes, so a concurrent
+    update queued behind them is sent within one window's transmission
+    time instead of after the entire snapshot.
+    """
+
+    __slots__ = (
+        "group", "client", "transfer_id", "snapshot", "payload",
+        "total_bytes", "chunk_bytes", "sent_offset", "acked_offset",
+        "paused", "expires_at", "_config", "_bandwidth",
+        "_last_sample_at", "_pending_bytes",
+    )
+
+    def __init__(
+        self,
+        *,
+        group: GroupId,
+        client: ClientId,
+        transfer_id: int,
+        snapshot: StateSnapshot,
+        config: TransferConfig,
+        now: float,
+    ) -> None:
+        self.group = group
+        self.client = client
+        self.transfer_id = transfer_id
+        self.snapshot = snapshot
+        self.payload = frames.payload_of(snapshot)
+        self.total_bytes = len(self.payload)
+        self._config = config
+        self.chunk_bytes = self._clamp(config.initial_chunk_bytes)
+        self.sent_offset = 0
+        self.acked_offset = 0
+        #: Bytes/sec EWMA from ack arrivals; 0.0 until the first sample.
+        self._bandwidth = 0.0
+        self._last_sample_at = now
+        self._pending_bytes = 0
+        #: True while the client is disconnected; armed with a TTL.
+        self.paused = False
+        self.expires_at: float | None = None
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Every payload byte has been acked; the session can be dropped."""
+        return self.acked_offset >= self.total_bytes
+
+    @property
+    def bandwidth(self) -> float:
+        """Current bytes/sec estimate (0.0 before the first ack)."""
+        return self._bandwidth
+
+    def _clamp(self, size: int) -> int:
+        cfg = self._config
+        return max(cfg.chunk_floor_bytes, min(cfg.chunk_ceiling_bytes, size))
+
+    # -- planning ---------------------------------------------------------
+
+    def next_chunks(self) -> list[StateChunk]:
+        """Chunks to send now, respecting the in-flight window."""
+        if self.paused:
+            return []
+        out: list[StateChunk] = []
+        window = self._config.inflight_chunks * self.chunk_bytes
+        while (self.sent_offset < self.total_bytes
+               and self.sent_offset - self.acked_offset < window):
+            size = min(self.chunk_bytes, self.total_bytes - self.sent_offset)
+            end = self.sent_offset + size
+            out.append(
+                StateChunk(
+                    group=self.group,
+                    transfer_id=self.transfer_id,
+                    offset=self.sent_offset,
+                    data=self.payload[self.sent_offset:end],
+                    total_bytes=self.total_bytes,
+                    last=end >= self.total_bytes,
+                )
+            )
+            self.sent_offset = end
+        return out
+
+    def on_ack(self, offset: int, now: float) -> list[StateChunk]:
+        """Absorb an ack: advance the window, re-estimate bandwidth,
+        adapt the chunk size, and return the chunks that now fit."""
+        if self.paused or offset <= self.acked_offset:
+            return []
+        delta = min(offset, self.total_bytes) - self.acked_offset
+        self.acked_offset = min(offset, self.total_bytes)
+        self._pending_bytes += delta
+        # Sample over at least one target interval.  Acks can arrive in
+        # bursts (ack compression: on a half-duplex link the return path
+        # queues behind the chunks themselves), and a per-ack
+        # bytes/elapsed over a microscopic gap would wildly overestimate
+        # the link; accumulating until a full interval has passed folds
+        # a burst into one honest sample.
+        elapsed = now - self._last_sample_at
+        if elapsed >= self._config.target_chunk_seconds:
+            sample = self._pending_bytes / elapsed
+            gain = self._config.bandwidth_gain
+            if self._bandwidth <= 0.0:
+                self._bandwidth = sample
+            else:
+                self._bandwidth += gain * (sample - self._bandwidth)
+            self.chunk_bytes = self._clamp(
+                int(self._bandwidth * self._config.target_chunk_seconds)
+            )
+            self._pending_bytes = 0
+            self._last_sample_at = now
+        return self.next_chunks()
+
+    # -- disconnect / resume ----------------------------------------------
+
+    def pause(self, now: float) -> None:
+        """The client's connection closed mid-transfer; keep the session
+        resumable until the TTL expires."""
+        self.paused = True
+        self.expires_at = now + self._config.resume_ttl
+
+    def resume(self, offset: int, now: float) -> bool:
+        """Rewind to *offset* (the first byte the client lacks) and
+        unpause.  False when the offset is out of range — the caller
+        refuses the resume and the client rejoins from scratch."""
+        if not (0 <= offset <= self.sent_offset):
+            return False
+        self.paused = False
+        self.expires_at = None
+        self.sent_offset = offset
+        self.acked_offset = offset
+        # Restart the bandwidth clock: the link likely changed across the
+        # disconnect, and a stale sample window would poison the EWMA.
+        self._last_sample_at = now
+        self._pending_bytes = 0
+        return True

@@ -37,7 +37,13 @@ from dataclasses import dataclass, fields, replace
 from typing import Any
 
 from repro.wire import frames
-from repro.wire.messages import Delivery, Disconnect, DisconnectReason, UpdateKind
+from repro.wire.messages import (
+    Delivery,
+    Disconnect,
+    DisconnectReason,
+    StateChunk,
+    UpdateKind,
+)
 
 __all__ = [
     "Lane",
@@ -61,12 +67,16 @@ class Lane(enum.IntEnum):
 def lane_of(message: Any) -> Lane:
     """Classify a wire message into its priority lane.
 
-    Only client-facing :class:`Delivery` frames ride the bulk lane.
+    Client-facing :class:`Delivery` frames and chunked state-transfer
+    :class:`StateChunk` frames ride the bulk lane — both are big,
+    droppable-or-resumable payload traffic that must never delay
+    replies and notices (chunks in particular are paced by the
+    transfer's in-flight window, so a bounded number ever queue here).
     ``SequencedBcast`` replication traffic is deliberately *control*: a
     replica's log must stay complete, so it is never coalesced or dropped
     behind a kick.
     """
-    return Lane.BULK if type(message) is Delivery else Lane.CONTROL
+    return Lane.BULK if type(message) in (Delivery, StateChunk) else Lane.CONTROL
 
 
 @dataclass(frozen=True)
@@ -143,7 +153,9 @@ class BoundedOutbox:
         self._config = config
         self._stats = stats
         self._control: deque[Any] = deque()
-        self._bulk: deque[Delivery] = deque()
+        #: ``Delivery`` and ``StateChunk`` frames; only ``Delivery`` is
+        #: ever coalesced or annotated.
+        self._bulk: deque[Any] = deque()
         self._bytes = 0
         #: Set once the overflow policy gave up on this consumer; the
         #: owner must close the connection after the control lane drains.
@@ -167,6 +179,11 @@ class BoundedOutbox:
     @property
     def queued_bytes(self) -> int:
         return self._bytes
+
+    @property
+    def bulk_depth(self) -> int:
+        """Frames queued on the bulk lane (deliveries + transfer chunks)."""
+        return len(self._bulk)
 
     @property
     def empty(self) -> bool:
@@ -262,7 +279,9 @@ class BoundedOutbox:
         self._stats.outbox_coalesced += 1
         for later in range(index, len(bulk)):
             successor = bulk[later]
-            if successor.group == victim.group:
+            # Only a Delivery can carry the skip annotation — a queued
+            # StateChunk of the same group has no ``skipped`` field.
+            if type(successor) is Delivery and successor.group == victim.group:
                 annotated = _annotate(successor, skips)
                 bulk[later] = annotated
                 self._bytes += frames.frame_size(annotated) - frames.frame_size(successor)

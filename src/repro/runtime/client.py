@@ -20,7 +20,13 @@ from __future__ import annotations
 import asyncio
 from typing import Any, AsyncIterator, Callable
 
-from repro.core.client import ClientConfig, ClientCore, GroupView, ReplyEvent
+from repro.core.client import (
+    ClientConfig,
+    ClientCore,
+    GroupView,
+    ReplyEvent,
+    TransferProgress,
+)
 from repro.core.clock import MonotonicClock
 from repro.core.errors import NotConnectedError, RequestTimeoutError
 from repro.core.events import (
@@ -28,6 +34,7 @@ from repro.core.events import (
     NOTIFY_DISCONNECTED,
     NOTIFY_ERROR,
     NOTIFY_REPLY,
+    NOTIFY_TRANSFER_PROGRESS,
 )
 from repro.net.tcp import TcpTransport
 from repro.net.transport import Transport
@@ -120,8 +127,20 @@ class CoronaClient:
     def on_event(self, kind: str, callback: Callable[[Any], None]) -> None:
         """Register a callback for one event kind ("delivery",
         "membership", "group_deleted", "rebased", "forked",
-        "disconnected")."""
+        "disconnected", "transfer_progress")."""
         self._callbacks.setdefault(kind, []).append(callback)
+
+    def on_transfer_progress(
+        self, callback: Callable[[TransferProgress], None]
+    ) -> None:
+        """Progress of chunked join transfers (docs/protocol.md §3.5.2).
+
+        Called with a :class:`~repro.core.client.TransferProgress`
+        (``group``, ``received_bytes``, ``total_bytes``) after every
+        reassembled chunk — a join over a slow link can drive a progress
+        bar instead of appearing hung.
+        """
+        self.on_event(NOTIFY_TRANSFER_PROGRESS, callback)
 
     async def events(self) -> AsyncIterator[tuple[str, Any]]:
         """Async iterator over every unsolicited event."""

@@ -63,6 +63,11 @@ class AsyncioHost(EffectBackend):
         self.store = store
         self.flow = flow if flow is not None else DEFAULT_FLOW
         self.interpreter = build_interpreter(self, middlewares)
+        if hasattr(core, "stats"):
+            # server cores count transfer events on their own stats
+            # object; point it at the interpreter's so dispatch_stats
+            # reports one unified set of counters
+            core.stats = self.interpreter.stats
         self._flush_interval = flush_interval
         self._conns: dict[int, Connection] = {}
         self._outboxes: dict[int, BoundedOutbox] = {}

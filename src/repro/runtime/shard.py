@@ -91,6 +91,7 @@ from repro.wire.messages import (
     AcquireLockRequest,
     BcastStateRequest,
     BcastUpdateRequest,
+    ChunkAck,
     CreateGroupRequest,
     DeleteGroupRequest,
     ErrorReply,
@@ -108,6 +109,7 @@ from repro.wire.messages import (
     PROTOCOL_VERSION,
     ReduceLogRequest,
     ReleaseLockRequest,
+    TransferResume,
 )
 
 __all__ = [
@@ -135,6 +137,10 @@ FORWARDED_REQUESTS = (
     AcquireLockRequest,
     ReleaseLockRequest,
     ReduceLogRequest,
+    # chunked state transfer: acks and resumes must reach the shard
+    # that owns the transfer session for the group
+    ChunkAck,
+    TransferResume,
 )
 
 _STOP = object()  # mailbox sentinel: drain FIFO, then exit the worker loop
@@ -659,6 +665,9 @@ class ShardWorkerBase(EffectBackend):
         self.index = index
         self.core = ServerCore(config, clock=clock, recovered=recovered)
         self.interpreter = build_interpreter(self, middlewares)
+        # transfer counters land in this worker's interpreter stats so
+        # aggregate_stats() sees them alongside the effect counters
+        self.core.stats = self.interpreter.stats
         #: Immutable snapshot of the groups recovered from this shard's
         #: store, published before the worker loop starts so the front
         #: can seed router leases without reaching into the live core.

@@ -46,6 +46,7 @@ from repro.sim.profiles import (
     ULTRASPARC_1,
     HostProfile,
     NetProfile,
+    VaryingNetProfile,
 )
 from repro.storage.store import GroupStore
 
@@ -244,8 +245,29 @@ class CoronaWorld:
 
     # -- topology -----------------------------------------------------------
 
-    def add_segment(self, name: str, profile: NetProfile) -> None:
+    def add_segment(self, name: str, profile: NetProfile | VaryingNetProfile) -> None:
         self.network.add_segment(name, profile.bytes_per_sec, profile.latency)
+        # A time-varying profile carries a finite rate schedule; each
+        # step becomes one kernel event rebinding the segment's rate.
+        # Scheduled relative to *now* — worlds that run setup phases to
+        # quiescence first (which advances virtual time past the raw
+        # step times) rebase the schedule with :meth:`vary_rate`.
+        steps = getattr(profile, "steps", ())
+        if steps:
+            self.vary_rate(name, steps)
+
+    def vary_rate(
+        self,
+        name: str,
+        steps: tuple[tuple[float, float], ...],
+        base: float | None = None,
+    ) -> None:
+        """Schedule bandwidth steps for segment *name* at ``base + at``
+        for each ``(at, bytes_per_sec)`` pair (*base* defaults to now)."""
+        segment = self.network.segment(name)
+        origin = self.kernel.now() if base is None else base
+        for at, rate in steps:
+            self.kernel.schedule_at(origin + at, segment.set_rate, rate)
 
     def set_hop_latency(self, seg_a: str, seg_b: str, latency: float) -> None:
         self.network.set_hop_latency(seg_a, seg_b, latency)

@@ -131,6 +131,11 @@ class SimHost(EffectBackend):
     def set_core(self, core: ProtocolCore) -> None:
         """Install the protocol core this host runs."""
         self.core = core
+        if hasattr(core, "stats"):
+            # server cores count transfer events on their own stats
+            # object; point it at the interpreter's so both backends
+            # report one unified set of counters (host parity)
+            core.stats = self.interpreter.stats
 
     def on_notify(self, handler: Callable[[str, Any], None]) -> None:
         """Register an application callback for ``Notify`` effects

@@ -46,6 +46,17 @@ class Segment:
         self._busy_until = finish
         return start, finish
 
+    def set_rate(self, bytes_per_sec: float) -> None:
+        """Rebind the segment's bandwidth from now on.
+
+        Transmissions already reserved keep their committed schedule —
+        only reservations made after the change see the new rate (a
+        modem retrain does not speed up the packet already on the wire).
+        """
+        if bytes_per_sec <= 0:
+            raise ValueError("bytes_per_sec must be positive")
+        self.bytes_per_sec = bytes_per_sec
+
     @property
     def busy_until(self) -> float:
         return self._busy_until
@@ -153,6 +164,10 @@ class SimNetwork:
 
     def segment_of(self, host: str) -> Segment:
         return self._attachment[host]
+
+    def segment(self, name: str) -> Segment:
+        """Look up a segment by name (e.g. to rebind its rate)."""
+        return self._segments[name]
 
     # -- partitions ------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from repro.sim.disk import DiskProfile
 __all__ = [
     "HostProfile",
     "NetProfile",
+    "VaryingNetProfile",
     "ULTRASPARC_1",
     "SPARC_20",
     "PENTIUM_II_200",
@@ -30,6 +31,9 @@ __all__ = [
     "ETHERNET_10MBPS",
     "ETHERNET_100MBPS",
     "MODEM_28_8",
+    "MODEM_TO_LAN_RAMP",
+    "SAWTOOTH_MOBILE",
+    "LOSSY_RECONNECT",
     "CAMPUS_HOP_LATENCY",
 ]
 
@@ -68,6 +72,41 @@ class NetProfile:
     name: str
     bytes_per_sec: float
     latency: float
+
+
+@dataclass(frozen=True)
+class VaryingNetProfile:
+    """A segment whose bandwidth changes over simulated time.
+
+    ``bytes_per_sec`` is the rate at t=0; each ``(at, bytes_per_sec)``
+    step rebinds the segment's rate at absolute sim time ``at``.  The
+    schedule is deliberately *finite* — the harness turns each step into
+    one kernel event, and an infinite schedule would keep the event
+    queue non-empty forever (``kernel.run()`` runs to quiescence).
+
+    Rate changes affect transmissions reserved *after* the step fires;
+    bytes already committed to the medium keep their old schedule, the
+    same way a modem retrain does not retroactively speed up the packet
+    currently on the wire.
+    """
+
+    name: str
+    bytes_per_sec: float
+    latency: float
+    #: ``(sim_time_seconds, bytes_per_sec)`` pairs, strictly increasing
+    #: in time.
+    steps: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_sec <= 0:
+            raise ValueError("bytes_per_sec must be positive")
+        last = -1.0
+        for at, rate in self.steps:
+            if at <= last:
+                raise ValueError("step times must be strictly increasing")
+            if rate <= 0:
+                raise ValueError(f"step rate at t={at} must be positive")
+            last = at
 
 
 #: UltraSparc 1 (64 MB, Solaris) — the paper's single-server machine.
@@ -128,6 +167,54 @@ MODEM_28_8 = NetProfile(
     name="modem-28.8",
     bytes_per_sec=3_600.0 * 0.8,
     latency=0.090,
+)
+
+#: Modem user who docks at the office mid-session: 28.8 kbit/s for the
+#: first stretch, then stepping up through ISDN- and DSL-class rates to
+#: the full LAN.  Exercises the transfer planner's chunk-size *growth*
+#: path (acked-bytes/RTT samples keep improving).
+MODEM_TO_LAN_RAMP = VaryingNetProfile(
+    name="modem-to-lan",
+    bytes_per_sec=3_600.0 * 0.8,
+    latency=0.090,
+    steps=(
+        (20.0, 16_000.0),
+        (40.0, 64_000.0),
+        (60.0, 256_000.0),
+        (80.0, 1_000_000.0),
+    ),
+)
+
+#: Mobile link fading in and out: alternating good/bad cells every few
+#: seconds.  Exercises chunk-size *shrink* (a chunk sized for the good
+#: cell straddles a fade and the planner must back off) as well as
+#: re-growth.  Finite teeth so the kernel quiesces.
+SAWTOOTH_MOBILE = VaryingNetProfile(
+    name="sawtooth-mobile",
+    bytes_per_sec=40_000.0,
+    latency=0.040,
+    steps=(
+        (15.0, 4_000.0),
+        (30.0, 40_000.0),
+        (45.0, 4_000.0),
+        (60.0, 40_000.0),
+        (75.0, 4_000.0),
+        (90.0, 40_000.0),
+    ),
+)
+
+#: Flaky modem for disconnect/resume scenarios: the line degrades badly
+#: before the drop and retrains at full rate after redial.  The actual
+#: disconnect is modeled by ``SimNetwork.partition`` / ``heal`` — this
+#: profile supplies the bandwidth story around it.
+LOSSY_RECONNECT = VaryingNetProfile(
+    name="lossy-reconnect",
+    bytes_per_sec=3_600.0 * 0.8,
+    latency=0.090,
+    steps=(
+        (30.0, 600.0),
+        (70.0, 3_600.0 * 0.8),
+    ),
 )
 
 #: One-way latency added per campus router path ("a few routers away").

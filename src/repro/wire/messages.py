@@ -23,6 +23,9 @@ from repro.wire.codec import register
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SNAP_CHUNKED",
+    "SNAP_DELTA",
+    "SNAP_FORCED_FULL",
     "Message",
     "MemberRole",
     "UpdateKind",
@@ -50,6 +53,8 @@ __all__ = [
     "ReleaseLockRequest",
     "ReduceLogRequest",
     "PingRequest",
+    "ChunkAck",
+    "TransferResume",
     "HelloReply",
     "Ack",
     "ErrorReply",
@@ -57,6 +62,7 @@ __all__ = [
     "MembershipReply",
     "GroupListReply",
     "Delivery",
+    "StateChunk",
     "DisconnectReason",
     "Disconnect",
     "MembershipNotice",
@@ -216,12 +222,23 @@ class GroupInfo(Message):
 @register(5)
 @dataclass(frozen=True)
 class TransferSpec(Message):
-    """How a joining client wants the shared state delivered."""
+    """How a joining client wants the shared state delivered.
+
+    ``chunked`` asks the server to stream a large snapshot as a paced
+    :class:`StateChunk` sequence instead of one monolithic frame (the
+    server still replies monolithically below its configured chunk
+    threshold).  ``allow_delta`` permits the server to answer a stale
+    ``SINCE_SEQNO`` request with a :data:`SNAP_DELTA` object overlay
+    instead of degrading to a full transfer; a client that sets it must
+    understand delta snapshots (``docs/protocol.md`` §State transfer).
+    """
 
     policy: TransferPolicy = TransferPolicy.FULL
     last_n: int = 0
     object_ids: tuple[str, ...] = ()
     since_seqno: int = -1
+    chunked: bool = False
+    allow_delta: bool = False
 
 
 @register(6)
@@ -249,6 +266,22 @@ class GroupMeta(Message):
     created_at: float
 
 
+#: ``StateSnapshot.flags`` bit: the snapshot is a *chunked-transfer marker* —
+#: ``objects``/``updates`` are empty and the real snapshot follows as an
+#: ordered :class:`StateChunk` byte stream on the same connection.
+SNAP_CHUNKED = 1
+#: ``StateSnapshot.flags`` bit: ``objects`` is a partial overlay — only the
+#: objects touched after the client's ``since_seqno``, materialized at
+#: ``base_seqno``.  The receiver merges them over its existing replica
+#: instead of replacing it wholesale.
+SNAP_DELTA = 2
+#: ``StateSnapshot.flags`` bit: the requested ``SINCE_SEQNO`` suffix was no
+#: longer available (state-log reduction trimmed it), so the server degraded
+#: to a delta or full transfer.  Surfaced so clients and benchmarks can see
+#: forced-full transfers instead of a silent fallback.
+SNAP_FORCED_FULL = 4
+
+
 @register(7)
 @dataclass(frozen=True)
 class StateSnapshot(Message):
@@ -256,7 +289,9 @@ class StateSnapshot(Message):
 
     ``objects`` is the materialized state at ``base_seqno``; ``updates`` are
     log entries after it.  ``next_seqno`` is the first sequence number the
-    receiver should expect from subsequent deliveries.
+    receiver should expect from subsequent deliveries.  ``flags`` is a bit
+    set of ``SNAP_*`` transfer annotations (chunked marker, delta overlay,
+    forced-full); ``0`` is the plain monolithic snapshot of old.
     """
 
     group: str
@@ -264,6 +299,7 @@ class StateSnapshot(Message):
     objects: tuple[ObjectState, ...]
     updates: tuple[UpdateRecord, ...]
     next_seqno: int
+    flags: int = 0
 
 
 # --------------------------------------------------------------------------
@@ -405,6 +441,45 @@ class PingRequest(Message):
     request_id: int
 
 
+@register(33)
+@dataclass(frozen=True)
+class ChunkAck(Message):
+    """Client acknowledges contiguous receipt of a chunked state transfer.
+
+    ``offset`` is the number of snapshot payload bytes received so far.
+    Acks both clock the transfer (the server keeps a bounded in-flight
+    window, so chunks never crowd live traffic out of the bulk lane) and
+    feed its bandwidth estimate (acked bytes over inter-ack time), which
+    adapts the chunk size between the configured floor and ceiling.
+    """
+
+    group: str
+    transfer_id: int
+    offset: int
+
+
+@register(34)
+@dataclass(frozen=True)
+class TransferResume(Message):
+    """Client asks to resume a chunked transfer after a reconnection.
+
+    ``offset`` is the first payload byte the client does *not* have, so
+    the server restarts the chunk stream there instead of re-sending
+    acked data.  ``have_seqno`` is the newest sequence number in the
+    client's catch-up buffer (or the marker snapshot's tip when nothing
+    was buffered); the server replays the missed ``Delivery`` suffix
+    after it.  The server answers with a fresh chunked-marker
+    :class:`JoinReply` on success or an :class:`ErrorReply` when the
+    session expired (the client then falls back to a fresh join).
+    """
+
+    request_id: int
+    group: str
+    transfer_id: int
+    offset: int
+    have_seqno: int
+
+
 # --------------------------------------------------------------------------
 # Server -> client (codes 50-79)
 # --------------------------------------------------------------------------
@@ -481,6 +556,28 @@ class Delivery(Message):
     group: str
     update: UpdateRecord
     skipped: tuple[int, ...] = ()
+
+
+@register(64)
+@dataclass(frozen=True)
+class StateChunk(Message):
+    """One slice of a chunked state transfer (bulk lane).
+
+    ``data`` is ``payload[offset : offset + len(data)]`` of the encoded
+    :class:`StateSnapshot` announced by a ``SNAP_CHUNKED`` marker
+    :class:`JoinReply`.  Chunks arrive in offset order on the connection
+    FIFO; ``last`` marks the final slice, after which the receiver
+    decodes the reassembled snapshot and splices its buffered catch-up
+    deliveries.  ``total_bytes`` is constant for the whole transfer and
+    drives progress reporting.
+    """
+
+    group: str
+    transfer_id: int
+    offset: int
+    data: bytes
+    total_bytes: int
+    last: bool
 
 
 @register(57)

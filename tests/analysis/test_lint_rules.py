@@ -332,6 +332,54 @@ class TestPERF003UnboundedOutbox:
         assert "PERF003" not in rule_ids(src, path=self.HOST)
 
 
+class TestPERF004WholeStateMaterialize:
+    def test_fires_on_materialize_all(self):
+        src = (
+            "def snapshot(group):\n"
+            "    return group.state.materialize_all()\n"
+        )
+        assert "PERF004" in rule_ids(src, path="src/repro/core/server.py")
+
+    def test_fires_on_materialize_selected(self):
+        src = (
+            "def subset(view, ids):\n"
+            "    return view.state.materialize_selected(ids)\n"
+        )
+        assert "PERF004" in rule_ids(src, path="src/repro/apps/pubsub.py")
+
+    def test_silent_in_transfer_module(self):
+        src = (
+            "def build(group):\n"
+            "    return group.state.materialize_all()\n"
+        )
+        assert "PERF004" not in rule_ids(src, path="src/repro/core/transfer.py")
+
+    def test_silent_in_state_and_baselines(self):
+        src = (
+            "def flatten(state):\n"
+            "    return state.materialize_all()\n"
+        )
+        for owner in (
+            "src/repro/core/state.py",
+            "src/repro/baselines/isis.py",
+        ):
+            assert "PERF004" not in rule_ids(src, path=owner), owner
+
+    def test_silent_on_single_object_materialized(self):
+        src = (
+            "def read(view, oid):\n"
+            "    return view.state.get(oid).materialized()\n"
+        )
+        assert "PERF004" not in rule_ids(src, path="src/repro/apps/chat.py")
+
+    def test_noqa_suppresses(self):
+        src = (
+            "def snapshot(group):\n"
+            "    return group.state.materialize_all()  # corona: noqa(PERF004)\n"
+        )
+        assert "PERF004" not in rule_ids(src, path="src/repro/core/server.py")
+
+
 class TestSuppression:
     BAD = "import time\nx = time.time()  # corona: noqa(DET001) -- edge code\n"
 

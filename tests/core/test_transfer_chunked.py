@@ -1,0 +1,792 @@
+"""Chunked/resumable state transfer: planner, server, client, and the
+byte-identity property (contract: docs/protocol.md §3.5).
+
+Three layers of sans-io unit tests plus a Hypothesis property:
+
+* :class:`OutgoingTransfer` — windowing, ack clocking, interval-gated
+  bandwidth adaptation, pause/resume;
+* the server core — marker replies, chunk pumping, resume handling,
+  TTL expiry;
+* the client core — reassembly, catch-up buffering, progress events;
+* property — for arbitrary chunk configurations, update interleavings
+  and disconnect points, a chunked join converges to state byte-identical
+  to a monolithic FULL join.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.client import ClientConfig, ClientCore
+from repro.core.clock import ManualClock
+from repro.core.events import (
+    NOTIFY_TRANSFER_PROGRESS,
+    CloseConnection,
+    Notify,
+    SendMessage,
+    StartTimer,
+)
+from repro.core.server import ServerConfig, ServerCore
+from repro.core.transfer import OutgoingTransfer, TransferConfig, chunk_marker
+from repro.wire import frames
+from repro.wire.messages import (
+    SNAP_CHUNKED,
+    SNAP_DELTA,
+    BcastUpdateRequest,
+    ChunkAck,
+    CreateGroupRequest,
+    Delivery,
+    ErrorReply,
+    Hello,
+    HelloReply,
+    JoinGroupRequest,
+    JoinReply,
+    MemberRole,
+    ObjectState,
+    StateChunk,
+    StateSnapshot,
+    TransferPolicy,
+    TransferResume,
+    TransferSpec,
+)
+from tests.core.helpers import CoreDriver
+
+
+def _snapshot(payload_bytes=1000):
+    return StateSnapshot(
+        "g", 0, (ObjectState("o", b"\xab" * payload_bytes),), (), 1
+    )
+
+
+def _transfer(payload_bytes=1000, **cfg_kwargs):
+    defaults = dict(
+        chunk_threshold_bytes=0, initial_chunk_bytes=64,
+        chunk_floor_bytes=16, chunk_ceiling_bytes=256,
+        inflight_chunks=2, target_chunk_seconds=1.0,
+        bandwidth_gain=0.5, resume_ttl=30.0,
+    )
+    defaults.update(cfg_kwargs)
+    transfer = OutgoingTransfer(
+        group="g", client="c", transfer_id=1,
+        snapshot=_snapshot(payload_bytes),
+        config=TransferConfig(**defaults), now=0.0,
+    )
+    return transfer
+
+
+class TestTransferConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            TransferConfig(chunk_floor_bytes=0)
+        with pytest.raises(ValueError):
+            TransferConfig(chunk_floor_bytes=64, chunk_ceiling_bytes=32)
+        with pytest.raises(ValueError):
+            TransferConfig(initial_chunk_bytes=1)  # below the floor
+        with pytest.raises(ValueError):
+            TransferConfig(inflight_chunks=0)
+        with pytest.raises(ValueError):
+            TransferConfig(bandwidth_gain=0.0)
+        with pytest.raises(ValueError):
+            TransferConfig(resume_ttl=0.0)
+
+
+class TestOutgoingTransfer:
+    def test_initial_window(self):
+        t = _transfer()
+        chunks = t.next_chunks()
+        # exactly one in-flight window of initial-size chunks
+        assert [c.offset for c in chunks] == [0, 64]
+        assert all(len(c.data) == 64 for c in chunks)
+        assert all(c.total_bytes == t.total_bytes for c in chunks)
+        assert t.next_chunks() == []  # window full until an ack
+
+    def test_ack_releases_the_window(self):
+        t = _transfer()
+        t.next_chunks()
+        released = t.on_ack(64, now=0.1)
+        assert [c.offset for c in released] == [128]
+        assert t.acked_offset == 64
+
+    def test_stale_and_duplicate_acks_ignored(self):
+        t = _transfer()
+        t.next_chunks()
+        t.on_ack(64, now=0.1)
+        assert t.on_ack(64, now=0.2) == []
+        assert t.on_ack(0, now=0.3) == []
+        assert t.acked_offset == 64
+
+    def test_reassembly_is_byte_identical(self):
+        t = _transfer(payload_bytes=777)  # not a chunk multiple
+        received = bytearray()
+        chunks = t.next_chunks()
+        while chunks:
+            for chunk in chunks:
+                assert chunk.offset == len(received)
+                received += chunk.data
+            chunks = t.on_ack(len(received), now=0.0)
+        assert bytes(received) == t.payload
+        assert t.done
+        # `last` marks exactly the final chunk
+        assert received[-1:] == t.payload[-1:]
+
+    def test_last_flag_only_on_final_chunk(self):
+        t = _transfer(payload_bytes=300)
+        seen = []
+        chunks = t.next_chunks()
+        got = 0
+        while chunks:
+            for chunk in chunks:
+                got += len(chunk.data)
+                seen.append(chunk.last)
+            chunks = t.on_ack(got, now=0.0)
+        assert seen[-1] is True
+        assert not any(seen[:-1])
+
+    def test_adaptation_waits_for_a_full_interval(self):
+        t = _transfer(payload_bytes=4000)
+        t.next_chunks()
+        # acks inside the sample interval accumulate, no sample yet
+        t.on_ack(64, now=0.5)
+        assert t.bandwidth == 0.0
+        assert t.chunk_bytes == 64
+        # the interval closes: one honest sample over the whole window
+        t.on_ack(128, now=1.0)
+        assert t.bandwidth == pytest.approx(128.0)  # 128 bytes / 1.0 s
+        assert t.chunk_bytes == 128  # bw * target_chunk_seconds, clamped
+
+    def test_ack_burst_cannot_inflate_the_estimate(self):
+        # Ack compression: a burst of acks microseconds apart must fold
+        # into one sample, not multiply the estimate per ack.
+        t = _transfer(payload_bytes=4000)
+        t.next_chunks()
+        for offset in (64, 128, 192):
+            t.on_ack(offset, now=0.999)
+        assert t.bandwidth == 0.0  # still inside the interval
+        t.on_ack(256, now=1.0)
+        assert t.bandwidth == pytest.approx(256.0)
+
+    def test_chunk_size_clamped_to_floor_and_ceiling(self):
+        t = _transfer(payload_bytes=100_000)
+        t.next_chunks()
+        t.on_ack(128, now=1000.0)  # glacial: sample ~0.128 B/s
+        assert t.chunk_bytes == 16  # floor
+        fast = _transfer(payload_bytes=100_000)
+        fast.next_chunks()
+        fast.on_ack(128, now=1e-4)  # 1.28 MB/s sample... but gated
+        assert fast.bandwidth == 0.0
+        fast.on_ack(100_000, now=1.0)
+        assert fast.chunk_bytes == 256  # ceiling
+
+    def test_pause_blocks_planning_and_arms_ttl(self):
+        t = _transfer()
+        t.next_chunks()
+        t.pause(now=5.0)
+        assert t.expires_at == 35.0
+        assert t.next_chunks() == []
+        assert t.on_ack(64, now=6.0) == []
+
+    def test_resume_rewinds_without_resending_acked_bytes(self):
+        t = _transfer(payload_bytes=1000)
+        t.next_chunks()
+        t.on_ack(64, now=0.1)
+        t.pause(now=1.0)
+        assert t.resume(offset=64, now=2.0) is True
+        assert t.paused is False and t.expires_at is None
+        assert (t.sent_offset, t.acked_offset) == (64, 64)
+        assert [c.offset for c in t.next_chunks()] == [64, 128]
+
+    def test_resume_rejects_an_offset_never_sent(self):
+        t = _transfer()
+        t.next_chunks()  # sent through 128
+        assert t.resume(offset=4096, now=0.0) is False
+        assert t.resume(offset=-1, now=0.0) is False
+
+
+class TestChunkMarker:
+    def test_marker_is_empty_and_flagged(self):
+        snapshot = _snapshot()
+        marker = chunk_marker(snapshot)
+        assert marker.flags & SNAP_CHUNKED
+        assert marker.objects == () and marker.updates == ()
+        assert marker.base_seqno == snapshot.base_seqno
+        assert marker.next_seqno == snapshot.next_seqno
+
+    def test_marker_preserves_delta_flag(self):
+        snapshot = StateSnapshot("g", 0, (), (), 1, flags=SNAP_DELTA)
+        assert chunk_marker(snapshot).flags == SNAP_DELTA | SNAP_CHUNKED
+
+
+# --------------------------------------------------------------------------
+# server core
+# --------------------------------------------------------------------------
+
+#: Small knobs so a few-kB state exercises the chunked path.
+_SERVER_CFG = TransferConfig(
+    chunk_threshold_bytes=256, initial_chunk_bytes=128,
+    chunk_floor_bytes=32, chunk_ceiling_bytes=512,
+    inflight_chunks=2, target_chunk_seconds=0.5,
+    bandwidth_gain=0.5, resume_ttl=30.0,
+)
+
+
+def _server(clock):
+    return CoreDriver(
+        ServerCore(ServerConfig(server_id="s1", transfer=_SERVER_CFG), clock)
+    )
+
+
+def _connect(driver, client_id):
+    conn = driver.connect()
+    driver.deliver(conn, Hello(client_id=client_id))
+    return conn
+
+
+def _seed_group(driver, conn, state_bytes=2000, rid=1):
+    driver.deliver(conn, CreateGroupRequest(
+        rid, "g", False, (ObjectState("o", b"\xcd" * state_bytes),)
+    ))
+    driver.deliver(conn, JoinGroupRequest(
+        rid + 1, "g", MemberRole.PRINCIPAL,
+        TransferSpec(policy=TransferPolicy.NONE), False,
+    ))
+
+
+def _chunks_to(driver, conn, effects=None):
+    return [m for m in driver.sent_to(conn, effects) if isinstance(m, StateChunk)]
+
+
+class TestServerChunkedTransfer:
+    def test_big_chunked_join_gets_marker_and_chunks(self):
+        driver = _server(ManualClock())
+        seeder = _connect(driver, "seeder")
+        _seed_group(driver, seeder)
+        joiner = _connect(driver, "joiner")
+        effects = driver.deliver(joiner, JoinGroupRequest(
+            2, "g", MemberRole.PRINCIPAL,
+            TransferSpec(chunked=True), False,
+        ))
+        (reply,) = [m for m in driver.sent_to(joiner, effects)
+                    if isinstance(m, JoinReply)]
+        assert reply.snapshot.flags & SNAP_CHUNKED
+        assert reply.snapshot.objects == ()
+        chunks = _chunks_to(driver, joiner, effects)
+        assert chunks and chunks[0].offset == 0
+        assert len(chunks) == _SERVER_CFG.inflight_chunks
+        assert driver.core.stats.chunked_transfers == 1
+
+    def test_small_chunked_join_stays_monolithic(self):
+        driver = _server(ManualClock())
+        seeder = _connect(driver, "seeder")
+        _seed_group(driver, seeder, state_bytes=50)
+        joiner = _connect(driver, "joiner")
+        effects = driver.deliver(joiner, JoinGroupRequest(
+            2, "g", MemberRole.PRINCIPAL, TransferSpec(chunked=True), False,
+        ))
+        (reply,) = [m for m in driver.sent_to(joiner, effects)
+                    if isinstance(m, JoinReply)]
+        assert not reply.snapshot.flags & SNAP_CHUNKED
+        assert reply.snapshot.objects  # the state is in the reply itself
+        assert _chunks_to(driver, joiner, effects) == []
+        assert driver.core.stats.chunked_transfers == 0
+
+    def _start_join(self, driver):
+        seeder = _connect(driver, "seeder")
+        _seed_group(driver, seeder)
+        joiner = _connect(driver, "joiner")
+        effects = driver.deliver(joiner, JoinGroupRequest(
+            2, "g", MemberRole.PRINCIPAL, TransferSpec(chunked=True), False,
+        ))
+        chunks = _chunks_to(driver, joiner, effects)
+        return seeder, joiner, chunks
+
+    def test_acks_clock_the_stream_to_completion(self):
+        driver = _server(ManualClock())
+        _seeder, joiner, chunks = self._start_join(driver)
+        received = bytearray()
+        transfer_id = chunks[0].transfer_id
+        while chunks:
+            for chunk in chunks:
+                assert chunk.offset == len(received)
+                received += chunk.data
+            effects = driver.deliver(joiner, ChunkAck(
+                "g", transfer_id, len(received)
+            ))
+            chunks = _chunks_to(driver, joiner, effects)
+        # reassembled payload decodes to the full snapshot
+        from repro.wire import codec
+        snapshot = codec.decode(bytes(received))
+        assert isinstance(snapshot, StateSnapshot)
+        assert snapshot.objects[0].data == b"\xcd" * 2000
+        # the session is gone once everything is acked
+        assert driver.deliver(joiner, ChunkAck("g", transfer_id, 1)) == []
+
+    def test_live_updates_fan_out_during_transfer(self):
+        driver = _server(ManualClock())
+        seeder, joiner, _chunks = self._start_join(driver)
+        effects = driver.deliver(seeder, BcastUpdateRequest(
+            9, "g", "o", b"live",
+        ))
+        deliveries = [m for m in driver.sent_to(joiner, effects)
+                      if isinstance(m, Delivery)]
+        assert deliveries and deliveries[0].update.data == b"live"
+
+    def test_disconnect_pauses_and_resume_continues(self):
+        clock = ManualClock()
+        driver = _server(clock)
+        _seeder, joiner, chunks = self._start_join(driver)
+        transfer_id = chunks[0].transfer_id
+        received = bytearray()
+        for chunk in chunks:
+            received += chunk.data
+        driver.deliver(joiner, ChunkAck("g", transfer_id, len(received)))
+        driver.close(joiner)
+        # reconnect and resume at the first byte we lack
+        joiner2 = _connect(driver, "joiner")
+        driver.clear()
+        effects = driver.deliver(joiner2, TransferResume(
+            3, "g", transfer_id, len(received), 0
+        ))
+        (reply,) = [m for m in driver.sent_to(joiner2, effects)
+                    if isinstance(m, JoinReply)]
+        assert reply.request_id == 3
+        assert reply.snapshot.flags & SNAP_CHUNKED
+        resumed = _chunks_to(driver, joiner2, effects)
+        assert resumed and resumed[0].offset == len(received)
+        assert driver.core.stats.transfer_resumes == 1
+
+    def test_resume_replays_missed_deliveries(self):
+        driver = _server(ManualClock())
+        seeder, joiner, chunks = self._start_join(driver)
+        transfer_id = chunks[0].transfer_id
+        driver.close(joiner)
+        driver.deliver(seeder, BcastUpdateRequest(9, "g", "o", b"missed"))
+        joiner2 = _connect(driver, "joiner")
+        driver.clear()
+        effects = driver.deliver(joiner2, TransferResume(3, "g", transfer_id, 0, -1))
+        deliveries = [m for m in driver.sent_to(joiner2, effects)
+                      if isinstance(m, Delivery)]
+        assert [d.update.data for d in deliveries] == [b"missed"]
+
+    def test_expired_resume_is_refused(self):
+        clock = ManualClock()
+        driver = _server(clock)
+        _seeder, joiner, chunks = self._start_join(driver)
+        transfer_id = chunks[0].transfer_id
+        driver.close(joiner)
+        clock.advance(_SERVER_CFG.resume_ttl + 1.0)
+        joiner2 = _connect(driver, "joiner")
+        driver.clear()
+        effects = driver.deliver(joiner2, TransferResume(3, "g", transfer_id, 0, -1))
+        (reply,) = [m for m in driver.sent_to(joiner2, effects)
+                    if isinstance(m, ErrorReply)]
+        assert reply.request_id == 3
+
+    def test_fresh_join_supersedes_a_paused_transfer(self):
+        driver = _server(ManualClock())
+        _seeder, joiner, chunks = self._start_join(driver)
+        old_id = chunks[0].transfer_id
+        driver.close(joiner)
+        joiner2 = _connect(driver, "joiner")
+        driver.clear()
+        effects = driver.deliver(joiner2, JoinGroupRequest(
+            4, "g", MemberRole.PRINCIPAL, TransferSpec(chunked=True), False,
+        ))
+        fresh = _chunks_to(driver, joiner2, effects)
+        assert fresh and fresh[0].transfer_id != old_id
+        assert fresh[0].offset == 0
+        # the old session is gone: resuming it now fails
+        effects = driver.deliver(joiner2, TransferResume(5, "g", old_id, 0, -1))
+        assert any(isinstance(m, ErrorReply)
+                   for m in driver.sent_to(joiner2, effects))
+
+
+# --------------------------------------------------------------------------
+# client core
+# --------------------------------------------------------------------------
+
+def _client_driver():
+    core = ClientCore(
+        ClientConfig("c", auto_reconnect=True, reconnect_backoff=1.0),
+        ManualClock(),
+    )
+    driver = CoreDriver(core)
+    driver.invoke("connect", ("host", 1))
+    conn = driver.connect(key="server")
+    driver.deliver(conn, HelloReply(server_id="s1"))
+    return driver, core, conn
+
+
+def _marker_join(driver, conn, snapshot, rid=None):
+    """Issue a chunked join and answer it with the chunk marker."""
+    request_id = driver.invoke(
+        "join_group", "g", MemberRole.PRINCIPAL,
+        TransferSpec(chunked=True), False,
+    )
+    driver.deliver(conn, JoinReply(request_id, chunk_marker(snapshot), ()))
+    return request_id
+
+
+def _payload_chunks(snapshot, size, transfer_id=7):
+    payload = frames.payload_of(snapshot)
+    out = []
+    for offset in range(0, len(payload), size):
+        end = min(offset + size, len(payload))
+        out.append(StateChunk("g", transfer_id, offset, payload[offset:end],
+                              len(payload), end >= len(payload)))
+    return out
+
+
+class TestClientReassembly:
+    def test_chunks_reassemble_into_the_view(self):
+        driver, core, conn = _client_driver()
+        snapshot = _snapshot(payload_bytes=500)
+        rid = _marker_join(driver, conn, snapshot)
+        assert rid in core._pending  # join stays open during the stream
+        for chunk in _payload_chunks(snapshot, 128):
+            driver.deliver(conn, chunk)
+        view = core.views["g"]
+        assert view.state.get("o").materialized() == b"\xab" * 500
+        replies = [n for n in driver.notifications("reply")
+                   if n.payload.request_id == rid]
+        assert replies and replies[0].payload.ok
+
+    def test_every_chunk_is_acked_and_reported(self):
+        driver, core, conn = _client_driver()
+        snapshot = _snapshot(payload_bytes=500)
+        _marker_join(driver, conn, snapshot)
+        driver.clear()
+        chunks = _payload_chunks(snapshot, 128)
+        for chunk in chunks:
+            driver.deliver(conn, chunk)
+        acks = [m for m in driver.sent_to(conn) if isinstance(m, ChunkAck)]
+        assert [a.offset for a in acks] == [
+            c.offset + len(c.data) for c in chunks
+        ]
+        progress = driver.notifications(NOTIFY_TRANSFER_PROGRESS)
+        assert len(progress) == len(chunks)
+        assert progress[-1].payload.received_bytes == progress[-1].payload.total_bytes
+
+    def test_deliveries_buffer_and_replay_after_the_last_chunk(self):
+        driver, core, conn = _client_driver()
+        snapshot = _snapshot(payload_bytes=500)
+        _marker_join(driver, conn, snapshot)
+        chunks = _payload_chunks(snapshot, 128)
+        # a live update arrives mid-stream, before the replica exists
+        from repro.wire.messages import UpdateKind, UpdateRecord
+        record = UpdateRecord(1, UpdateKind.UPDATE, "o", b"+live", "seeder", 0.0)
+        driver.deliver(conn, chunks[0])
+        effects = driver.deliver(conn, Delivery("g", record))
+        # the application hears it immediately...
+        assert any(isinstance(e, Notify) and e.kind == "delivery"
+                   for e in effects)
+        for chunk in chunks[1:]:
+            driver.deliver(conn, chunk)
+        # ...and the replica includes it after reassembly
+        view = core.views["g"]
+        assert view.state.get("o").materialized() == b"\xab" * 500 + b"+live"
+        assert view.next_seqno == 2
+
+    def test_chunk_gap_is_a_protocol_error(self):
+        driver, core, conn = _client_driver()
+        snapshot = _snapshot(payload_bytes=500)
+        _marker_join(driver, conn, snapshot)
+        chunks = _payload_chunks(snapshot, 128)
+        driver.deliver(conn, chunks[0])
+        from repro.core.errors import ProtocolError
+        with pytest.raises(ProtocolError):
+            core.on_message(conn, chunks[2])  # skipped chunks[1]
+
+    def test_duplicate_chunk_after_resume_race_is_dropped(self):
+        driver, core, conn = _client_driver()
+        snapshot = _snapshot(payload_bytes=500)
+        _marker_join(driver, conn, snapshot)
+        chunks = _payload_chunks(snapshot, 128)
+        driver.deliver(conn, chunks[0])
+        driver.deliver(conn, chunks[0])  # duplicate: ignored
+        for chunk in chunks[1:]:
+            driver.deliver(conn, chunk)
+        assert core.views["g"].state.get("o").materialized() == b"\xab" * 500
+
+    def test_reconnect_sends_resume_with_byte_cursor(self):
+        driver, core, conn = _client_driver()
+        snapshot = _snapshot(payload_bytes=500)
+        _marker_join(driver, conn, snapshot)
+        chunks = _payload_chunks(snapshot, 128)
+        driver.deliver(conn, chunks[0])
+        driver.close(conn)
+        driver.fire_timer("reconnect")
+        conn2 = driver.connect(key="server")
+        driver.clear()
+        driver.deliver(conn2, HelloReply(server_id="s1"))
+        resumes = [m for m in driver.sent_to(conn2)
+                   if isinstance(m, TransferResume)]
+        assert len(resumes) == 1
+        assert resumes[0].offset == len(chunks[0].data)
+        assert resumes[0].transfer_id == chunks[0].transfer_id
+        # no duplicate join: the resume carries the session forward
+        assert not [m for m in driver.sent_to(conn2)
+                    if isinstance(m, JoinGroupRequest)]
+
+    def test_resume_has_no_app_visible_reply(self):
+        driver, core, conn = _client_driver()
+        snapshot = _snapshot(payload_bytes=500)
+        _marker_join(driver, conn, snapshot)
+        chunks = _payload_chunks(snapshot, 128)
+        driver.deliver(conn, chunks[0])
+        driver.close(conn)
+        driver.fire_timer("reconnect")
+        conn2 = driver.connect(key="server")
+        driver.deliver(conn2, HelloReply(server_id="s1"))
+        (resume,) = [m for m in driver.sent_to(conn2)
+                     if isinstance(m, TransferResume)]
+        driver.clear()
+        driver.deliver(conn2, JoinReply(
+            resume.request_id, chunk_marker(snapshot), ()
+        ))
+        assert driver.notifications("reply") == []
+
+    def test_rejected_resume_restarts_the_join(self):
+        driver, core, conn = _client_driver()
+        snapshot = _snapshot(payload_bytes=500)
+        rid = _marker_join(driver, conn, snapshot)
+        driver.deliver(conn, _payload_chunks(snapshot, 128)[0])
+        driver.close(conn)
+        driver.fire_timer("reconnect")
+        conn2 = driver.connect(key="server")
+        driver.deliver(conn2, HelloReply(server_id="s1"))
+        (resume,) = [m for m in driver.sent_to(conn2)
+                     if isinstance(m, TransferResume)]
+        driver.clear()
+        driver.deliver(conn2, ErrorReply(resume.request_id, "corona.stale", ""))
+        joins = [m for m in driver.sent_to(conn2)
+                 if isinstance(m, JoinGroupRequest)]
+        assert len(joins) == 1
+        assert joins[0].request_id == rid  # the original await completes
+
+
+# --------------------------------------------------------------------------
+# the byte-identity property
+# --------------------------------------------------------------------------
+
+class _Loop:
+    """Message relay between one ServerCore and one ClientCore, with a
+    seeder connection for concurrent updates and a cuttable link."""
+
+    def __init__(self, transfer_config: TransferConfig):
+        self.clock = ManualClock()
+        self.server = ServerCore(
+            ServerConfig(server_id="s1", transfer=transfer_config), self.clock
+        )
+        self.client = ClientCore(
+            ClientConfig(
+                "joiner", auto_reconnect=True, reconnect_backoff=1.0,
+                request_timeout=1e9,
+            ),
+            self.clock,
+        )
+        self._conns = itertools.count(100)
+        self.s_conn = None
+        self.c_conn = None
+        self.to_server: list = []
+        self.to_client: list = []
+        self.chunks_seen = 0
+        self.seeder_conn = next(self._conns)
+        self._collect_server(
+            self.server.on_connected(self.seeder_conn, peer="seed", key="")
+        )
+        self._collect_server(
+            self.server.on_message(self.seeder_conn, Hello(client_id="seeder"))
+        )
+        self.client.connect(("host", 1))
+        self.client.drain()
+        self._dial()
+
+    # -- wiring ------------------------------------------------------------
+
+    def _dial(self):
+        self.s_conn = next(self._conns)
+        self.c_conn = next(self._conns)
+        self._collect_server(
+            self.server.on_connected(self.s_conn, peer="c", key="")
+        )
+        self._collect_client(
+            self.client.on_connected(self.c_conn, peer="s", key="server")
+        )
+
+    def _collect_server(self, effects):
+        for effect in effects:
+            if isinstance(effect, SendMessage) and effect.conn == self.s_conn:
+                self.to_client.append(effect.message)
+            elif isinstance(effect, CloseConnection) and effect.conn == self.s_conn:
+                self.cut()
+
+    def _collect_client(self, effects):
+        for effect in effects:
+            if isinstance(effect, SendMessage):
+                self.to_server.append(effect.message)
+
+    def cut(self):
+        """Drop the link and every in-flight message on it."""
+        s_conn, c_conn = self.s_conn, self.c_conn
+        self.s_conn = self.c_conn = None
+        self.to_server.clear()
+        self.to_client.clear()
+        self._collect_server(self.server.on_closed(s_conn))
+        self._collect_client(self.client.on_closed(c_conn))
+
+    def reconnect(self):
+        self._dial()
+        # redeliver the reconnect handshake: Hello went to_server on dial
+        self.run()
+
+    def seed(self, message):
+        """A request from the seeder client (its replies are discarded,
+        but fan-out effects to the joiner's connection still flow)."""
+        self._collect_server(self.server.on_message(self.seeder_conn, message))
+
+    # -- pumping -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Deliver one queued message; False when both queues are idle."""
+        if self.to_server and self.s_conn is not None:
+            message = self.to_server.pop(0)
+            self.clock.advance(0.05)
+            self._collect_server(self.server.on_message(self.s_conn, message))
+            return True
+        if self.to_client and self.c_conn is not None:
+            message = self.to_client.pop(0)
+            self.clock.advance(0.05)
+            if isinstance(message, StateChunk):
+                self.chunks_seen += 1
+            self._collect_client(self.client.on_message(self.c_conn, message))
+            return True
+        return False
+
+    def run(self):
+        while self.step():
+            pass
+
+
+_CONFIGS = st.builds(
+    lambda floor, initial_extra, ceiling_extra, inflight, gain: TransferConfig(
+        chunk_threshold_bytes=100,
+        chunk_floor_bytes=floor,
+        initial_chunk_bytes=floor + initial_extra,
+        chunk_ceiling_bytes=floor + initial_extra + ceiling_extra,
+        inflight_chunks=inflight,
+        target_chunk_seconds=0.25,
+        bandwidth_gain=gain,
+        resume_ttl=1e9,
+    ),
+    floor=st.integers(8, 64),
+    initial_extra=st.integers(0, 128),
+    ceiling_extra=st.integers(0, 400),
+    inflight=st.integers(1, 4),
+    gain=st.floats(0.1, 1.0),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    config=_CONFIGS,
+    objects=st.lists(st.integers(50, 400), min_size=1, max_size=3),
+    # (after how many delivered chunks, which object, payload byte)
+    updates=st.lists(
+        st.tuples(st.integers(0, 12), st.integers(0, 2), st.integers(0, 255)),
+        max_size=4,
+    ),
+    disconnect_after=st.one_of(st.none(), st.integers(1, 12)),
+)
+def test_chunked_join_byte_identical_to_monolithic(
+    config, objects, updates, disconnect_after
+):
+    """For arbitrary chunk sizes, concurrent-update interleavings and
+    disconnect points, a chunked join converges to the same bytes a
+    monolithic FULL join of the final state sees."""
+    loop = _Loop(config)
+    initial = tuple(
+        ObjectState(f"o{i}", bytes([i % 251]) * size)
+        for i, size in enumerate(objects)
+    )
+    loop.seed(CreateGroupRequest(1, "g", False, initial))
+    loop.seed(JoinGroupRequest(
+        2, "g", MemberRole.PRINCIPAL,
+        TransferSpec(policy=TransferPolicy.NONE), False,
+    ))
+    loop.run()
+
+    join_rid = loop.client.join_group(
+        "g", MemberRole.PRINCIPAL, TransferSpec(chunked=True), False
+    )
+    loop._collect_client(loop.client.drain())
+
+    pending = sorted(updates, key=lambda u: u[0])
+    rid = itertools.count(50)
+    cut_done = disconnect_after is None
+    while True:
+        progressed = loop.step()
+        while pending and pending[0][0] <= loop.chunks_seen:
+            _at, obj, byte = pending.pop(0)
+            loop.seed(BcastUpdateRequest(
+                next(rid), "g", f"o{obj % len(objects)}", bytes([byte])
+            ))
+            progressed = True
+        if not cut_done and loop.chunks_seen >= disconnect_after:
+            cut_done = True
+            loop.cut()
+            loop.reconnect()
+            progressed = True
+        if not progressed:
+            if pending:
+                # stream ended before the trigger point: flush the rest
+                for _at, obj, byte in pending:
+                    loop.seed(BcastUpdateRequest(
+                        next(rid), "g", f"o{obj % len(objects)}", bytes([byte])
+                    ))
+                pending = []
+                loop.run()
+                continue
+            if not cut_done:
+                cut_done = True
+                loop.cut()
+                loop.reconnect()
+                continue
+            break
+
+    assert join_rid not in loop.client._pending
+    view = loop.client.views["g"]
+
+    # the reference: a monolithic FULL join of the final state
+    reference = ClientCore(ClientConfig("ref"), loop.clock)
+    ref_conn = next(loop._conns)
+    reference.connect(("host", 1))
+    reference.drain()
+    to_ref_server = []
+    for effect in reference.on_connected(ref_conn, peer="s", key="server"):
+        if isinstance(effect, SendMessage):
+            to_ref_server.append(effect.message)
+    srv_conn = next(loop._conns)
+    loop.server.on_connected(srv_conn, peer="ref", key="")
+    while to_ref_server:
+        for effect in loop.server.on_message(srv_conn, to_ref_server.pop(0)):
+            if isinstance(effect, SendMessage) and effect.conn == srv_conn:
+                reference.on_message(ref_conn, effect.message)
+                for eff in reference.drain():
+                    if isinstance(eff, SendMessage):
+                        to_ref_server.append(eff.message)
+    reference.join_group("g", MemberRole.PRINCIPAL, TransferSpec(), False)
+    for effect in reference.drain():
+        if isinstance(effect, SendMessage):
+            for back in loop.server.on_message(srv_conn, effect.message):
+                if isinstance(back, SendMessage) and back.conn == srv_conn:
+                    reference.on_message(ref_conn, back.message)
+                    reference.drain()
+    ref_view = reference.views["g"]
+
+    assert sorted(view.state.object_ids()) == sorted(ref_view.state.object_ids())
+    for object_id in ref_view.state.object_ids():
+        assert (view.state.get(object_id).materialized()
+                == ref_view.state.get(object_id).materialized()), object_id
+    assert view.next_seqno == ref_view.next_seqno

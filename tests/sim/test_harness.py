@@ -81,3 +81,62 @@ class TestDeterminism:
     def test_identical_runs_produce_identical_traces(self):
         """The whole point of the simulator: runs are bit-reproducible."""
         assert self._trace() == self._trace()
+
+
+class TestVaryingProfiles:
+    def test_profile_rejects_nonpositive_base_rate(self):
+        from repro.sim.profiles import VaryingNetProfile
+
+        with pytest.raises(ValueError):
+            VaryingNetProfile("bad", bytes_per_sec=0.0, latency=0.01)
+
+    def test_profile_rejects_nonincreasing_step_times(self):
+        from repro.sim.profiles import VaryingNetProfile
+
+        with pytest.raises(ValueError):
+            VaryingNetProfile(
+                "bad", bytes_per_sec=1000.0, latency=0.01,
+                steps=((5.0, 2000.0), (5.0, 3000.0)),
+            )
+
+    def test_profile_rejects_nonpositive_step_rate(self):
+        from repro.sim.profiles import VaryingNetProfile
+
+        with pytest.raises(ValueError):
+            VaryingNetProfile(
+                "bad", bytes_per_sec=1000.0, latency=0.01,
+                steps=((5.0, -1.0),),
+            )
+
+    def test_add_segment_schedules_rate_steps(self):
+        from repro.sim.profiles import VaryingNetProfile
+
+        world = CoronaWorld()
+        profile = VaryingNetProfile(
+            "ramp", bytes_per_sec=1000.0, latency=0.01,
+            steps=((10.0, 5000.0), (20.0, 9000.0)),
+        )
+        world.add_segment("wan", profile)
+        segment = world.network.segment("wan")
+        assert segment.bytes_per_sec == 1000.0
+        world.run_until(10.5)
+        assert segment.bytes_per_sec == 5000.0
+        world.run_until(20.5)
+        assert segment.bytes_per_sec == 9000.0
+
+    def test_vary_rate_rebases_on_current_time(self):
+        world = CoronaWorld()
+        world.add_server()
+        client = world.add_client(client_id="c")
+        world.run()  # setup advances virtual time past zero
+        origin = world.now
+        world.vary_rate("lan", ((1.0, 250_000.0),))
+        segment = world.network.segment("lan")
+        world.run_until(origin + 0.5)
+        assert segment.bytes_per_sec == 1_000_000.0
+        world.run_until(origin + 1.5)
+        assert segment.bytes_per_sec == 250_000.0
+        # the slowed segment is live, not just a number: traffic still flows
+        client.call("create_group", "g")
+        world.run()
+        assert client.core.connected

@@ -229,3 +229,43 @@ class TestFailures:
         _kernel, network = net
         with pytest.raises(ValueError):
             network.add_segment("lan", 1.0, 1.0)
+
+
+class TestVaryingRate:
+    def test_set_rate_rejects_nonpositive(self):
+        from repro.sim.network import Segment
+
+        segment = Segment("s", 1000.0, 0.0)
+        with pytest.raises(ValueError):
+            segment.set_rate(0)
+        with pytest.raises(ValueError):
+            segment.set_rate(-5.0)
+
+    def test_set_rate_keeps_committed_reservations(self):
+        from repro.sim.network import Segment
+
+        segment = Segment("s", 1000.0, 0.0)
+        _start, finish = segment.reserve(0.0, 1000)  # 1 s at the old rate
+        assert finish == pytest.approx(1.0)
+        segment.set_rate(10_000.0)
+        # the packet already on the wire keeps its schedule ...
+        assert segment.busy_until == pytest.approx(1.0)
+        # ... and only the next reservation sees the new rate
+        start2, finish2 = segment.reserve(0.0, 1000)
+        assert start2 == pytest.approx(1.0)
+        assert finish2 == pytest.approx(1.1)
+
+    def test_rate_step_speeds_up_later_messages(self, net):
+        kernel, network = net
+        a, _b = _host(network, "a"), _host(network, "b")
+        network.connect("a", "b")
+        kernel.run()
+        channel = a.connected[0][0]
+        t0 = kernel.now()
+        slow = network.send(channel, "a", "m1", 100_000)  # 0.1 s at 1 MB/s
+        assert slow - t0 == pytest.approx(0.1 + 0.001)
+        kernel.run()
+        network.segment("lan").set_rate(10_000_000.0)
+        t1 = kernel.now()
+        fast = network.send(channel, "a", "m2", 100_000)  # 0.01 s at 10 MB/s
+        assert fast - t1 == pytest.approx(0.01 + 0.001)

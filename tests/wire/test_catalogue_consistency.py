@@ -23,12 +23,14 @@ CLIENT_TO_SERVER = {
     m.LeaveGroupRequest, m.GetMembershipRequest, m.ListGroupsRequest,
     m.BcastStateRequest, m.BcastUpdateRequest, m.AcquireLockRequest,
     m.ReleaseLockRequest, m.ReduceLogRequest, m.PingRequest,
+    m.ChunkAck, m.TransferResume,
 }
 
 SERVER_TO_CLIENT = {
     m.HelloReply, m.Ack, m.ErrorReply, m.JoinReply, m.MembershipReply,
     m.GroupListReply, m.Delivery, m.MembershipNotice, m.GroupDeletedNotice,
     m.LockGranted, m.PingReply, m.RebaseNotice, m.ForkNotice, m.Disconnect,
+    m.StateChunk,
 }
 
 
@@ -53,7 +55,9 @@ def test_every_catalogued_class_is_registered():
 
 
 def test_requests_carry_request_ids():
-    for cls in CLIENT_TO_SERVER - {m.Hello}:
+    # Hello opens the session; ChunkAck is an unsolicited flow-control
+    # signal — neither expects a paired reply.
+    for cls in CLIENT_TO_SERVER - {m.Hello, m.ChunkAck}:
         fields = {f.name for f in dataclasses.fields(cls)}
         assert "request_id" in fields, cls.__name__
 
@@ -67,7 +71,8 @@ def test_replies_echo_request_ids():
 
 def test_unsolicited_messages_have_no_request_id():
     for cls in (m.Delivery, m.MembershipNotice, m.GroupDeletedNotice,
-                m.RebaseNotice, m.ForkNotice, m.Disconnect):
+                m.RebaseNotice, m.ForkNotice, m.Disconnect, m.StateChunk,
+                m.ChunkAck):
         fields = {f.name for f in dataclasses.fields(cls)}
         assert "request_id" not in fields, cls.__name__
 

@@ -41,6 +41,9 @@ _EXAMPLES = [
     m.ReleaseLockRequest(10, "g", "o"),
     m.ReduceLogRequest(11, "g"),
     m.PingRequest(12),
+    m.ChunkAck("g", 7, 8192),
+    m.TransferResume(13, "g", 7, 8192, 41),
+    m.StateChunk("g", 7, 8192, b"\x01\x02payload", 131072, False),
     m.HelloReply("server-1"),
     m.Ack(1),
     m.ErrorReply(2, "corona.no_such_group", "g does not exist"),

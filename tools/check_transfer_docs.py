@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Doc-drift gate for the state-transfer contract.
+
+``docs/protocol.md`` §3.5 is the *normative* description of join-time
+state transfer, including the chunked streaming path.  This script fails
+(exit 1) when the document stops mentioning any name the code actually
+exports:
+
+* every ``TransferConfig`` knob (``repro.core.transfer.transfer_knobs()``);
+* every ``TransferPolicy`` value;
+* every ``SNAP_*`` snapshot flag;
+* the transfer wire messages (``StateChunk``, ``ChunkAck``,
+  ``TransferResume``).
+
+Run from the repo root with
+``PYTHONPATH=src python tools/check_transfer_docs.py`` (CI does; see
+.github/workflows/ci.yml).  A new knob/flag/message therefore cannot
+ship without its documentation.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.core.transfer import transfer_knobs
+from repro.wire import messages
+from repro.wire.messages import TransferPolicy
+
+DOC = Path(__file__).resolve().parents[1] / "docs" / "protocol.md"
+
+_TRANSFER_MESSAGES = ("StateChunk", "ChunkAck", "TransferResume")
+
+
+def required_names() -> list[str]:
+    names = list(transfer_knobs())
+    names += [policy.name for policy in TransferPolicy]
+    names += [flag for flag in messages.__all__ if flag.startswith("SNAP_")]
+    names += list(_TRANSFER_MESSAGES)
+    return names
+
+
+def main() -> int:
+    if not DOC.exists():
+        print(f"check_transfer_docs: {DOC} does not exist", file=sys.stderr)
+        return 1
+    text = DOC.read_text()
+    missing = [name for name in required_names() if name not in text]
+    if missing:
+        for name in missing:
+            print(
+                f"check_transfer_docs: docs/protocol.md does not mention "
+                f"{name!r} (exported by the state-transfer layer)",
+                file=sys.stderr,
+            )
+        return 1
+    print(
+        f"check_transfer_docs: docs/protocol.md covers all "
+        f"{len(required_names())} exported transfer names"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
